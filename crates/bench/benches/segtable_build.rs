@@ -1,0 +1,34 @@
+//! SegTable construction benchmarks (the Fig 9 companion): threshold and
+//! SQL-style sensitivity on a fixed Power graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fempath_core::{build_segtable_with, GraphDb, SqlStyle};
+use fempath_graph::generate;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let g = generate::power_law(1000, 3, 1..=100, 42);
+    let mut group = c.benchmark_group("segtable_build_power1k");
+    group.sample_size(10);
+
+    for lthd in [10i64, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("nsql_lthd", lthd), &lthd, |b, &lthd| {
+            b.iter(|| {
+                let mut gdb = GraphDb::in_memory(&g).unwrap();
+                let stats = build_segtable_with(&mut gdb, lthd, SqlStyle::New).unwrap();
+                black_box(stats.segments);
+            });
+        });
+    }
+    group.bench_function("tsql_lthd20", |b| {
+        b.iter(|| {
+            let mut gdb = GraphDb::in_memory(&g).unwrap();
+            let stats = build_segtable_with(&mut gdb, 20, SqlStyle::Traditional).unwrap();
+            black_box(stats.segments);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

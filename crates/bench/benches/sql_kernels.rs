@@ -1,0 +1,116 @@
+//! The two SQL-feature kernels of §2.2/§3.3: window function vs
+//! aggregate-join for the E-operator, and MERGE vs UPDATE+INSERT for the
+//! M-operator. These isolate the NSQL/TSQL deltas of Fig 6(d).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fempath_sql::Database;
+use fempath_storage::Value;
+use std::hint::black_box;
+
+/// A TVisited/TEdges fixture with a marked frontier.
+fn fixture() -> Database {
+    let mut db = Database::in_memory(2048);
+    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT)").unwrap();
+    db.execute("CREATE UNIQUE INDEX ix_v ON TVisited(nid)").unwrap();
+    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
+    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)").unwrap();
+    // 2000 nodes, degree 4 ring-ish graph; 100-node frontier.
+    for u in 0..2000i64 {
+        for d in 1..=4i64 {
+            db.execute_params(
+                "INSERT INTO TEdges VALUES (?, ?, ?)",
+                &[Value::Int(u), Value::Int((u + d * 7) % 2000), Value::Int(d * 3)],
+            )
+            .unwrap();
+        }
+    }
+    for u in 0..300i64 {
+        let f = i64::from(u < 100) * 2; // first 100 are frontier (f=2)
+        db.execute_params(
+            "INSERT INTO TVisited VALUES (?, ?, ?, ?)",
+            &[Value::Int(u), Value::Int(u % 50), Value::Int(0), Value::Int(f)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+const WINDOW_E: &str = "SELECT nid, np, cost FROM ( \
+    SELECT e.tid AS nid, e.fid AS np, e.cost + q.d2s AS cost, \
+           ROW_NUMBER() OVER (PARTITION BY e.tid ORDER BY e.cost + q.d2s) AS rownum \
+    FROM TVisited q, TEdges e WHERE q.nid = e.fid AND q.f = 2 \
+  ) tmp WHERE rownum = 1";
+
+const AGG_E: &str = "SELECT e2.tid AS nid, MIN(e2.fid) AS np, m.c AS cost \
+    FROM TVisited q2, TEdges e2, ( \
+      SELECT e.tid AS mtid, MIN(e.cost + q.d2s) AS c \
+      FROM TVisited q, TEdges e WHERE q.nid = e.fid AND q.f = 2 GROUP BY e.tid \
+    ) m \
+    WHERE q2.nid = e2.fid AND q2.f = 2 AND e2.tid = m.mtid AND e2.cost + q2.d2s = m.c \
+    GROUP BY e2.tid, m.c";
+
+fn bench_e_operator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_operator");
+    group.sample_size(20);
+    group.bench_function("nsql_window", |b| {
+        let mut db = fixture();
+        b.iter(|| {
+            black_box(db.query(WINDOW_E).unwrap().len());
+        });
+    });
+    group.bench_function("tsql_aggregate_join", |b| {
+        let mut db = fixture();
+        b.iter(|| {
+            black_box(db.query(AGG_E).unwrap().len());
+        });
+    });
+    group.finish();
+}
+
+fn bench_m_operator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m_operator");
+    group.sample_size(20);
+    let merge = format!(
+        "MERGE INTO TVisited AS target USING ({WINDOW_E}) AS source (nid, np, cost) \
+         ON source.nid = target.nid \
+         WHEN MATCHED AND target.d2s > source.cost THEN \
+           UPDATE SET d2s = source.cost, p2s = source.np, f = 0 \
+         WHEN NOT MATCHED THEN INSERT (nid, d2s, p2s, f) \
+           VALUES (source.nid, source.cost, source.np, 0)"
+    );
+    group.bench_function("nsql_merge", |b| {
+        let mut db = fixture();
+        b.iter(|| {
+            black_box(db.execute(&merge).unwrap().rows_affected);
+        });
+    });
+    group.bench_function("tsql_update_then_insert", |b| {
+        let mut db = fixture();
+        db.execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)").unwrap();
+        let fill = format!("INSERT INTO TExp (nid, p2s, cost) {WINDOW_E}");
+        b.iter(|| {
+            db.execute("TRUNCATE TABLE TExp").unwrap();
+            db.execute(&fill).unwrap();
+            let u = db
+                .execute(
+                    "UPDATE TVisited SET d2s = TExp.cost, p2s = TExp.p2s, f = 0 FROM TExp \
+                     WHERE TVisited.nid = TExp.nid AND TVisited.d2s > TExp.cost",
+                )
+                .unwrap()
+                .rows_affected;
+            let i = db
+                .execute(
+                    "INSERT INTO TVisited (nid, d2s, p2s, f) \
+                     SELECT nid, cost, p2s, 0 FROM TExp \
+                     WHERE nid NOT IN (SELECT nid FROM TVisited)",
+                )
+                .unwrap()
+                .rows_affected;
+            black_box(u + i);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e_operator, bench_m_operator);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the storage substrate: buffer-pool page access and
+//! B+tree operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fempath_storage::{BTree, BufferPool};
+use std::hint::black_box;
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool");
+    group.sample_size(20);
+
+    group.bench_function("hit_read", |b| {
+        let mut pool = BufferPool::in_memory(64);
+        let pid = pool.allocate_page().unwrap();
+        b.iter(|| {
+            let v = pool.read_page(pid, |buf| buf[17]).unwrap();
+            black_box(v);
+        });
+    });
+
+    group.bench_function("miss_cycle_100_pages_pool_10", |b| {
+        let mut pool = BufferPool::in_memory(10);
+        let pids: Vec<_> = (0..100).map(|_| pool.allocate_page().unwrap()).collect();
+        b.iter(|| {
+            for &pid in &pids {
+                pool.read_page(pid, |buf| buf[0]).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+
+    group.bench_function("insert_10k_sequential", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::in_memory(512);
+            let mut t = BTree::create(&mut pool).unwrap();
+            for i in 0..10_000u64 {
+                t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            black_box(t.len());
+        });
+    });
+
+    group.bench_function("get_from_10k", |b| {
+        let mut pool = BufferPool::in_memory(512);
+        let mut t = BTree::create(&mut pool).unwrap();
+        for i in 0..10_000u64 {
+            t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            black_box(t.get(&mut pool, &i.to_be_bytes()).unwrap());
+        });
+    });
+
+    group.bench_function("prefix_scan_degree3", |b| {
+        // The E-operator's inner probe: a clustered prefix scan per node.
+        let mut pool = BufferPool::in_memory(512);
+        let mut t = BTree::create(&mut pool).unwrap();
+        for node in 0..3000u64 {
+            for e in 0..3u64 {
+                let mut key = node.to_be_bytes().to_vec();
+                key.extend_from_slice(&e.to_be_bytes());
+                t.insert(&mut pool, &key, b"payload").unwrap();
+            }
+        }
+        let mut node = 0u64;
+        b.iter(|| {
+            node = (node + 997) % 3000;
+            let mut n = 0;
+            t.scan_prefix(&mut pool, &node.to_be_bytes(), |_, _| {
+                n += 1;
+                true
+            })
+            .unwrap();
+            black_box(n);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_pool, bench_btree);
+criterion_main!(benches);

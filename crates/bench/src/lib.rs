@@ -1,0 +1,19 @@
+//! # fempath-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (§5). Run it with:
+//!
+//! ```text
+//! cargo run -p fempath-bench --release --bin paperbench -- all
+//! cargo run -p fempath-bench --release --bin paperbench -- table2 --scale 0.2
+//! ```
+//!
+//! Default dataset sizes are scaled down from the paper's (see DESIGN.md
+//! §6): this engine is an interpreted reproduction, not a commercial RDBMS,
+//! so absolute numbers differ while the comparative *shapes* are preserved.
+//! `--scale` grows sizes toward the paper's.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{AggregateStats, BenchConfig};

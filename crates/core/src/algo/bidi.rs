@@ -1,0 +1,414 @@
+//! The bidirectional search skeleton (Algorithm 2, generalized).
+//!
+//! BDJ, BSDJ, BBFS and BSEG share the identical control loop — initialize
+//! `TVisited` with both endpoints, alternate expansion directions by
+//! frontier size, stop when `minCost <= lf + lb` (§4.1) or both directions
+//! exhaust — and differ **only** in their frontier policy and edge source:
+//!
+//! | finder | frontier policy | edge source |
+//! |--------|----------------|-------------|
+//! | BDJ    | the single minimum-distance node | `TEdges` |
+//! | BSDJ   | *all* nodes at the minimum distance (set-at-a-time, §4.1) | `TEdges` |
+//! | BBFS   | every candidate (§4.2's strawman) | `TEdges` |
+//! | BSEG   | `d2s <= k·lthd` plus the minimum (Listing 4(1)) | SegTable |
+//!
+//! All expansions carry the Theorem-1 pruning term
+//! `e.cost + q.dist + l_other < minCost` (disable with `prune = false` for
+//! the ablation bench).
+
+use super::{recover_bidi_path, trivial_case, PathOutcome, Runner, ShortestPathFinder};
+use crate::graphdb::{GraphDb, INF};
+use crate::sqlgen::{
+    expand_params, meet_node, min_cost as min_cost_sql, truncate_exp, Dir, EdgeSource,
+    FrontierPred, SqlGen,
+};
+use crate::stats::{FemOperator, Phase, SqlStyle};
+use fempath_sql::{Result, SqlError};
+use fempath_storage::Value;
+
+/// How each iteration picks its frontier (the F-operator predicate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierPolicy {
+    /// One node with the minimal distance (BDJ).
+    SingleMin,
+    /// All nodes with the minimal distance (BSDJ).
+    AllMin,
+    /// Every candidate node (BBFS).
+    All,
+    /// `dist <= k * lthd` or the minimal distance (BSEG, Listing 4(1)).
+    Threshold { lthd: i64 },
+}
+
+/// Full specification of one bidirectional run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BidiSpec {
+    pub name: &'static str,
+    pub frontier: FrontierPolicy,
+    pub edges: EdgeSource,
+    pub style: SqlStyle,
+    pub prune: bool,
+    /// Issue F/E/M as separate statements through `TExp` — the Fig 6(c)
+    /// per-operator measurement mode (also forced by no-MERGE dialects).
+    pub split_operators: bool,
+}
+
+pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Result<PathOutcome> {
+    if let Some(out) = trivial_case(gdb, s, t)? {
+        return Ok(out);
+    }
+    if spec.edges == EdgeSource::SegTable && gdb.segtable().is_none() {
+        return Err(SqlError::Eval(
+            "BSEG requires a SegTable: call GraphDb::build_segtable first".into(),
+        ));
+    }
+    gdb.reset_visited()?;
+    let use_temp_exp = spec.split_operators || !gdb.merge_supported();
+    if use_temp_exp {
+        gdb.reset_exp()?;
+    }
+    let fgen = SqlGen::new(Dir::Fwd, spec.edges, spec.style);
+    let bgen = SqlGen::new(Dir::Bwd, spec.edges, spec.style);
+    let max_iters = 8 * gdb.num_nodes() as u64 + 32;
+
+    let mut runner = Runner::new(gdb);
+    runner.exec(
+        Phase::PathExpansion,
+        FemOperator::Aux,
+        &SqlGen::init(Dir::Fwd),
+        &[Value::Int(s), Value::Int(s)],
+    )?;
+    runner.exec(
+        Phase::PathExpansion,
+        FemOperator::Aux,
+        &SqlGen::init(Dir::Bwd),
+        &[Value::Int(t), Value::Int(t)],
+    )?;
+
+    let mut min_cost = INF;
+    let (mut lf, mut lb) = (0i64, 0i64);
+    let (mut nf, mut nb) = (1i64, 1i64); // remaining candidates per direction
+    let (mut kf, mut kb) = (1i64, 1i64); // expansion counters (BSEG's fwd/bwd)
+
+    loop {
+        // Termination (§4.1): minCost is final once minCost <= lf + lb.
+        if min_cost <= lf.saturating_add(lb) {
+            break;
+        }
+        if nf <= 0 && nb <= 0 {
+            break;
+        }
+        // Expand the direction with fewer pending candidates (Algorithm 2
+        // line 7), skipping exhausted directions.
+        let forward = nf > 0 && (nb <= 0 || nf <= nb);
+        let (gen, k, l_other) = if forward {
+            (&fgen, &mut kf, lb)
+        } else {
+            (&bgen, &mut kb, lf)
+        };
+
+        // F-operator: mark the frontier.
+        let marked = match spec.frontier {
+            FrontierPolicy::SingleMin => {
+                match runner.scalar(Phase::StatsCollection, FemOperator::Aux, &gen.select_mid(), &[])? {
+                    None => 0,
+                    Some(mid) => {
+                        runner
+                            .exec(
+                                Phase::PathExpansion,
+                                FemOperator::F,
+                                &gen.mark_by_nid(),
+                                &[Value::Int(mid)],
+                            )?
+                            .rows_affected
+                    }
+                }
+            }
+            FrontierPolicy::AllMin => {
+                // The candidate minimum in this direction is invariant
+                // across the *other* direction's expansions (they never
+                // touch this direction's distance column), so `lf`/`lb`
+                // already holds it — no extra MIN statement needed.
+                let cur_l = if forward { lf } else { lb };
+                if cur_l >= INF {
+                    0
+                } else {
+                    runner
+                        .exec(
+                            Phase::PathExpansion,
+                            FemOperator::F,
+                            &gen.mark_by_dist(),
+                            &[Value::Int(cur_l)],
+                        )?
+                        .rows_affected
+                }
+            }
+            FrontierPolicy::All => {
+                runner
+                    .exec(Phase::PathExpansion, FemOperator::F, &gen.mark_all(), &[])?
+                    .rows_affected
+            }
+            FrontierPolicy::Threshold { lthd } => {
+                runner
+                    .exec(
+                        Phase::PathExpansion,
+                        FemOperator::F,
+                        &gen.mark_threshold(),
+                        &[Value::Int((*k).saturating_mul(lthd))],
+                    )?
+                    .rows_affected
+            }
+        };
+        if marked == 0 {
+            if forward {
+                nf = 0;
+            } else {
+                nb = 0;
+            }
+            continue;
+        }
+
+        // E+M operators.
+        let (lo, mc) = if spec.prune { (l_other, min_cost) } else { (0, INF) };
+        let params = expand_params(spec.style, FrontierPred::Marked, None, lo, mc);
+        if !use_temp_exp {
+            runner.exec(
+                Phase::PathExpansion,
+                FemOperator::E,
+                &gen.expand_merge(FrontierPred::Marked),
+                &params,
+            )?;
+        } else {
+            runner.exec(Phase::PathExpansion, FemOperator::Aux, truncate_exp(), &[])?;
+            runner.exec(
+                Phase::PathExpansion,
+                FemOperator::E,
+                &gen.expand_into_exp(FrontierPred::Marked),
+                &params,
+            )?;
+            if runner.gdb.merge_supported() {
+                runner.exec(Phase::PathExpansion, FemOperator::M, &gen.merge_from_exp(), &[])?;
+            } else {
+                runner.exec(Phase::PathExpansion, FemOperator::M, &gen.update_from_exp(), &[])?;
+                runner.exec(Phase::PathExpansion, FemOperator::M, &gen.insert_from_exp(), &[])?;
+            }
+        }
+        // Flip the expanded frontier to settled (Listing 4(3)).
+        runner.exec(Phase::PathExpansion, FemOperator::F, &gen.reset_frontier(), &[])?;
+        runner.stats.expansions += 1;
+        *k += 1;
+
+        // Statistics collection: new l + candidate count (one fused scan,
+        // Listing 4(4)), then minCost (Listing 4(5)).
+        let stats_row = runner
+            .row(
+                Phase::StatsCollection,
+                FemOperator::Aux,
+                &gen.candidate_stats(),
+                &[],
+            )?
+            .unwrap_or_default();
+        let l_new = stats_row.first().and_then(|v| v.as_i64()).unwrap_or(INF);
+        let cand = stats_row.get(1).and_then(|v| v.as_i64()).unwrap_or(0);
+        if forward {
+            lf = l_new;
+            nf = cand;
+        } else {
+            lb = l_new;
+            nb = cand;
+        }
+        let mc_now = runner
+            .scalar(Phase::StatsCollection, FemOperator::Aux, min_cost_sql(), &[])?
+            .unwrap_or(i64::MAX);
+        min_cost = if mc_now >= INF { INF } else { mc_now };
+
+        if runner.stats.expansions > max_iters {
+            return Err(SqlError::Eval(format!(
+                "{} exceeded the iteration bound — likely a bug",
+                spec.name
+            )));
+        }
+    }
+
+    if min_cost >= INF {
+        return runner.finish(None);
+    }
+    let meet = runner
+        .scalar(
+            Phase::FullPathRecovery,
+            FemOperator::Aux,
+            meet_node(),
+            &[Value::Int(min_cost)],
+        )?
+        .ok_or_else(|| SqlError::Eval("no node realizes minCost".into()))?;
+    let path = recover_bidi_path(&mut runner, s, t, meet, min_cost)?;
+    runner.finish(Some(path))
+}
+
+/// **BDJ** — bidirectional Dijkstra, node-at-a-time.
+#[derive(Debug, Clone, Copy)]
+pub struct BdjFinder {
+    pub style: SqlStyle,
+    /// Theorem-1 pruning (on by default; off for the ablation bench).
+    pub prune: bool,
+}
+
+impl Default for BdjFinder {
+    fn default() -> Self {
+        BdjFinder {
+            style: SqlStyle::New,
+            prune: true,
+        }
+    }
+}
+
+impl ShortestPathFinder for BdjFinder {
+    fn name(&self) -> &'static str {
+        "BDJ"
+    }
+
+    fn find_path(&self, gdb: &mut GraphDb, s: i64, t: i64) -> Result<PathOutcome> {
+        run_bidi(
+            gdb,
+            s,
+            t,
+            BidiSpec {
+                name: "BDJ",
+                frontier: FrontierPolicy::SingleMin,
+                edges: EdgeSource::Edges,
+                style: self.style,
+                prune: self.prune,
+                split_operators: false,
+            },
+        )
+    }
+}
+
+/// **BSDJ** — bidirectional *set* Dijkstra: all nodes at the minimal
+/// distance expand in one statement (the paper's key set-at-a-time
+/// optimization, §4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct BsdjFinder {
+    pub style: SqlStyle,
+    pub prune: bool,
+    /// Issue F/E/M as separate statements (Fig 6(c) measurement mode).
+    pub split_operators: bool,
+}
+
+impl Default for BsdjFinder {
+    fn default() -> Self {
+        BsdjFinder {
+            style: SqlStyle::New,
+            prune: true,
+            split_operators: false,
+        }
+    }
+}
+
+impl ShortestPathFinder for BsdjFinder {
+    fn name(&self) -> &'static str {
+        "BSDJ"
+    }
+
+    fn find_path(&self, gdb: &mut GraphDb, s: i64, t: i64) -> Result<PathOutcome> {
+        run_bidi(
+            gdb,
+            s,
+            t,
+            BidiSpec {
+                name: "BSDJ",
+                frontier: FrontierPolicy::AllMin,
+                edges: EdgeSource::Edges,
+                style: self.style,
+                prune: self.prune,
+                split_operators: self.split_operators,
+            },
+        )
+    }
+}
+
+/// **BBFS** — bidirectional breadth-first-style relaxation: every candidate
+/// expands every iteration. Fewest iterations, largest search space (§4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct BbfsFinder {
+    pub style: SqlStyle,
+    pub prune: bool,
+}
+
+impl Default for BbfsFinder {
+    fn default() -> Self {
+        BbfsFinder {
+            style: SqlStyle::New,
+            prune: true,
+        }
+    }
+}
+
+impl ShortestPathFinder for BbfsFinder {
+    fn name(&self) -> &'static str {
+        "BBFS"
+    }
+
+    fn find_path(&self, gdb: &mut GraphDb, s: i64, t: i64) -> Result<PathOutcome> {
+        run_bidi(
+            gdb,
+            s,
+            t,
+            BidiSpec {
+                name: "BBFS",
+                frontier: FrontierPolicy::All,
+                edges: EdgeSource::Edges,
+                style: self.style,
+                prune: self.prune,
+                split_operators: false,
+            },
+        )
+    }
+}
+
+/// **BSEG** — selective expansion over the SegTable (Algorithm 2). Requires
+/// [`GraphDb::build_segtable`] to have been called; the threshold `lthd` is
+/// read from the built index.
+#[derive(Debug, Clone, Copy)]
+pub struct BsegFinder {
+    pub style: SqlStyle,
+    pub prune: bool,
+    pub split_operators: bool,
+}
+
+impl Default for BsegFinder {
+    fn default() -> Self {
+        BsegFinder {
+            style: SqlStyle::New,
+            prune: true,
+            split_operators: false,
+        }
+    }
+}
+
+impl ShortestPathFinder for BsegFinder {
+    fn name(&self) -> &'static str {
+        "BSEG"
+    }
+
+    fn find_path(&self, gdb: &mut GraphDb, s: i64, t: i64) -> Result<PathOutcome> {
+        let lthd = gdb
+            .segtable()
+            .ok_or_else(|| {
+                SqlError::Eval("BSEG requires a SegTable: call build_segtable first".into())
+            })?
+            .lthd;
+        run_bidi(
+            gdb,
+            s,
+            t,
+            BidiSpec {
+                name: "BSEG",
+                frontier: FrontierPolicy::Threshold { lthd },
+                edges: EdgeSource::SegTable,
+                style: self.style,
+                prune: self.prune,
+                split_operators: self.split_operators,
+            },
+        )
+    }
+}

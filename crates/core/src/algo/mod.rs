@@ -1,0 +1,212 @@
+//! Relational shortest-path algorithms.
+//!
+//! All five of the paper's methods are here:
+//!
+//! | finder | paper name | §  |
+//! |--------|-----------|----|
+//! | [`DjFinder`]   | DJ — single-directional Dijkstra (Algorithm 1) | 3.4 |
+//! | [`BdjFinder`]  | BDJ — bidirectional Dijkstra                   | 4.1 |
+//! | [`BsdjFinder`] | BSDJ — bidirectional *set* Dijkstra            | 4.1 |
+//! | [`BbfsFinder`] | BBFS — bidirectional BFS-style relaxation      | 4.2 |
+//! | [`BsegFinder`] | BSEG — selective expansion over the SegTable (Algorithm 2) | 4.3 |
+//!
+//! Each runs entirely through SQL statements against a [`GraphDb`]; the
+//! client side holds only scalars (`mid`, `lf`, `lb`, `minCost`, counters),
+//! mirroring the paper's JDBC architecture.
+
+pub mod bidi;
+pub mod dj;
+
+pub use bidi::{BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, FrontierPolicy};
+pub use dj::DjFinder;
+
+use crate::graphdb::{GraphDb, NO_NODE};
+use crate::stats::{FemOperator, Phase, QueryStats};
+use fempath_sql::{ExecOutcome, Result, SqlError};
+use fempath_storage::Value;
+use std::time::Instant;
+
+/// A discovered shortest path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Node sequence from source to target, inclusive.
+    pub nodes: Vec<i64>,
+    /// Total weight.
+    pub length: i64,
+}
+
+/// Result of a shortest-path query: the path (None when unreachable) and
+/// the measurements of the run.
+#[derive(Debug, Clone)]
+pub struct PathOutcome {
+    pub path: Option<Path>,
+    pub stats: QueryStats,
+}
+
+/// A relational shortest-path algorithm.
+pub trait ShortestPathFinder {
+    /// Short name as used in the paper ("DJ", "BSDJ", …).
+    fn name(&self) -> &'static str;
+
+    /// Finds the shortest path from `s` to `t`.
+    fn find_path(&self, gdb: &mut GraphDb, s: i64, t: i64) -> Result<PathOutcome>;
+}
+
+/// Statement executor that accumulates [`QueryStats`].
+pub(crate) struct Runner<'a> {
+    pub gdb: &'a mut GraphDb,
+    pub stats: QueryStats,
+    started: Instant,
+    io_start: fempath_storage::IoStats,
+}
+
+impl<'a> Runner<'a> {
+    pub fn new(gdb: &'a mut GraphDb) -> Runner<'a> {
+        let io_start = gdb.db.io_stats();
+        Runner {
+            gdb,
+            stats: QueryStats::default(),
+            started: Instant::now(),
+            io_start,
+        }
+    }
+
+    /// Executes one statement, attributing its time to `phase`/`op`.
+    pub fn exec(
+        &mut self,
+        phase: Phase,
+        op: FemOperator,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<ExecOutcome> {
+        let t = Instant::now();
+        let out = self.gdb.db.execute_params(sql, params)?;
+        self.stats.record(phase, op, t.elapsed());
+        Ok(out)
+    }
+
+    /// Executes a statement expected to return a single optional i64
+    /// scalar (MIN queries return NULL on empty input → `None`).
+    pub fn scalar(
+        &mut self,
+        phase: Phase,
+        op: FemOperator,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<Option<i64>> {
+        let out = self.exec(phase, op, sql, params)?;
+        let rows = out
+            .rows
+            .ok_or_else(|| SqlError::Eval("expected a result set".into()))?;
+        Ok(rows.rows.first().and_then(|r| r.first()).and_then(|v| v.as_i64()))
+    }
+
+    /// Executes a statement and returns its first row, if any.
+    pub fn row(
+        &mut self,
+        phase: Phase,
+        op: FemOperator,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<Option<Vec<Value>>> {
+        let out = self.exec(phase, op, sql, params)?;
+        let rows = out
+            .rows
+            .ok_or_else(|| SqlError::Eval("expected a result set".into()))?;
+        Ok(rows.rows.into_iter().next())
+    }
+
+    /// Finishes the run: fills in visited-node count, I/O delta and total
+    /// time.
+    pub fn finish(mut self, path: Option<Path>) -> Result<PathOutcome> {
+        self.stats.visited_nodes = self.gdb.db.table_len("TVisited").unwrap_or(0);
+        self.stats.io = self.gdb.db.io_stats().since(&self.io_start);
+        self.stats.total_time = self.started.elapsed();
+        Ok(PathOutcome {
+            path,
+            stats: self.stats,
+        })
+    }
+}
+
+/// Walks predecessor links from `from` back to `anchor` (Listing 3(3)).
+/// Returns the chain **excluding** `from` itself, ordered from the node
+/// nearest `from` to `anchor`.
+pub(crate) fn walk_links(
+    runner: &mut Runner<'_>,
+    sql: &str,
+    from: i64,
+    anchor: i64,
+    limit: usize,
+) -> Result<Vec<i64>> {
+    let mut chain = Vec::new();
+    let mut cur = from;
+    while cur != anchor {
+        let next = runner
+            .scalar(Phase::FullPathRecovery, FemOperator::Aux, sql, &[Value::Int(cur)])?
+            .ok_or_else(|| SqlError::Eval(format!("broken predecessor chain at node {cur}")))?;
+        if next == NO_NODE {
+            return Err(SqlError::Eval(format!(
+                "node {cur} has no predecessor while walking to {anchor}"
+            )));
+        }
+        chain.push(next);
+        cur = next;
+        if chain.len() > limit {
+            return Err(SqlError::Eval("predecessor chain exceeds node count".into()));
+        }
+    }
+    Ok(chain)
+}
+
+/// Recovers the full path of a bidirectional search that met at `meet`
+/// with total length `min_cost` (Algorithm 2 lines 17–20).
+pub(crate) fn recover_bidi_path(
+    runner: &mut Runner<'_>,
+    s: i64,
+    t: i64,
+    meet: i64,
+    min_cost: i64,
+) -> Result<Path> {
+    let n = runner.gdb.num_nodes();
+    let fwd = crate::sqlgen::SqlGen::new(
+        crate::sqlgen::Dir::Fwd,
+        crate::sqlgen::EdgeSource::Edges,
+        crate::stats::SqlStyle::New,
+    );
+    let bwd = crate::sqlgen::SqlGen::new(
+        crate::sqlgen::Dir::Bwd,
+        crate::sqlgen::EdgeSource::Edges,
+        crate::stats::SqlStyle::New,
+    );
+    // s … meet via p2s links (walked backward, then reversed).
+    let mut nodes: Vec<i64> = walk_links(runner, &fwd.pred_of(), meet, s, n + 1)?;
+    nodes.reverse();
+    nodes.push(meet);
+    // meet … t via p2t links.
+    let tail = walk_links(runner, &bwd.pred_of(), meet, t, n + 1)?;
+    nodes.extend(tail);
+    debug_assert_eq!(nodes.first(), Some(&s));
+    debug_assert_eq!(nodes.last(), Some(&t));
+    Ok(Path {
+        nodes,
+        length: min_cost,
+    })
+}
+
+/// Shared guard: both endpoints valid; the trivial `s == t` path.
+pub(crate) fn trivial_case(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<PathOutcome>> {
+    gdb.check_node(s)?;
+    gdb.check_node(t)?;
+    if s == t {
+        return Ok(Some(PathOutcome {
+            path: Some(Path {
+                nodes: vec![s],
+                length: 0,
+            }),
+            stats: QueryStats::default(),
+        }));
+    }
+    Ok(None)
+}
+

@@ -1,0 +1,252 @@
+//! [`GraphDb`]: a relational database instance holding one graph.
+//!
+//! Owns the `fempath_sql::Database`, loads `TNodes`/`TEdges` with the
+//! configured index strategy, and manages the per-query working tables
+//! (`TVisited`, `TExp`) and the SegTable index (`TOutSegs`/`TInSegs`).
+
+use crate::segtable::SegTableStats;
+use fempath_graph::{load_graph, Graph, IndexKind, LoadOptions};
+use fempath_sql::{Database, Dialect, Result, SqlError};
+
+/// The "infinity" distance constant (the paper's `Max` in Listing 4(2)).
+/// Large enough that `INF + any path length` never overflows `i64`.
+pub const INF: i64 = 4_000_000_000_000_000;
+
+/// Sentinel for "no predecessor/successor".
+pub const NO_NODE: i64 = -1;
+
+/// Configuration for a [`GraphDb`].
+#[derive(Debug, Clone)]
+pub struct GraphDbOptions {
+    /// Buffer-pool capacity in 8 KiB pages.
+    pub buffer_pages: usize,
+    /// Store pages in a temporary file (disk-resident, the experiments'
+    /// default) or in memory.
+    pub on_disk: bool,
+    /// SQL dialect (DBMS-x or PostgreSQL).
+    pub dialect: Dialect,
+    /// Index strategy for `TEdges(fid)` (and the SegTable) — Fig 8(c).
+    pub edges_index: IndexKind,
+    /// Index strategy for `TVisited(nid)` — Fig 8(c).
+    pub visited_index: IndexKind,
+}
+
+impl Default for GraphDbOptions {
+    fn default() -> Self {
+        GraphDbOptions {
+            buffer_pages: 4096, // 32 MiB
+            on_disk: false,
+            dialect: Dialect::DBMS_X,
+            edges_index: IndexKind::Clustered,
+            visited_index: IndexKind::Secondary,
+        }
+    }
+}
+
+/// Info about a built SegTable.
+#[derive(Debug, Clone, Copy)]
+pub struct SegTableInfo {
+    /// Index threshold `lthd` (§4.2).
+    pub lthd: i64,
+    /// Number of rows in `TOutSegs` (the paper's "encoding number").
+    pub segments: u64,
+}
+
+/// A relational database with one graph loaded.
+pub struct GraphDb {
+    pub db: Database,
+    num_nodes: usize,
+    num_arcs: usize,
+    min_weight: u32,
+    visited_index: IndexKind,
+    edges_index: IndexKind,
+    segtable: Option<SegTableInfo>,
+}
+
+impl GraphDb {
+    /// Builds a database with `opts` and loads `graph`.
+    pub fn new(graph: &Graph, opts: &GraphDbOptions) -> Result<GraphDb> {
+        let db = if opts.on_disk {
+            Database::on_temp_file(opts.buffer_pages)?
+        } else {
+            Database::in_memory(opts.buffer_pages)
+        };
+        let mut db = db.with_dialect(opts.dialect);
+        load_graph(
+            &mut db,
+            graph,
+            &LoadOptions {
+                edges_index: opts.edges_index,
+                with_nodes: true,
+                batch_size: 256,
+            },
+        )?;
+        Ok(GraphDb {
+            db,
+            num_nodes: graph.num_nodes(),
+            num_arcs: graph.num_arcs(),
+            min_weight: graph.min_weight(),
+            visited_index: opts.visited_index,
+            edges_index: opts.edges_index,
+            segtable: None,
+        })
+    }
+
+    /// In-memory database with default options.
+    pub fn in_memory(graph: &Graph) -> Result<GraphDb> {
+        GraphDb::new(graph, &GraphDbOptions::default())
+    }
+
+    /// Disk-resident database with the given buffer budget.
+    pub fn on_temp_file(graph: &Graph, buffer_pages: usize) -> Result<GraphDb> {
+        GraphDb::new(
+            graph,
+            &GraphDbOptions {
+                buffer_pages,
+                on_disk: true,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Number of nodes in the loaded graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed arcs in the loaded graph.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Minimal edge weight `w_min` (bounds in Theorems 2/3).
+    pub fn min_weight(&self) -> u32 {
+        self.min_weight
+    }
+
+    /// Index strategy used for `TEdges` / SegTable.
+    pub fn edges_index(&self) -> IndexKind {
+        self.edges_index
+    }
+
+    /// The SegTable built for this database, if any.
+    pub fn segtable(&self) -> Option<SegTableInfo> {
+        self.segtable
+    }
+
+    pub(crate) fn set_segtable(&mut self, info: SegTableInfo) {
+        self.segtable = Some(info);
+    }
+
+    /// Builds (or rebuilds) the SegTable index with threshold `lthd` —
+    /// delegates to [`crate::segtable::build_segtable`].
+    pub fn build_segtable(&mut self, lthd: i64) -> Result<SegTableStats> {
+        crate::segtable::build_segtable(self, lthd)
+    }
+
+    /// Validates a node id.
+    pub fn check_node(&self, v: i64) -> Result<()> {
+        if v < 0 || v as usize >= self.num_nodes {
+            return Err(SqlError::Eval(format!(
+                "node {v} out of range (graph has {} nodes)",
+                self.num_nodes
+            )));
+        }
+        Ok(())
+    }
+
+    /// (Re)creates the `TVisited` working table with the configured index
+    /// strategy. Called at the start of every path query.
+    pub fn reset_visited(&mut self) -> Result<()> {
+        self.db.execute("DROP TABLE IF EXISTS TVisited")?;
+        self.db.execute(
+            "CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
+        )?;
+        match self.visited_index {
+            IndexKind::NoIndex => {}
+            IndexKind::Secondary => {
+                self.db
+                    .execute("CREATE UNIQUE INDEX idx_tvisited_nid ON TVisited(nid)")?;
+            }
+            IndexKind::Clustered => {
+                self.db
+                    .execute("CREATE UNIQUE CLUSTERED INDEX idx_tvisited_nid ON TVisited(nid)")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// (Re)creates the `TExp` temp table used by the TSQL / no-MERGE
+    /// expansion paths.
+    pub fn reset_exp(&mut self) -> Result<()> {
+        self.db.execute("DROP TABLE IF EXISTS TExp")?;
+        self.db.execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)")?;
+        Ok(())
+    }
+
+    /// True when the expansion must avoid MERGE (PostgreSQL dialect).
+    pub fn merge_supported(&self) -> bool {
+        self.db.dialect().supports_merge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_graph::generate;
+
+    #[test]
+    fn loads_graph_tables() {
+        let g = generate::grid(4, 4, 1..=10, 1);
+        let gdb = GraphDb::in_memory(&g).unwrap();
+        assert_eq!(gdb.num_nodes(), 16);
+        assert_eq!(gdb.db.table_len("TEdges").unwrap(), g.num_arcs() as u64);
+        assert_eq!(gdb.db.table_len("TNodes").unwrap(), 16);
+    }
+
+    #[test]
+    fn reset_visited_is_idempotent() {
+        let g = generate::grid(3, 3, 1..=10, 1);
+        let mut gdb = GraphDb::in_memory(&g).unwrap();
+        gdb.reset_visited().unwrap();
+        gdb.db
+            .execute("INSERT INTO TVisited VALUES (0, 0, 0, 0, 0, 0, 0)")
+            .unwrap();
+        gdb.reset_visited().unwrap();
+        assert_eq!(gdb.db.table_len("TVisited").unwrap(), 0);
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = generate::grid(2, 2, 1..=10, 1);
+        let gdb = GraphDb::in_memory(&g).unwrap();
+        assert!(gdb.check_node(0).is_ok());
+        assert!(gdb.check_node(3).is_ok());
+        assert!(gdb.check_node(4).is_err());
+        assert!(gdb.check_node(-1).is_err());
+    }
+
+    #[test]
+    fn visited_index_strategies() {
+        let g = generate::grid(3, 3, 1..=10, 1);
+        for kind in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
+            let mut gdb = GraphDb::new(
+                &g,
+                &GraphDbOptions {
+                    visited_index: kind,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            gdb.reset_visited().unwrap();
+            gdb.db
+                .execute("INSERT INTO TVisited VALUES (5, 0, -1, 0, 0, -1, 0)")
+                .unwrap();
+            let rs = gdb
+                .db
+                .query("SELECT d2s FROM TVisited WHERE nid = 5")
+                .unwrap();
+            assert_eq!(rs.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Landmark-based distance estimation over the relational store.
+//!
+//! The paper contrasts its *online* discovery with precomputed indices and
+//! cites landmark estimation (Potamias et al. \[19\], Goldberg & Harrelson
+//! \[2\]) as the representative offline alternative. This module implements
+//! it on top of the FEM machinery: distances from `k` landmark nodes are
+//! computed with [`crate::sssp::single_source`] and stored in a
+//! `TLandmarks(lm, nid, d)` table; estimates then come from single SQL
+//! aggregates using the triangle inequality:
+//!
+//! * upper bound:  `min over lm of d(s, lm) + d(lm, t)`
+//! * lower bound:  `max over lm of |d(s, lm) − d(lm, t)|`
+
+use crate::graphdb::GraphDb;
+use crate::sssp::single_source;
+use fempath_sql::{Result, SqlError};
+use fempath_storage::Value;
+
+/// Bounds on δ(s, t) derived from the landmark table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceBounds {
+    /// `max |d(s,lm) − d(lm,t)|` — never exceeds the true distance.
+    pub lower: i64,
+    /// `min d(s,lm) + d(lm,t)` — never below the true distance.
+    pub upper: i64,
+}
+
+/// Builds the landmark table from the given landmark nodes. Returns the
+/// number of `(landmark, node)` distance pairs stored.
+pub fn build_landmarks(gdb: &mut GraphDb, landmarks: &[i64]) -> Result<u64> {
+    if landmarks.is_empty() {
+        return Err(SqlError::Eval("need at least one landmark".into()));
+    }
+    gdb.db.execute("DROP TABLE IF EXISTS TLandmarks")?;
+    gdb.db
+        .execute("CREATE TABLE TLandmarks (lm INT, nid INT, d INT)")?;
+    for &lm in landmarks {
+        let res = single_source(gdb, lm)?;
+        for chunk in res.entries.chunks(256) {
+            let placeholders: Vec<&str> = chunk.iter().map(|_| "(?, ?, ?)").collect();
+            let sql = format!(
+                "INSERT INTO TLandmarks (lm, nid, d) VALUES {}",
+                placeholders.join(", ")
+            );
+            let mut params = Vec::with_capacity(chunk.len() * 3);
+            for e in chunk {
+                params.push(Value::Int(lm));
+                params.push(Value::Int(e.node));
+                params.push(Value::Int(e.distance));
+            }
+            gdb.db.execute_params(&sql, &params)?;
+        }
+    }
+    gdb.db
+        .execute("CREATE CLUSTERED INDEX idx_tlandmarks ON TLandmarks(nid)")?;
+    gdb.db.table_len("TLandmarks")
+}
+
+/// Estimates δ(s, t) from the landmark table via one SQL aggregate per
+/// bound. Returns `None` when no landmark reaches both endpoints.
+pub fn estimate_distance(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<DistanceBounds>> {
+    gdb.check_node(s)?;
+    gdb.check_node(t)?;
+    if !gdb.db.has_table("TLandmarks") {
+        return Err(SqlError::Eval(
+            "no landmark table: call build_landmarks first".into(),
+        ));
+    }
+    if s == t {
+        return Ok(Some(DistanceBounds { lower: 0, upper: 0 }));
+    }
+    let upper = gdb
+        .db
+        .query_params(
+            "SELECT MIN(a.d + b.d) FROM TLandmarks a, TLandmarks b \
+             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
+            &[Value::Int(s), Value::Int(t)],
+        )?
+        .scalar_i64();
+    let Some(upper) = upper else {
+        return Ok(None);
+    };
+    // |x| via MAX of both signs (the engine has no ABS function — the
+    // paper's SQL stays within basic arithmetic too).
+    let lower = gdb
+        .db
+        .query_params(
+            "SELECT MAX(a.d - b.d) FROM TLandmarks a, TLandmarks b \
+             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
+            &[Value::Int(s), Value::Int(t)],
+        )?
+        .scalar_i64()
+        .unwrap_or(0);
+    let lower_rev = gdb
+        .db
+        .query_params(
+            "SELECT MAX(b.d - a.d) FROM TLandmarks a, TLandmarks b \
+             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
+            &[Value::Int(s), Value::Int(t)],
+        )?
+        .scalar_i64()
+        .unwrap_or(0);
+    Ok(Some(DistanceBounds {
+        lower: lower.max(lower_rev).max(0),
+        upper,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_graph::generate;
+    use fempath_inmem::dijkstra;
+
+    #[test]
+    fn bounds_bracket_the_true_distance() {
+        let g = generate::power_law(300, 3, 1..=100, 3);
+        let mut gdb = GraphDb::in_memory(&g).unwrap();
+        let pairs_stored = build_landmarks(&mut gdb, &[0, 50, 150, 250]).unwrap();
+        assert!(pairs_stored >= 4 * 250, "landmarks cover the graph");
+        for (s, t) in [(1i64, 299i64), (17, 200), (42, 137), (99, 100)] {
+            let truth = dijkstra::shortest_path(&g, s as u32, t as u32)
+                .unwrap()
+                .distance as i64;
+            let b = estimate_distance(&mut gdb, s, t).unwrap().unwrap();
+            assert!(
+                b.lower <= truth && truth <= b.upper,
+                "{s}->{t}: bounds [{}, {}] must bracket {truth}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_endpoint_is_exact() {
+        let g = generate::grid(6, 6, 1..=10, 5);
+        let mut gdb = GraphDb::in_memory(&g).unwrap();
+        build_landmarks(&mut gdb, &[0]).unwrap();
+        // Estimating distance to the landmark itself is exact: the upper
+        // bound d(s,0)+d(0,0) equals the lower bound |d(s,0)-0|.
+        let truth = dijkstra::distances_from(&g, 0);
+        for s in [5i64, 20, 35] {
+            let b = estimate_distance(&mut gdb, s, 0).unwrap().unwrap();
+            assert_eq!(b.lower, b.upper);
+            assert_eq!(b.upper as u64, truth[s as usize]);
+        }
+    }
+
+    #[test]
+    fn disconnected_endpoints_give_none() {
+        let g = fempath_graph::Graph::from_undirected_edges(
+            4,
+            vec![(0, 1, 1), (2, 3, 1)],
+        );
+        let mut gdb = GraphDb::in_memory(&g).unwrap();
+        build_landmarks(&mut gdb, &[0]).unwrap();
+        // Landmark 0 never reaches node 2.
+        assert_eq!(estimate_distance(&mut gdb, 1, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn more_landmarks_tighten_the_upper_bound() {
+        let g = generate::grid(8, 8, 1..=10, 7);
+        let (s, t) = (0i64, 63i64);
+        let mut one = GraphDb::in_memory(&g).unwrap();
+        build_landmarks(&mut one, &[27]).unwrap();
+        let b1 = estimate_distance(&mut one, s, t).unwrap().unwrap();
+        let mut many = GraphDb::in_memory(&g).unwrap();
+        build_landmarks(&mut many, &[27, 0, 7, 56, 63]).unwrap();
+        let bm = estimate_distance(&mut many, s, t).unwrap().unwrap();
+        assert!(bm.upper <= b1.upper, "{} vs {}", bm.upper, b1.upper);
+        assert!(bm.lower >= b1.lower);
+    }
+}

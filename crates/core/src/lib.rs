@@ -1,0 +1,54 @@
+//! # fempath-core
+//!
+//! The paper's primary contribution: the **FEM framework** for graph search
+//! in a relational database, and relational shortest-path discovery with
+//! its two optimizations — **bidirectional set Dijkstra** and the
+//! **SegTable** index of pre-computed local shortest segments.
+//!
+//! * [`GraphDb`] — a database instance with one graph loaded,
+//! * [`fem`] — the generic F/E/M iteration skeleton (§3.1),
+//! * [`algo`] — DJ, BDJ, BSDJ, BBFS and BSEG (§3.4, §4),
+//! * [`segtable`] — SegTable construction (§4.2),
+//! * [`prim`] — Prim's MST via FEM (the §3.1 extension),
+//! * [`stats`] — per-phase / per-operator measurement.
+//!
+//! ```
+//! use fempath_core::{BsdjFinder, GraphDb, ShortestPathFinder};
+//! use fempath_graph::generate;
+//!
+//! let g = generate::grid(6, 6, 1..=10, 7);
+//! let mut db = GraphDb::in_memory(&g).unwrap();
+//! let out = BsdjFinder::default().find_path(&mut db, 0, 35).unwrap();
+//! let path = out.path.expect("grid is connected");
+//! assert_eq!(path.nodes.first(), Some(&0));
+//! assert_eq!(path.nodes.last(), Some(&35));
+//! ```
+
+pub mod algo;
+pub mod fem;
+pub mod graphdb;
+pub mod landmarks;
+pub mod pattern;
+pub mod prim;
+pub mod reach;
+pub mod segtable;
+pub mod sssp;
+pub mod sqlgen;
+pub mod stats;
+
+pub use algo::{
+    BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder, FrontierPolicy, Path, PathOutcome,
+    ShortestPathFinder,
+};
+pub use fem::{run_fem, FemSearch};
+pub use graphdb::{GraphDb, GraphDbOptions, SegTableInfo, INF, NO_NODE};
+pub use landmarks::{build_landmarks, estimate_distance, DistanceBounds};
+pub use pattern::{match_label_path, set_labels};
+pub use prim::{prim_mst, MstResult};
+pub use reach::{component_size, reachable};
+pub use sssp::{single_source, SsspEntry, SsspResult};
+pub use segtable::{build_segtable, build_segtable_with, SegTableStats};
+pub use stats::{FemOperator, Phase, QueryStats, SqlStyle};
+
+/// Result alias shared with the SQL layer.
+pub type Result<T> = fempath_sql::Result<T>;

@@ -1,0 +1,240 @@
+//! SegTable construction (§4.2) — itself an application of the FEM
+//! framework, as the paper stresses in §5.3.
+//!
+//! Step 1 runs a *multi-source* bounded set-Dijkstra entirely in SQL over a
+//! working table `TSegV(src, nid, d2s, p2s, f)` seeded with `(u, u, 0)` for
+//! every node: each iteration marks the frontier (`d2s < k·w_min` or the
+//! minimum — the construction analogue of Listing 4(1)), expands it against
+//! `TEdges` restricted to `cost + d2s <= lthd`, and merges. Step 2 copies
+//! the discovered segments into `TOutSegs`, merges in the residual original
+//! edges (Definition 4, case 2), mirrors `TInSegs` (identical content for
+//! symmetric graphs — see DESIGN.md) and indexes both per the configured
+//! strategy.
+
+use crate::graphdb::{GraphDb, SegTableInfo};
+use crate::stats::SqlStyle;
+use fempath_graph::IndexKind;
+use fempath_sql::{Result, SqlError};
+use fempath_storage::{IoStats, Value};
+use std::time::{Duration, Instant};
+
+/// Measurements of one SegTable build (Fig 9 reports size and time).
+#[derive(Debug, Clone, Copy)]
+pub struct SegTableStats {
+    /// The index threshold.
+    pub lthd: i64,
+    /// Rows in `TOutSegs` — the paper's "encoding number" (Fig 9(a)/(b)).
+    pub segments: u64,
+    /// FEM iterations of step 1.
+    pub iterations: u64,
+    /// SQL statements issued.
+    pub sql_statements: u64,
+    /// Wall time.
+    pub build_time: Duration,
+    /// Buffer-pool/disk counter deltas.
+    pub io: IoStats,
+}
+
+/// Builds the SegTable with the NSQL style (window + MERGE).
+pub fn build_segtable(gdb: &mut GraphDb, lthd: i64) -> Result<SegTableStats> {
+    build_segtable_with(gdb, lthd, SqlStyle::New)
+}
+
+/// Builds the SegTable with an explicit SQL style (Fig 9(f) compares both).
+pub fn build_segtable_with(
+    gdb: &mut GraphDb,
+    lthd: i64,
+    style: SqlStyle,
+) -> Result<SegTableStats> {
+    if lthd <= 0 {
+        return Err(SqlError::Eval("lthd must be positive".into()));
+    }
+    let started = Instant::now();
+    let io_start = gdb.db.io_stats();
+    let stmts_start = gdb.db.statements_executed();
+    let wmin = gdb.min_weight() as i64;
+    let n = gdb.num_nodes() as i64;
+
+    // Working table, clustered on (src, nid) so the MERGE probes are
+    // clustered-index lookups and scans group by source.
+    gdb.db.execute("DROP TABLE IF EXISTS TSegV")?;
+    gdb.db.execute("DROP TABLE IF EXISTS TSegExp")?;
+    gdb.db.execute("DROP TABLE IF EXISTS TOutSegs")?;
+    gdb.db.execute("DROP TABLE IF EXISTS TInSegs")?;
+    gdb.db
+        .execute("CREATE TABLE TSegV (src INT, nid INT, d2s INT, p2s INT, f INT)")?;
+    gdb.db
+        .execute("CREATE UNIQUE CLUSTERED INDEX idx_tsegv ON TSegV(src, nid)")?;
+    gdb.db.execute(
+        "INSERT INTO TSegV (src, nid, d2s, p2s, f) SELECT nid, nid, 0, nid, 0 FROM TNodes",
+    )?;
+
+    let use_merge = gdb.merge_supported() && style == SqlStyle::New;
+    if !use_merge {
+        gdb.db
+            .execute("CREATE TABLE TSegExp (src INT, nid INT, p2s INT, cost INT)")?;
+    }
+
+    let mark = "UPDATE TSegV SET f = 2 WHERE f = 0 AND (d2s < ? OR d2s = \
+                (SELECT MIN(d2s) FROM TSegV WHERE f = 0))";
+    let e_source = match style {
+        SqlStyle::New => {
+            "SELECT src, nid, np, cost FROM ( \
+               SELECT q.src AS src, e.tid AS nid, e.fid AS np, e.cost + q.d2s AS cost, \
+                      ROW_NUMBER() OVER (PARTITION BY q.src, e.tid ORDER BY e.cost + q.d2s) AS rownum \
+               FROM TSegV q, TEdges e \
+               WHERE q.nid = e.fid AND q.f = 2 AND e.cost + q.d2s <= ? AND e.tid <> q.src \
+             ) tmp WHERE rownum = 1"
+                .to_string()
+        }
+        SqlStyle::Traditional => {
+            "SELECT q2.src AS src, e2.tid AS nid, MIN(e2.fid) AS np, m.c AS cost \
+             FROM TSegV q2, TEdges e2, ( \
+                SELECT q.src AS msrc, e.tid AS mtid, MIN(e.cost + q.d2s) AS c \
+                FROM TSegV q, TEdges e \
+                WHERE q.nid = e.fid AND q.f = 2 AND e.cost + q.d2s <= ? AND e.tid <> q.src \
+                GROUP BY q.src, e.tid \
+             ) m \
+             WHERE q2.nid = e2.fid AND q2.f = 2 AND q2.src = m.msrc AND e2.tid = m.mtid \
+               AND e2.cost + q2.d2s = m.c AND e2.tid <> q2.src \
+             GROUP BY q2.src, e2.tid, m.c"
+                .to_string()
+        }
+    };
+    let expand_merge = format!(
+        "MERGE INTO TSegV AS target USING ({e_source}) AS source (src, nid, np, cost) \
+         ON source.src = target.src AND source.nid = target.nid \
+         WHEN MATCHED AND target.d2s > source.cost THEN \
+           UPDATE SET d2s = source.cost, p2s = source.np, f = 0 \
+         WHEN NOT MATCHED THEN \
+           INSERT (src, nid, d2s, p2s, f) VALUES (source.src, source.nid, source.cost, source.np, 0)"
+    );
+    let expand_into = format!("INSERT INTO TSegExp (src, nid, p2s, cost) {e_source}");
+    let update_from = "UPDATE TSegV SET d2s = TSegExp.cost, p2s = TSegExp.p2s, f = 0 \
+                       FROM TSegExp WHERE TSegV.src = TSegExp.src AND TSegV.nid = TSegExp.nid \
+                       AND TSegV.d2s > TSegExp.cost";
+    // Composite-key anti-join via single-value encoding (src·n + nid).
+    let insert_new = "INSERT INTO TSegV (src, nid, d2s, p2s, f) \
+                      SELECT src, nid, cost, p2s, 0 FROM TSegExp \
+                      WHERE src * ? + nid NOT IN (SELECT src * ? + nid FROM TSegV)";
+    let reset = "UPDATE TSegV SET f = 1 WHERE f = 2";
+
+    let mut iterations = 0u64;
+    let mut k = 1i64;
+    loop {
+        let marked = gdb
+            .db
+            .execute_params(mark, &[Value::Int(k.saturating_mul(wmin))])?
+            .rows_affected;
+        if marked == 0 {
+            break;
+        }
+        if use_merge {
+            gdb.db.execute_params(&expand_merge, &[Value::Int(lthd)])?;
+        } else {
+            gdb.db.execute("TRUNCATE TABLE TSegExp")?;
+            gdb.db.execute_params(&expand_into, &[Value::Int(lthd)])?;
+            gdb.db.execute(update_from)?;
+            gdb.db
+                .execute_params(insert_new, &[Value::Int(n), Value::Int(n)])?;
+        }
+        gdb.db.execute(reset)?;
+        iterations += 1;
+        k += 1;
+        if iterations > 4 * lthd.max(4) as u64 + gdb.num_nodes() as u64 {
+            return Err(SqlError::Eval(
+                "SegTable construction exceeded its iteration bound".into(),
+            ));
+        }
+    }
+
+    // Step 2: materialize TOutSegs = segments + residual original edges.
+    gdb.db
+        .execute("CREATE TABLE TOutSegs (fid INT, tid INT, pid INT, cost INT)")?;
+    gdb.db.execute(
+        "INSERT INTO TOutSegs (fid, tid, pid, cost) \
+         SELECT src, nid, p2s, d2s FROM TSegV WHERE nid <> src",
+    )?;
+    // Index before the residual-edge MERGE so its probes are index lookups.
+    let (create_index, drop_after): (&str, bool) = match gdb.edges_index() {
+        IndexKind::Clustered => (
+            "CREATE CLUSTERED INDEX idx_toutsegs_fid ON TOutSegs(fid)",
+            false,
+        ),
+        IndexKind::Secondary => ("CREATE INDEX idx_toutsegs_fid ON TOutSegs(fid)", false),
+        IndexKind::NoIndex => ("CREATE INDEX idx_toutsegs_fid ON TOutSegs(fid)", true),
+    };
+    gdb.db.execute(create_index)?;
+    // Definition 4 case 2: original edges whose endpoints have no segment.
+    if use_merge {
+        gdb.db.execute(
+            "MERGE INTO TOutSegs AS target USING TEdges AS source \
+             ON source.fid = target.fid AND source.tid = target.tid \
+             WHEN NOT MATCHED THEN \
+               INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.fid, source.cost)",
+        )?;
+    } else {
+        // No MERGE (PostgreSQL 9.0 dialect or TSQL style): composite-key
+        // anti-join via the single-value encoding fid·n + tid.
+        gdb.db.execute_params(
+            "INSERT INTO TOutSegs (fid, tid, pid, cost) \
+             SELECT fid, tid, fid, cost FROM TEdges \
+             WHERE fid * ? + tid NOT IN (SELECT fid * ? + tid FROM TOutSegs)",
+            &[Value::Int(n), Value::Int(n)],
+        )?;
+    }
+    if drop_after {
+        gdb.db.execute("DROP INDEX idx_toutsegs_fid")?;
+    }
+
+    // TInSegs: identical content for symmetric graphs (DESIGN.md §4).
+    gdb.db
+        .execute("CREATE TABLE TInSegs (fid INT, tid INT, pid INT, cost INT)")?;
+    gdb.db.execute(
+        "INSERT INTO TInSegs (fid, tid, pid, cost) SELECT fid, tid, pid, cost FROM TOutSegs",
+    )?;
+    match gdb.edges_index() {
+        IndexKind::Clustered => {
+            gdb.db
+                .execute("CREATE CLUSTERED INDEX idx_tinsegs_fid ON TInSegs(fid)")?;
+        }
+        IndexKind::Secondary => {
+            gdb.db.execute("CREATE INDEX idx_tinsegs_fid ON TInSegs(fid)")?;
+        }
+        IndexKind::NoIndex => {}
+    }
+
+    let segments = gdb.db.table_len("TOutSegs")?;
+    gdb.db.execute("DROP TABLE TSegV")?;
+    if !use_merge {
+        gdb.db.execute("DROP TABLE TSegExp")?;
+    }
+    gdb.db.flush()?;
+    gdb.set_segtable(SegTableInfo { lthd, segments });
+
+    Ok(SegTableStats {
+        lthd,
+        segments,
+        iterations,
+        sql_statements: gdb.db.statements_executed() - stmts_start,
+        build_time: started.elapsed(),
+        io: gdb.db.io_stats().since(&io_start),
+    })
+}
+
+/// Reads every segment `(fid, tid, cost)` back — used by tests to compare
+/// against the in-memory bounded-Dijkstra oracle.
+pub fn read_segments(gdb: &mut GraphDb) -> Result<Vec<(i64, i64, i64)>> {
+    let rs = gdb.db.query("SELECT fid, tid, cost FROM TOutSegs")?;
+    Ok(rs
+        .rows
+        .into_iter()
+        .map(|r| {
+            (
+                r[0].as_i64().unwrap_or(-1),
+                r[1].as_i64().unwrap_or(-1),
+                r[2].as_i64().unwrap_or(-1),
+            )
+        })
+        .collect())
+}

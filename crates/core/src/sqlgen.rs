@@ -1,0 +1,442 @@
+//! SQL statement generation — the paper's Listings 2–4, parameterized.
+//!
+//! Three orthogonal axes:
+//!
+//! * **direction** ([`Dir`]): forward statements use `(d2s, p2s, f)`,
+//!   backward ones `(d2t, p2t, b)`. Graphs are stored symmetrically (see
+//!   DESIGN.md), so both directions join the edge relation on `fid`.
+//! * **edge source** ([`EdgeSource`]): the raw `TEdges` table or the
+//!   SegTable (`TOutSegs`/`TInSegs`, whose `pid` column carries the
+//!   predecessor within the pre-computed segment — §4.2).
+//! * **style** ([`SqlStyle`]): NSQL (window function + MERGE) vs TSQL
+//!   (aggregate-join + UPDATE/INSERT), plus the no-MERGE fallback forced by
+//!   the PostgreSQL dialect (§5.2).
+//!
+//! Every expansion statement carries the bidirectional pruning term of
+//! Theorem 1 — `e.cost + q.dist + ? < ?` with parameters `(l_other,
+//! minCost)`; passing `(0, INF)` disables pruning.
+
+use crate::graphdb::{INF, NO_NODE};
+use crate::stats::SqlStyle;
+
+/// Search direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Fwd,
+    Bwd,
+}
+
+impl Dir {
+    /// `(dist, pred, flag, other-dist, other-pred, other-flag)` columns.
+    pub fn cols(self) -> (&'static str, &'static str, &'static str, &'static str, &'static str, &'static str) {
+        match self {
+            Dir::Fwd => ("d2s", "p2s", "f", "d2t", "p2t", "b"),
+            Dir::Bwd => ("d2t", "p2t", "b", "d2s", "p2s", "f"),
+        }
+    }
+
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Fwd => Dir::Bwd,
+            Dir::Bwd => Dir::Fwd,
+        }
+    }
+}
+
+/// Which relation the E-operator joins against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeSource {
+    /// The raw edge table.
+    Edges,
+    /// The SegTable (`TOutSegs` forward, `TInSegs` backward).
+    SegTable,
+}
+
+impl EdgeSource {
+    fn table(self, dir: Dir) -> &'static str {
+        match (self, dir) {
+            (EdgeSource::Edges, _) => "TEdges",
+            (EdgeSource::SegTable, Dir::Fwd) => "TOutSegs",
+            (EdgeSource::SegTable, Dir::Bwd) => "TInSegs",
+        }
+    }
+
+    /// Column holding the predecessor to record: the expanding node itself
+    /// for raw edges (`fid`), the stored within-segment predecessor for the
+    /// SegTable (`pid`).
+    fn pid_col(self) -> &'static str {
+        match self {
+            EdgeSource::Edges => "fid",
+            EdgeSource::SegTable => "pid",
+        }
+    }
+}
+
+/// How the expansion statement identifies its frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierPred {
+    /// `q.nid = ?` — the single-node expansion of Listing 2(3). Adds one
+    /// leading parameter.
+    ByNid,
+    /// `q.flag = 2` — the marked-set expansion of Listing 4(2).
+    Marked,
+}
+
+/// Statement generator for one direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SqlGen {
+    pub dir: Dir,
+    pub edges: EdgeSource,
+    pub style: SqlStyle,
+}
+
+impl SqlGen {
+    pub fn new(dir: Dir, edges: EdgeSource, style: SqlStyle) -> SqlGen {
+        SqlGen { dir, edges, style }
+    }
+
+    /// Initialize `TVisited` with the source node (Listing 2(1)); params
+    /// `[node, node]`.
+    pub fn init(dir: Dir) -> String {
+        match dir {
+            Dir::Fwd => format!(
+                "INSERT INTO TVisited (nid, d2s, p2s, f, d2t, p2t, b) \
+                 VALUES (?, 0, ?, 0, {INF}, {NO_NODE}, 0)"
+            ),
+            Dir::Bwd => format!(
+                "INSERT INTO TVisited (nid, d2s, p2s, f, d2t, p2t, b) \
+                 VALUES (?, {INF}, {NO_NODE}, 0, 0, ?, 0)"
+            ),
+        }
+    }
+
+    /// Listing 2(2): the next node to expand (id + its distance).
+    pub fn select_mid(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!(
+            "SELECT TOP 1 nid, {dist} FROM TVisited WHERE {flag} = 0 AND {dist} < {INF} \
+             AND {dist} = (SELECT MIN({dist}) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF})"
+        )
+    }
+
+    /// Minimal candidate distance (Listing 4(4)); NULL when exhausted.
+    pub fn min_candidate(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!(
+            "SELECT MIN({dist}) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}"
+        )
+    }
+
+    /// Number of remaining candidates in this direction.
+    pub fn candidate_count(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!(
+            "SELECT COUNT(*) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}"
+        )
+    }
+
+    /// Fused statistics statement: minimal candidate distance and candidate
+    /// count in one scan (one SQLCA round-trip instead of two).
+    pub fn candidate_stats(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!(
+            "SELECT MIN({dist}), COUNT(*) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}"
+        )
+    }
+
+    /// Mark a single node as frontier; params `[nid]`.
+    pub fn mark_by_nid(&self) -> String {
+        let (_, _, flag, ..) = self.dir.cols();
+        format!("UPDATE TVisited SET {flag} = 2 WHERE nid = ? AND {flag} = 0")
+    }
+
+    /// Mark all candidates at one distance (set Dijkstra); params `[dist]`.
+    pub fn mark_by_dist(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!("UPDATE TVisited SET {flag} = 2 WHERE {flag} = 0 AND {dist} = ?")
+    }
+
+    /// Mark every candidate (BFS-style).
+    pub fn mark_all(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!(
+            "UPDATE TVisited SET {flag} = 2 WHERE {flag} = 0 AND {dist} < {INF}"
+        )
+    }
+
+    /// Listing 4(1): the selective frontier of BSEG; params `[k * lthd]`.
+    pub fn mark_threshold(&self) -> String {
+        let (dist, _, flag, ..) = self.dir.cols();
+        format!(
+            "UPDATE TVisited SET {flag} = 2 \
+             WHERE ({dist} <= ? OR {dist} = (SELECT MIN({dist}) FROM TVisited \
+             WHERE {flag} = 0 AND {dist} < {INF})) AND {flag} = 0 AND {dist} < {INF}"
+        )
+    }
+
+    /// Listing 4(3): flip expanded frontier nodes to settled.
+    pub fn reset_frontier(&self) -> String {
+        let (_, _, flag, ..) = self.dir.cols();
+        format!("UPDATE TVisited SET {flag} = 1 WHERE {flag} = 2")
+    }
+
+    /// Listing 3(2): finalize one node; params `[nid]`.
+    pub fn settle_by_nid(&self) -> String {
+        let (_, _, flag, ..) = self.dir.cols();
+        format!("UPDATE TVisited SET {flag} = 1 WHERE nid = ?")
+    }
+
+    /// The window-function E-operator source (shared by the MERGE and the
+    /// temp-table paths). Parameters: `[nid?]` (ByNid only), then
+    /// `[l_other, minCost]` for the Theorem-1 pruning term.
+    fn window_source(&self, frontier: FrontierPred) -> String {
+        let (dist, ..) = self.dir.cols();
+        let et = self.edges.table(self.dir);
+        let pid = self.edges.pid_col();
+        let fpred = self.frontier_pred(frontier);
+        format!(
+            "SELECT nid, np, cost FROM ( \
+               SELECT e.tid AS nid, e.{pid} AS np, e.cost + q.{dist} AS cost, \
+                      ROW_NUMBER() OVER (PARTITION BY e.tid ORDER BY e.cost + q.{dist}) AS rownum \
+               FROM TVisited q, {et} e \
+               WHERE q.nid = e.fid AND {fpred} AND e.cost + q.{dist} + ? < ? \
+             ) tmp WHERE rownum = 1"
+        )
+    }
+
+    /// The aggregate-join E-operator source (TSQL, §3.3): a GROUP BY for
+    /// the minimum plus a second join to recover the parent.
+    fn aggregate_source(&self, frontier: FrontierPred) -> String {
+        let (dist, ..) = self.dir.cols();
+        let et = self.edges.table(self.dir);
+        let pid = self.edges.pid_col();
+        let fpred = self.frontier_pred(frontier);
+        let fpred2 = fpred.replace("q.", "q2."); // same predicate on the rejoin
+        format!(
+            "SELECT e2.tid AS nid, MIN(e2.{pid}) AS np, m.c AS cost \
+             FROM TVisited q2, {et} e2, ( \
+                SELECT e.tid AS mtid, MIN(e.cost + q.{dist}) AS c \
+                FROM TVisited q, {et} e \
+                WHERE q.nid = e.fid AND {fpred} AND e.cost + q.{dist} + ? < ? \
+                GROUP BY e.tid \
+             ) m \
+             WHERE q2.nid = e2.fid AND {fpred2} AND e2.tid = m.mtid \
+               AND e2.cost + q2.{dist} = m.c \
+             GROUP BY e2.tid, m.c"
+        )
+    }
+
+    fn frontier_pred(&self, frontier: FrontierPred) -> String {
+        let (_, _, flag, ..) = self.dir.cols();
+        match frontier {
+            FrontierPred::ByNid => "q.nid = ?".to_string(),
+            FrontierPred::Marked => format!("q.{flag} = 2"),
+        }
+    }
+
+    /// The fused E+M statement (Listing 4(2)): MERGE with the E-operator
+    /// inline. Requires a MERGE-capable dialect and NSQL style.
+    /// Params: `[nid?]`, `l_other`, `minCost` (ByNid adds the leading one,
+    /// and the aggregate source repeats the pruning pair).
+    pub fn expand_merge(&self, frontier: FrontierPred) -> String {
+        let (dist, pred, flag, odist, opred, oflag) = self.dir.cols();
+        let source = match self.style {
+            SqlStyle::New => self.window_source(frontier),
+            SqlStyle::Traditional => self.aggregate_source(frontier),
+        };
+        format!(
+            "MERGE INTO TVisited AS target USING ({source}) AS source (nid, np, cost) \
+             ON source.nid = target.nid \
+             WHEN MATCHED AND target.{dist} > source.cost THEN \
+               UPDATE SET {dist} = source.cost, {pred} = source.np, {flag} = 0 \
+             WHEN NOT MATCHED THEN \
+               INSERT (nid, {dist}, {pred}, {flag}, {odist}, {opred}, {oflag}) \
+               VALUES (source.nid, source.cost, source.np, 0, {INF}, {NO_NODE}, 0)"
+        )
+    }
+
+    /// E-operator into the `TExp` temp table (split-operator mode and the
+    /// no-MERGE dialect path). Same parameters as [`SqlGen::expand_merge`].
+    pub fn expand_into_exp(&self, frontier: FrontierPred) -> String {
+        let source = match self.style {
+            SqlStyle::New => self.window_source(frontier),
+            SqlStyle::Traditional => self.aggregate_source(frontier),
+        };
+        format!("INSERT INTO TExp (nid, p2s, cost) {source}")
+    }
+
+    /// M-operator from `TExp` via MERGE (split-operator mode).
+    pub fn merge_from_exp(&self) -> String {
+        let (dist, pred, flag, odist, opred, oflag) = self.dir.cols();
+        format!(
+            "MERGE INTO TVisited AS target USING TExp AS source ON source.nid = target.nid \
+             WHEN MATCHED AND target.{dist} > source.cost THEN \
+               UPDATE SET {dist} = source.cost, {pred} = source.p2s, {flag} = 0 \
+             WHEN NOT MATCHED THEN \
+               INSERT (nid, {dist}, {pred}, {flag}, {odist}, {opred}, {oflag}) \
+               VALUES (source.nid, source.cost, source.p2s, 0, {INF}, {NO_NODE}, 0)"
+        )
+    }
+
+    /// M-operator, update half (the traditional / PostgreSQL path).
+    pub fn update_from_exp(&self) -> String {
+        let (dist, pred, flag, ..) = self.dir.cols();
+        format!(
+            "UPDATE TVisited SET {dist} = TExp.cost, {pred} = TExp.p2s, {flag} = 0 FROM TExp \
+             WHERE TVisited.nid = TExp.nid AND TVisited.{dist} > TExp.cost"
+        )
+    }
+
+    /// M-operator, insert half (the traditional / PostgreSQL path).
+    pub fn insert_from_exp(&self) -> String {
+        let (dist, pred, flag, odist, opred, oflag) = self.dir.cols();
+        format!(
+            "INSERT INTO TVisited (nid, {dist}, {pred}, {flag}, {odist}, {opred}, {oflag}) \
+             SELECT nid, cost, p2s, 0, {INF}, {NO_NODE}, 0 FROM TExp \
+             WHERE nid NOT IN (SELECT nid FROM TVisited)"
+        )
+    }
+
+    /// Listing 3(3) / Algorithm 2 line 18: predecessor (or successor) of a
+    /// node; params `[nid]`.
+    pub fn pred_of(&self) -> String {
+        let (_, pred, ..) = self.dir.cols();
+        format!("SELECT {pred} FROM TVisited WHERE nid = ?")
+    }
+
+    /// Distance of a node in this direction; params `[nid]`.
+    pub fn dist_of(&self) -> String {
+        let (dist, ..) = self.dir.cols();
+        format!("SELECT {dist} FROM TVisited WHERE nid = ?")
+    }
+
+    /// Listing 3(1): is the node settled in this direction? params `[nid]`.
+    pub fn settled(&self) -> String {
+        let (_, _, flag, ..) = self.dir.cols();
+        format!("SELECT nid FROM TVisited WHERE {flag} = 1 AND nid = ?")
+    }
+}
+
+/// Builds the positional parameter list for [`SqlGen::expand_merge`] /
+/// [`SqlGen::expand_into_exp`]. The aggregate (TSQL) source with a
+/// [`FrontierPred::ByNid`] frontier repeats the node parameter because the
+/// predicate appears in both the GROUP BY subquery and the parent-recovery
+/// rejoin.
+pub fn expand_params(
+    style: SqlStyle,
+    frontier: FrontierPred,
+    nid: Option<i64>,
+    l_other: i64,
+    min_cost: i64,
+) -> Vec<fempath_storage::Value> {
+    use fempath_storage::Value;
+    let mut p = Vec::with_capacity(4);
+    if frontier == FrontierPred::ByNid {
+        p.push(Value::Int(nid.expect("ByNid frontier needs a node id")));
+    }
+    p.push(Value::Int(l_other));
+    p.push(Value::Int(min_cost));
+    if style == SqlStyle::Traditional && frontier == FrontierPred::ByNid {
+        p.push(Value::Int(nid.unwrap()));
+    }
+    p
+}
+
+/// Listing 4(5): minimal s–t distance discovered so far.
+pub fn min_cost() -> &'static str {
+    "SELECT MIN(d2s + d2t) FROM TVisited"
+}
+
+/// Listing 4(6): a node on the currently-best path; params `[minCost]`.
+pub fn meet_node() -> &'static str {
+    "SELECT TOP 1 nid FROM TVisited WHERE d2s + d2t = ?"
+}
+
+/// Clears the expansion temp table.
+pub fn truncate_exp() -> &'static str {
+    "TRUNCATE TABLE TExp"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_sql::parse_statement;
+
+    fn all_gens() -> Vec<SqlGen> {
+        let mut out = Vec::new();
+        for dir in [Dir::Fwd, Dir::Bwd] {
+            for edges in [EdgeSource::Edges, EdgeSource::SegTable] {
+                for style in [SqlStyle::New, SqlStyle::Traditional] {
+                    out.push(SqlGen::new(dir, edges, style));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_generated_statement_parses() {
+        for g in all_gens() {
+            for sql in [
+                g.select_mid(),
+                g.min_candidate(),
+                g.candidate_count(),
+                g.mark_by_nid(),
+                g.mark_by_dist(),
+                g.mark_all(),
+                g.mark_threshold(),
+                g.reset_frontier(),
+                g.expand_merge(FrontierPred::Marked),
+                g.expand_merge(FrontierPred::ByNid),
+                g.expand_into_exp(FrontierPred::Marked),
+                g.merge_from_exp(),
+                g.update_from_exp(),
+                g.insert_from_exp(),
+                g.pred_of(),
+                g.dist_of(),
+                g.settled(),
+            ] {
+                parse_statement(&sql).unwrap_or_else(|e| panic!("{sql}\n-> {e}"));
+            }
+        }
+        for sql in [
+            SqlGen::init(Dir::Fwd),
+            SqlGen::init(Dir::Bwd),
+            min_cost().to_string(),
+            meet_node().to_string(),
+            truncate_exp().to_string(),
+        ] {
+            parse_statement(&sql).unwrap_or_else(|e| panic!("{sql}\n-> {e}"));
+        }
+    }
+
+    #[test]
+    fn backward_statements_use_backward_columns() {
+        let g = SqlGen::new(Dir::Bwd, EdgeSource::Edges, SqlStyle::New);
+        let m = g.expand_merge(FrontierPred::Marked);
+        assert!(m.contains("d2t = source.cost"));
+        assert!(m.contains("p2t = source.np"));
+        assert!(m.contains("b = 0"));
+        assert!(g.min_candidate().contains("MIN(d2t)"));
+    }
+
+    #[test]
+    fn segtable_statements_use_seg_tables_and_pid() {
+        let f = SqlGen::new(Dir::Fwd, EdgeSource::SegTable, SqlStyle::New);
+        assert!(f.expand_merge(FrontierPred::Marked).contains("TOutSegs"));
+        assert!(f.expand_merge(FrontierPred::Marked).contains("e.pid"));
+        let b = SqlGen::new(Dir::Bwd, EdgeSource::SegTable, SqlStyle::New);
+        assert!(b.expand_merge(FrontierPred::Marked).contains("TInSegs"));
+    }
+
+    #[test]
+    fn traditional_style_avoids_window_functions() {
+        let g = SqlGen::new(Dir::Fwd, EdgeSource::Edges, SqlStyle::Traditional);
+        let m = g.expand_merge(FrontierPred::Marked);
+        assert!(!m.contains("ROW_NUMBER"));
+        assert!(m.to_uppercase().contains("GROUP BY"));
+        let n = SqlGen::new(Dir::Fwd, EdgeSource::Edges, SqlStyle::New);
+        assert!(n.expand_merge(FrontierPred::Marked).contains("ROW_NUMBER"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Correctness of every relational shortest-path algorithm against the
+//! in-memory Dijkstra oracle, across graph families, SQL styles, dialects
+//! and index strategies.
+
+use fempath_core::{
+    build_segtable_with, prim_mst, BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder,
+    GraphDb, GraphDbOptions, PathOutcome, ShortestPathFinder, SqlStyle,
+};
+use fempath_graph::{generate, Graph, IndexKind};
+use fempath_inmem::dijkstra;
+use fempath_sql::Dialect;
+
+/// The Figure 1 graph of the paper.
+fn figure1() -> Graph {
+    Graph::from_undirected_edges(
+        11,
+        vec![
+            (0, 1, 2),
+            (0, 2, 1),
+            (0, 3, 6),
+            (1, 4, 2),
+            (2, 3, 1),
+            (2, 4, 3),
+            (3, 9, 7),
+            (4, 6, 3),
+            (4, 5, 7),
+            (4, 7, 8),
+            (5, 6, 4),
+            (5, 8, 9),
+            (6, 7, 4),
+            (7, 10, 3),
+            (8, 9, 2),
+            (8, 10, 5),
+            (9, 10, 8),
+        ],
+    )
+}
+
+/// Checks an outcome against the oracle for one query.
+fn check(g: &Graph, out: &PathOutcome, s: i64, t: i64, algo: &str) {
+    let oracle = dijkstra::shortest_path(g, s as u32, t as u32);
+    match (&out.path, &oracle) {
+        (Some(p), Some(o)) => {
+            assert_eq!(
+                p.length as u64, o.distance,
+                "{algo}: wrong distance for {s}->{t}"
+            );
+            assert_eq!(p.nodes.first(), Some(&s), "{algo}: path must start at s");
+            assert_eq!(p.nodes.last(), Some(&t), "{algo}: path must end at t");
+            // The node sequence must be a real path of the right length.
+            let mut total = 0u64;
+            for w in p.nodes.windows(2) {
+                let arc = g
+                    .out_arcs(w[0] as u32)
+                    .iter()
+                    .filter(|a| a.to == w[1] as u32)
+                    .map(|a| a.weight)
+                    .min()
+                    .unwrap_or_else(|| panic!("{algo}: edge {}->{} not in graph", w[0], w[1]));
+                total += arc as u64;
+            }
+            assert_eq!(total, o.distance, "{algo}: path weights disagree for {s}->{t}");
+        }
+        (None, None) => {}
+        (got, want) => panic!(
+            "{algo}: reachability mismatch for {s}->{t}: got {:?}, oracle {:?}",
+            got.is_some(),
+            want.is_some()
+        ),
+    }
+}
+
+fn all_pairs_check(g: &Graph, finder: &dyn ShortestPathFinder, gdb: &mut GraphDb, pairs: &[(i64, i64)]) {
+    for &(s, t) in pairs {
+        let out = finder.find_path(gdb, s, t).unwrap();
+        check(g, &out, s, t, finder.name());
+    }
+}
+
+fn sample_pairs(n: usize, count: usize) -> Vec<(i64, i64)> {
+    (0..count)
+        .map(|i| {
+            let s = (i * 97 + 13) % n;
+            let t = (i * 131 + n / 2) % n;
+            (s as i64, t as i64)
+        })
+        .collect()
+}
+
+#[test]
+fn dj_matches_oracle_on_figure1() {
+    let g = figure1();
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let finder = DjFinder::default();
+    for s in 0..11i64 {
+        for t in 0..11i64 {
+            let out = finder.find_path(&mut gdb, s, t).unwrap();
+            check(&g, &out, s, t, "DJ");
+        }
+    }
+}
+
+#[test]
+fn all_bidirectional_finders_match_oracle_on_figure1() {
+    let g = figure1();
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    gdb.build_segtable(6).unwrap(); // the paper's Figure 4 threshold
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(BdjFinder::default()),
+        Box::new(BsdjFinder::default()),
+        Box::new(BbfsFinder::default()),
+        Box::new(BsegFinder::default()),
+    ];
+    for f in &finders {
+        for s in 0..11i64 {
+            for t in 0..11i64 {
+                let out = f.find_path(&mut gdb, s, t).unwrap();
+                check(&g, &out, s, t, f.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn finders_match_oracle_on_power_law_graph() {
+    let g = generate::power_law(300, 3, 1..=100, 11);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    gdb.build_segtable(30).unwrap();
+    let pairs = sample_pairs(300, 12);
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(BdjFinder::default()),
+        Box::new(BsdjFinder::default()),
+        Box::new(BbfsFinder::default()),
+        Box::new(BsegFinder::default()),
+    ];
+    for f in &finders {
+        all_pairs_check(&g, f.as_ref(), &mut gdb, &pairs);
+    }
+}
+
+#[test]
+fn finders_match_oracle_on_random_graph_with_disconnections() {
+    // Sparse random graph: some pairs are unreachable.
+    let g = generate::random_graph(200, 1, 1..=100, 5);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    gdb.build_segtable(20).unwrap();
+    let pairs = sample_pairs(200, 15);
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(BsdjFinder::default()),
+        Box::new(BbfsFinder::default()),
+        Box::new(BsegFinder::default()),
+    ];
+    for f in &finders {
+        all_pairs_check(&g, f.as_ref(), &mut gdb, &pairs);
+    }
+}
+
+#[test]
+fn finders_match_oracle_on_grid() {
+    let g = generate::grid(12, 12, 1..=100, 3);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    gdb.build_segtable(40).unwrap();
+    let pairs = sample_pairs(144, 10);
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(BsdjFinder::default()),
+        Box::new(BsegFinder::default()),
+    ];
+    for f in &finders {
+        all_pairs_check(&g, f.as_ref(), &mut gdb, &pairs);
+    }
+}
+
+#[test]
+fn traditional_sql_style_is_equally_correct() {
+    let g = generate::power_law(200, 3, 1..=100, 21);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    build_segtable_with(&mut gdb, 25, SqlStyle::Traditional).unwrap();
+    let pairs = sample_pairs(200, 8);
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(DjFinder { style: SqlStyle::Traditional }),
+        Box::new(BsdjFinder {
+            style: SqlStyle::Traditional,
+            ..Default::default()
+        }),
+        Box::new(BsegFinder {
+            style: SqlStyle::Traditional,
+            ..Default::default()
+        }),
+    ];
+    for f in &finders {
+        // DJ is slow: fewer pairs.
+        let ps = if f.name() == "DJ" { &pairs[..3] } else { &pairs[..] };
+        all_pairs_check(&g, f.as_ref(), &mut gdb, ps);
+    }
+}
+
+#[test]
+fn postgres_dialect_without_merge_is_equally_correct() {
+    let g = generate::power_law(200, 3, 1..=100, 31);
+    let mut gdb = GraphDb::new(
+        &g,
+        &GraphDbOptions {
+            dialect: Dialect::POSTGRES,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    gdb.build_segtable(25).unwrap();
+    let pairs = sample_pairs(200, 8);
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(BsdjFinder::default()),
+        Box::new(BbfsFinder::default()),
+        Box::new(BsegFinder::default()),
+    ];
+    for f in &finders {
+        all_pairs_check(&g, f.as_ref(), &mut gdb, &pairs);
+    }
+}
+
+#[test]
+fn split_operator_mode_is_equally_correct() {
+    let g = generate::power_law(150, 3, 1..=100, 41);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let finder = BsdjFinder {
+        split_operators: true,
+        ..Default::default()
+    };
+    let pairs = sample_pairs(150, 6);
+    all_pairs_check(&g, &finder, &mut gdb, &pairs);
+    // Split mode actually fills the per-operator buckets.
+    let out = finder.find_path(&mut gdb, 0, 100).unwrap();
+    use fempath_core::FemOperator;
+    assert!(out.stats.operator(FemOperator::E) > std::time::Duration::ZERO);
+    assert!(out.stats.operator(FemOperator::M) > std::time::Duration::ZERO);
+    assert!(out.stats.operator(FemOperator::F) > std::time::Duration::ZERO);
+}
+
+#[test]
+fn pruning_off_is_equally_correct() {
+    let g = generate::power_law(150, 3, 1..=100, 51);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let pairs = sample_pairs(150, 6);
+    let finder = BsdjFinder {
+        prune: false,
+        ..Default::default()
+    };
+    all_pairs_check(&g, &finder, &mut gdb, &pairs);
+}
+
+#[test]
+fn index_strategies_are_equally_correct() {
+    let g = generate::power_law(120, 3, 1..=100, 61);
+    for edges_index in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
+        for visited_index in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
+            let mut gdb = GraphDb::new(
+                &g,
+                &GraphDbOptions {
+                    edges_index,
+                    visited_index,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let pairs = sample_pairs(120, 3);
+            all_pairs_check(&g, &BsdjFinder::default(), &mut gdb, &pairs);
+        }
+    }
+}
+
+#[test]
+fn disk_resident_database_is_equally_correct() {
+    let g = generate::power_law(200, 3, 1..=100, 71);
+    // Tiny buffer: everything spills.
+    let mut gdb = GraphDb::on_temp_file(&g, 16).unwrap();
+    let pairs = sample_pairs(200, 5);
+    all_pairs_check(&g, &BsdjFinder::default(), &mut gdb, &pairs);
+    assert!(
+        gdb.db.io_stats().disk_reads > 0,
+        "a 16-page pool over this graph must touch disk"
+    );
+}
+
+#[test]
+fn bsdj_uses_fewer_expansions_than_bdj() {
+    // Table 2's headline: set-at-a-time needs far fewer iterations.
+    let g = generate::power_law(2000, 3, 1..=100, 81);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let a = BdjFinder::default().find_path(&mut gdb, 0, 1500).unwrap();
+    let b = BsdjFinder::default().find_path(&mut gdb, 0, 1500).unwrap();
+    assert!(a.path.is_some() && b.path.is_some());
+    assert!(
+        b.stats.expansions < a.stats.expansions,
+        "BSDJ ({}) must beat BDJ ({}) on expansions",
+        b.stats.expansions,
+        a.stats.expansions
+    );
+}
+
+#[test]
+fn bbfs_uses_fewest_expansions_but_most_visited() {
+    // Table 3's trade-off.
+    let g = generate::random_graph(2000, 3, 1..=100, 91);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let bsdj = BsdjFinder::default().find_path(&mut gdb, 0, 1000).unwrap();
+    let bbfs = BbfsFinder::default().find_path(&mut gdb, 0, 1000).unwrap();
+    assert!(bsdj.path.is_some() && bbfs.path.is_some());
+    assert!(
+        bbfs.stats.expansions < bsdj.stats.expansions,
+        "BBFS expansions {} must undercut BSDJ {}",
+        bbfs.stats.expansions,
+        bsdj.stats.expansions
+    );
+    assert!(
+        bbfs.stats.visited_nodes >= bsdj.stats.visited_nodes,
+        "BBFS visits at least as many nodes ({} vs {})",
+        bbfs.stats.visited_nodes,
+        bsdj.stats.visited_nodes
+    );
+}
+
+#[test]
+fn bseg_reduces_expansions_versus_bsdj() {
+    // §4.2: selective expansion over SegTable cuts iteration counts.
+    let g = generate::power_law(1500, 3, 1..=100, 101);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    gdb.build_segtable(50).unwrap();
+    let mut exps_bsdj = 0u64;
+    let mut exps_bseg = 0u64;
+    for (s, t) in sample_pairs(1500, 5) {
+        let a = BsdjFinder::default().find_path(&mut gdb, s, t).unwrap();
+        let b = BsegFinder::default().find_path(&mut gdb, s, t).unwrap();
+        check(&g, &b, s, t, "BSEG");
+        exps_bsdj += a.stats.expansions;
+        exps_bseg += b.stats.expansions;
+    }
+    assert!(
+        exps_bseg < exps_bsdj,
+        "BSEG total expansions {exps_bseg} must undercut BSDJ {exps_bsdj}"
+    );
+}
+
+#[test]
+fn relational_prim_matches_in_memory_prim() {
+    let g = generate::power_law(200, 2, 1..=50, 111);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let rel = prim_mst(&mut gdb, 0).unwrap();
+    let (edges, total) = fempath_inmem::mst::prim(&g);
+    assert_eq!(rel.edges.len(), edges.len());
+    assert_eq!(rel.total_weight as u64, total);
+}
+
+#[test]
+fn query_stats_are_populated() {
+    let g = generate::power_law(300, 3, 1..=100, 121);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let out = BsdjFinder::default().find_path(&mut gdb, 0, 200).unwrap();
+    assert!(out.stats.expansions > 0);
+    assert!(out.stats.sql_statements > out.stats.expansions);
+    assert!(out.stats.visited_nodes > 0);
+    assert!(out.stats.total_time > std::time::Duration::ZERO);
+    use fempath_core::Phase;
+    assert!(out.stats.phase(Phase::PathExpansion) > std::time::Duration::ZERO);
+    assert!(out.stats.phase(Phase::StatsCollection) > std::time::Duration::ZERO);
+}

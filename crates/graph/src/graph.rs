@@ -1,0 +1,170 @@
+//! Weighted graph model (CSR adjacency).
+//!
+//! Graphs are stored **symmetrically**: every undirected edge appears as two
+//! directed arcs with the same weight. This matches the paper's evaluation
+//! datasets (collaboration and social networks are undirected; the road/web
+//! graphs are symmetrized for bidirectional search) and lets the backward
+//! expansion reuse the forward (`fid`-clustered) access path — see
+//! DESIGN.md.
+
+/// A directed arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    pub to: u32,
+    pub weight: u32,
+}
+
+/// A weighted graph in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    num_nodes: usize,
+    offsets: Vec<usize>,
+    arcs: Vec<Arc>,
+    min_weight: u32,
+}
+
+impl Graph {
+    /// Builds a graph from directed arcs `(from, to, weight)`. Node ids must
+    /// be `< num_nodes`. Self-loops are dropped; parallel arcs are kept.
+    pub fn from_arcs(num_nodes: usize, arcs: impl IntoIterator<Item = (u32, u32, u32)>) -> Graph {
+        let mut per_node: Vec<u32> = vec![0; num_nodes];
+        let mut all: Vec<(u32, u32, u32)> = Vec::new();
+        for (u, v, w) in arcs {
+            debug_assert!((u as usize) < num_nodes && (v as usize) < num_nodes);
+            if u == v {
+                continue;
+            }
+            per_node[u as usize] += 1;
+            all.push((u, v, w));
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for n in &per_node {
+            acc += *n as usize;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..num_nodes].to_vec();
+        let mut arcs_out = vec![Arc { to: 0, weight: 0 }; all.len()];
+        let mut min_weight = u32::MAX;
+        for (u, v, w) in all {
+            arcs_out[cursor[u as usize]] = Arc { to: v, weight: w };
+            cursor[u as usize] += 1;
+            min_weight = min_weight.min(w);
+        }
+        if arcs_out.is_empty() {
+            min_weight = 1;
+        }
+        Graph {
+            num_nodes,
+            offsets,
+            arcs: arcs_out,
+            min_weight,
+        }
+    }
+
+    /// Builds a symmetric graph from undirected edges: each `(u, v, w)`
+    /// produces arcs in both directions.
+    pub fn from_undirected_edges(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (u32, u32, u32)>,
+    ) -> Graph {
+        let mut arcs = Vec::new();
+        for (u, v, w) in edges {
+            arcs.push((u, v, w));
+            arcs.push((v, u, w));
+        }
+        Graph::from_arcs(num_nodes, arcs)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed arcs (twice the undirected edge count).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Outgoing arcs of `u`.
+    pub fn out_arcs(&self, u: u32) -> &[Arc] {
+        &self.arcs[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.out_arcs(u).len()
+    }
+
+    /// The minimal arc weight `w_min` (Theorems 2 and 3 of the paper bound
+    /// iteration counts with it). Returns 1 for empty graphs.
+    pub fn min_weight(&self) -> u32 {
+        self.min_weight
+    }
+
+    /// Iterates all arcs as `(from, to, weight)`.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.num_nodes as u32).flat_map(move |u| {
+            self.out_arcs(u).iter().map(move |a| (u, a.to, a.weight))
+        })
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        self.arcs.len() as f64 / self.num_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_layout() {
+        let g = Graph::from_arcs(4, vec![(0, 1, 5), (0, 2, 3), (2, 3, 1), (1, 0, 5)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_arcs(0).len(), 2);
+        assert_eq!(g.out_arcs(1), &[Arc { to: 0, weight: 5 }]);
+        assert_eq!(g.out_arcs(2), &[Arc { to: 3, weight: 1 }]);
+        assert!(g.out_arcs(3).is_empty());
+        assert_eq!(g.min_weight(), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Graph::from_arcs(2, vec![(0, 0, 1), (0, 1, 2)]);
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let g = Graph::from_undirected_edges(3, vec![(0, 1, 7), (1, 2, 2)]);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_arcs(1).len(), 2);
+        // Arc weights match in both directions.
+        let fwd: Vec<_> = g.iter_arcs().collect();
+        for (u, v, w) in &fwd {
+            assert!(fwd.contains(&(*v, *u, *w)), "missing reverse of {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_arcs(0, vec![]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.min_weight(), 1);
+    }
+
+    #[test]
+    fn iter_arcs_matches_adjacency() {
+        let g = Graph::from_arcs(3, vec![(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+        let collected: Vec<_> = g.iter_arcs().collect();
+        assert_eq!(collected, vec![(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # fempath-graph
+//!
+//! Graph model, synthetic workload generators, and relational loaders for
+//! the fempath reproduction.
+//!
+//! * [`Graph`] — weighted CSR adjacency (stored symmetrically, see
+//!   DESIGN.md);
+//! * [`generate`] — the paper's dataset families: `random_graph`,
+//!   `power_law` (Barabási), `grid`, plus stand-ins for DBLP, GoogleWeb and
+//!   LiveJournal;
+//! * [`loader`] — `TNodes`/`TEdges` loading with the Fig 8(c) index
+//!   strategies;
+//! * [`io`] — edge-list files.
+
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod loader;
+
+pub use graph::{Arc, Graph};
+pub use loader::{load_graph, IndexKind, LoadOptions};

@@ -1,0 +1,61 @@
+//! Breadth-first utilities: hop counts and reachability (test helpers and
+//! the in-memory reference for the BBFS iteration-count analysis of §4.2).
+
+use fempath_graph::Graph;
+use std::collections::VecDeque;
+
+/// Hop distance (number of edges) from `s` to every node; `u32::MAX` when
+/// unreachable.
+pub fn hop_distances(g: &Graph, s: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[s as usize] = 0;
+    q.push_back(s);
+    while let Some(u) = q.pop_front() {
+        for a in g.out_arcs(u) {
+            if dist[a.to as usize] == u32::MAX {
+                dist[a.to as usize] = dist[u as usize] + 1;
+                q.push_back(a.to);
+            }
+        }
+    }
+    dist
+}
+
+/// True when `t` is reachable from `s`.
+pub fn reachable(g: &Graph, s: u32, t: u32) -> bool {
+    hop_distances(g, s)[t as usize] != u32::MAX
+}
+
+/// Number of edges on the *shortest weighted* path from `s` to `t` — the
+/// `e(p)` of §4.2 ("BFS can find p with e(p) iterations").
+pub fn shortest_path_edge_count(g: &Graph, s: u32, t: u32) -> Option<usize> {
+    crate::dijkstra::shortest_path(g, s, t).map(|r| r.nodes.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_graph::Graph;
+
+    #[test]
+    fn hops_on_path_graph() {
+        let g = Graph::from_undirected_edges(4, vec![(0, 1, 9), (1, 2, 9), (2, 3, 9)]);
+        assert_eq!(hop_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert!(reachable(&g, 0, 3));
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = Graph::from_undirected_edges(3, vec![(0, 1, 1)]);
+        assert_eq!(hop_distances(&g, 0)[2], u32::MAX);
+        assert!(!reachable(&g, 0, 2));
+    }
+
+    #[test]
+    fn edge_count_of_weighted_shortest_path() {
+        // Cheapest path 0->2 goes the long way round.
+        let g = Graph::from_undirected_edges(3, vec![(0, 2, 100), (0, 1, 1), (1, 2, 1)]);
+        assert_eq!(shortest_path_edge_count(&g, 0, 2), Some(2));
+    }
+}

@@ -1,0 +1,193 @@
+//! In-memory bidirectional Dijkstra — the paper's **MBDJ** baseline.
+//!
+//! Forward search from `s` and backward search from `t` (over the symmetric
+//! adjacency), alternating by smaller frontier head. Terminates when
+//! `lf + lb >= minCost` — the same condition §4.1 of the paper installs in
+//! its relational variant.
+
+use crate::PathResult;
+use fempath_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bidirectional Dijkstra. Returns `None` when `t` is unreachable.
+pub fn shortest_path(g: &Graph, s: u32, t: u32) -> Option<PathResult> {
+    if s == t {
+        return Some(PathResult {
+            distance: 0,
+            nodes: vec![s],
+            settled: 1,
+        });
+    }
+    let n = g.num_nodes();
+    let mut dist = [vec![u64::MAX; n], vec![u64::MAX; n]];
+    let mut pred = [vec![u32::MAX; n], vec![u32::MAX; n]];
+    let mut done = [vec![false; n], vec![false; n]];
+    let mut heaps = [BinaryHeap::new(), BinaryHeap::new()];
+    dist[0][s as usize] = 0;
+    dist[1][t as usize] = 0;
+    heaps[0].push(Reverse((0u64, s)));
+    heaps[1].push(Reverse((0u64, t)));
+
+    let mut best = u64::MAX;
+    let mut meet = u32::MAX;
+    let mut settled = 0u64;
+    // Smallest settled distance per direction.
+    let mut l = [0u64, 0u64];
+
+    loop {
+        // Pick the direction whose head is smaller (empty heap = infinite).
+        let head = |h: &BinaryHeap<Reverse<(u64, u32)>>| h.peek().map(|Reverse((d, _))| *d);
+        let side = match (head(&heaps[0]), head(&heaps[1])) {
+            (None, None) => break,
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (Some(a), Some(b)) => usize::from(a > b),
+        };
+        let Some(Reverse((d, u))) = heaps[side].pop() else {
+            break;
+        };
+        if done[side][u as usize] {
+            continue;
+        }
+        done[side][u as usize] = true;
+        settled += 1;
+        l[side] = d;
+        // Termination test from §4.1: the best candidate cannot be beaten
+        // once both searches have settled past it.
+        if best != u64::MAX && l[0] + l[1] >= best {
+            break;
+        }
+        for a in g.out_arcs(u) {
+            let nd = d + a.weight as u64;
+            if nd < dist[side][a.to as usize] {
+                dist[side][a.to as usize] = nd;
+                pred[side][a.to as usize] = u;
+                heaps[side].push(Reverse((nd, a.to)));
+            }
+            // Candidate path through this arc.
+            let other = 1 - side;
+            if dist[other][a.to as usize] != u64::MAX {
+                let cand = nd + dist[other][a.to as usize];
+                if cand < best {
+                    best = cand;
+                    meet = a.to;
+                }
+            }
+        }
+    }
+
+    if best == u64::MAX {
+        return None;
+    }
+    // Stitch the two half-paths at the meeting node.
+    let mut forward = crate::dijkstra::recover(&pred[0], s, meet);
+    let mut cur = meet;
+    while cur != t {
+        cur = pred[1][cur as usize];
+        forward.push(cur);
+    }
+    let _ = &mut forward;
+    Some(PathResult {
+        distance: best,
+        nodes: forward,
+        settled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_graph::{generate, Graph};
+
+    fn figure1() -> Graph {
+        Graph::from_undirected_edges(
+            11,
+            vec![
+                (0, 1, 2),
+                (0, 2, 1),
+                (0, 3, 6),
+                (1, 4, 2),
+                (2, 3, 1),
+                (2, 4, 3),
+                (3, 9, 7),
+                (4, 6, 3),
+                (4, 5, 7),
+                (4, 7, 8),
+                (5, 6, 4),
+                (5, 8, 9),
+                (6, 7, 4),
+                (7, 10, 3),
+                (8, 9, 2),
+                (8, 10, 5),
+                (9, 10, 8),
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_unidirectional_on_figure1() {
+        let g = figure1();
+        for s in 0..11u32 {
+            for t in 0..11u32 {
+                let a = crate::dijkstra::shortest_path(&g, s, t).unwrap();
+                let b = shortest_path(&g, s, t).unwrap();
+                assert_eq!(a.distance, b.distance, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_settles_fewer_nodes_on_big_graphs() {
+        let g = generate::power_law(20_000, 3, 1..=100, 33);
+        let mut uni = 0u64;
+        let mut bi = 0u64;
+        for (s, t) in [(0u32, 19_999u32), (5u32, 15_000u32), (123u32, 9_876u32)] {
+            let a = crate::dijkstra::shortest_path(&g, s, t).unwrap();
+            let b = shortest_path(&g, s, t).unwrap();
+            assert_eq!(a.distance, b.distance);
+            uni += a.settled;
+            bi += b.settled;
+        }
+        assert!(
+            bi < uni,
+            "bidirectional should reduce search space ({bi} vs {uni})"
+        );
+    }
+
+    #[test]
+    fn path_is_valid_and_has_right_length() {
+        let g = generate::random_graph(2000, 3, 1..=100, 17);
+        for seed in 0..10u32 {
+            let s = seed * 97 % 2000;
+            let t = (seed * 131 + 500) % 2000;
+            let (Some(a), Some(b)) = (
+                crate::dijkstra::shortest_path(&g, s, t),
+                shortest_path(&g, s, t),
+            ) else {
+                continue;
+            };
+            assert_eq!(a.distance, b.distance, "{s}->{t}");
+            assert_eq!(b.nodes.first(), Some(&s));
+            assert_eq!(b.nodes.last(), Some(&t));
+            let mut total = 0u64;
+            for w in b.nodes.windows(2) {
+                let arc = g
+                    .out_arcs(w[0])
+                    .iter()
+                    .filter(|x| x.to == w[1])
+                    .map(|x| x.weight)
+                    .min()
+                    .expect("edge on path");
+                total += arc as u64;
+            }
+            assert_eq!(total, b.distance);
+        }
+    }
+
+    #[test]
+    fn unreachable_none() {
+        let g = Graph::from_undirected_edges(4, vec![(0, 1, 1), (2, 3, 1)]);
+        assert!(shortest_path(&g, 0, 2).is_none());
+    }
+}

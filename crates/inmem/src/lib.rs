@@ -1,0 +1,22 @@
+//! # fempath-inmem
+//!
+//! In-memory graph algorithms: the paper's **MDJ** (Dijkstra) and **MBDJ**
+//! (bidirectional Dijkstra) baselines from §5.1, plus BFS helpers and Prim's
+//! MST. These are both benchmark competitors (Fig 8(d)) and the correctness
+//! oracles every relational algorithm is tested against.
+
+pub mod bfs;
+pub mod bidijkstra;
+pub mod dijkstra;
+pub mod mst;
+
+/// Result of an in-memory shortest-path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathResult {
+    /// Shortest distance.
+    pub distance: u64,
+    /// Node sequence from source to target (inclusive).
+    pub nodes: Vec<u32>,
+    /// Number of settled (finalized) nodes — the search-space metric.
+    pub settled: u64,
+}

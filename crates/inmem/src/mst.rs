@@ -1,0 +1,84 @@
+//! In-memory Prim's minimal spanning tree — the oracle for the FEM-based
+//! relational Prim implementation (§3.1 of the paper sketches Prim in the
+//! FEM framework; `fempath-core` implements it as an extension).
+
+use fempath_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Runs Prim from node 0 over the component containing it. Returns the
+/// chosen tree edges `(node, parent, weight)` and the total weight.
+pub fn prim(g: &Graph) -> (Vec<(u32, u32, u32)>, u64) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    best[0] = 0;
+    heap.push(Reverse((0u32, 0u32)));
+    let mut edges = Vec::new();
+    let mut total = 0u64;
+    while let Some(Reverse((w, u))) = heap.pop() {
+        if in_tree[u as usize] {
+            continue;
+        }
+        in_tree[u as usize] = true;
+        if parent[u as usize] != u32::MAX {
+            edges.push((u, parent[u as usize], w));
+            total += w as u64;
+        }
+        for a in g.out_arcs(u) {
+            if !in_tree[a.to as usize] && a.weight < best[a.to as usize] {
+                best[a.to as usize] = a.weight;
+                parent[a.to as usize] = u;
+                heap.push(Reverse((a.weight, a.to)));
+            }
+        }
+    }
+    (edges, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_graph::{generate, Graph};
+
+    #[test]
+    fn triangle_mst() {
+        let g = Graph::from_undirected_edges(3, vec![(0, 1, 1), (1, 2, 2), (0, 2, 3)]);
+        let (edges, total) = prim(&g);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn mst_spans_connected_graph() {
+        let g = generate::power_law(500, 2, 1..=50, 3);
+        let (edges, _) = prim(&g);
+        assert_eq!(edges.len(), 499, "spanning tree has n-1 edges");
+    }
+
+    #[test]
+    fn mst_total_is_minimal_on_small_graph() {
+        // Compare against brute force over spanning trees of a 5-node graph
+        // via Kruskal-equivalent greedy check: total must not exceed any
+        // single alternative formed by swapping one edge.
+        let g = Graph::from_undirected_edges(
+            5,
+            vec![
+                (0, 1, 4),
+                (0, 2, 2),
+                (1, 2, 1),
+                (1, 3, 5),
+                (2, 3, 8),
+                (3, 4, 3),
+                (2, 4, 7),
+            ],
+        );
+        let (_, total) = prim(&g);
+        assert_eq!(total, 2 + 1 + 5 + 3); // 0-2, 2-1, 1-3, 3-4
+    }
+}

@@ -1,0 +1,306 @@
+//! Abstract syntax tree for the SQL subset the engine speaks.
+//!
+//! The subset is dictated by the paper's Listings 2–4 plus general-purpose
+//! DDL/DML: SELECT with joins, scalar subqueries, IN/NOT IN, GROUP
+//! BY/HAVING, ORDER BY, TOP/LIMIT, window functions (`ROW_NUMBER`/`RANK`
+//! with `OVER (PARTITION BY … ORDER BY …)`), INSERT (values or query),
+//! UPDATE (including `UPDATE … FROM`), DELETE, MERGE, CREATE/DROP
+//! TABLE/INDEX/VIEW, and TRUNCATE.
+
+use fempath_storage::{DataType, Value};
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+    CreateView { name: String, query: Box<Select> },
+    DropTable { name: String, if_exists: bool },
+    DropIndex { name: String },
+    DropView { name: String },
+    Truncate { table: String },
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    Merge(Merge),
+    Select(Box<Select>),
+    /// `EXPLAIN <select>` — runs the query and reports the plan decisions
+    /// taken (EXPLAIN ANALYZE semantics).
+    Explain(Box<Stmt>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// `PRIMARY KEY (col, …)` — creates a unique secondary index.
+    pub primary_key: Option<Vec<String>>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+    /// Clustered indexes re-organize the table as a B+tree on the key —
+    /// the `CluIndex` configuration of Fig 8(c).
+    pub clustered: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Query(Box<Select>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Option<Vec<String>>,
+    pub source: InsertSource,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub alias: Option<String>,
+    pub assignments: Vec<(String, Expr)>,
+    /// `UPDATE t SET … FROM s WHERE …` — the TSQL-mode merge replacement.
+    pub from: Option<TableRef>,
+    pub filter: Option<Expr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub filter: Option<Expr>,
+}
+
+/// `MERGE INTO target USING source ON (cond) WHEN MATCHED [AND …] THEN
+/// UPDATE SET … WHEN NOT MATCHED THEN INSERT (…) VALUES (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    pub target: String,
+    pub target_alias: Option<String>,
+    pub source: TableRef,
+    pub on: Expr,
+    pub when_matched: Option<MergeMatched>,
+    pub when_not_matched: Option<MergeInsert>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeMatched {
+    /// Extra predicate: `WHEN MATCHED AND target.d2s > source.cost`.
+    pub condition: Option<Expr>,
+    pub assignments: Vec<(String, Expr)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeInsert {
+    pub columns: Vec<String>,
+    pub values: Vec<Expr>,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    /// `SELECT TOP n …` (Listing 2(2) of the paper).
+    pub top: Option<u64>,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub filter: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Named {
+        name: String,
+        alias: Option<String>,
+    },
+    /// `FROM (SELECT …) alias (col, …)` — derived table with optional
+    /// column renaming, used heavily by the paper's E-operator SQL.
+    Derived {
+        query: Box<Select>,
+        alias: String,
+        columns: Option<Vec<String>>,
+    },
+}
+
+impl TableRef {
+    /// The binding name this relation is visible under.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// Window functions supported in `OVER` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowFunc {
+    /// `ROW_NUMBER()` — 1, 2, 3, … within each partition.
+    RowNumber,
+    /// `RANK()` — ties share a rank, gaps follow.
+    Rank,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Column reference, optionally qualified.
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    /// `?` positional parameter (0-based ordinal assigned by the parser).
+    Param(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    /// Aggregate call; `arg == None` means `COUNT(*)`.
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
+    /// `func() OVER (PARTITION BY … ORDER BY …)`.
+    Window {
+        func: WindowFunc,
+        partition_by: Vec<Expr>,
+        order_by: Vec<OrderKey>,
+    },
+    /// Scalar subquery (must yield ≤ 1 row, 1 column).
+    Subquery(Box<Select>),
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Select>,
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists {
+        query: Box<Select>,
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for `a AND b` chains.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::And,
+            right: Box::new(other),
+        }
+    }
+
+    /// True when the expression (recursively) contains an aggregate call
+    /// outside of subqueries.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// True when the expression (recursively) contains a window function.
+    pub fn contains_window(&self) -> bool {
+        match self {
+            Expr::Window { .. } => true,
+            Expr::Unary { expr, .. } => expr.contains_window(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_window() || right.contains_window()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_window(),
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,987 @@
+//! Catalog: tables, their physical storage, indexes, and views.
+//!
+//! A table is either a **heap** (unordered slotted pages) or **clustered**
+//! (index-organized: rows live in a B+tree keyed by the clustering columns).
+//! Secondary indexes map encoded key columns to a row locator. These are the
+//! three physical configurations the paper sweeps in Fig 8(c):
+//! `NoIndex` (heap, no indexes), `Index` (heap + secondary B+tree), and
+//! `CluIndex` (index-organized table).
+
+use crate::ast::ColumnDef;
+use crate::error::{Result, SqlError};
+use fempath_storage::{
+    decode_row, encode_key, encode_row, BTree, BufferPool, DataType, HeapFile, RecordId, Value,
+};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Where a row physically lives.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RowLoc {
+    /// Heap record id.
+    Heap(RecordId),
+    /// Full B+tree key of a clustered table (key columns + uniquifier).
+    Clustered(Vec<u8>),
+}
+
+impl RowLoc {
+    /// Serializes the locator for storage inside a secondary-index entry.
+    fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            RowLoc::Heap(rid) => rid.to_u64().to_be_bytes().to_vec(),
+            RowLoc::Clustered(k) => k.clone(),
+        }
+    }
+
+    fn from_bytes(bytes: &[u8], clustered: bool) -> RowLoc {
+        if clustered {
+            RowLoc::Clustered(bytes.to_vec())
+        } else {
+            RowLoc::Heap(RecordId::from_u64(u64::from_be_bytes(
+                bytes.try_into().expect("heap locator must be 8 bytes"),
+            )))
+        }
+    }
+}
+
+/// Physical storage of a table.
+pub enum TableStorage {
+    Heap(HeapFile),
+    Clustered {
+        tree: BTree,
+        /// Column positions forming the clustering key.
+        key_cols: Vec<usize>,
+        /// Whether the clustering key is declared unique.
+        unique: bool,
+        /// Monotonic uniquifier appended to non-unique clustering keys.
+        next_uniquifier: u64,
+    },
+}
+
+/// A secondary index.
+pub struct SecondaryIndex {
+    pub name: String,
+    pub cols: Vec<usize>,
+    pub unique: bool,
+    pub tree: BTree,
+}
+
+/// Table schema: column names (original case preserved) and types.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Case-insensitive column lookup.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A table: schema + storage + indexes.
+pub struct Table {
+    pub schema: TableSchema,
+    pub storage: TableStorage,
+    pub indexes: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    fn is_clustered(&self) -> bool {
+        matches!(self.storage, TableStorage::Clustered { .. })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        match &self.storage {
+            TableStorage::Heap(h) => h.len(),
+            TableStorage::Clustered { tree, .. } => tree.len(),
+        }
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coerces `row` to the schema's declared types (Int ↔ Float), erroring
+    /// on arity or type mismatch.
+    pub fn coerce_row(&self, mut row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.schema.columns.len() {
+            return Err(SqlError::Eval(format!(
+                "table {} expects {} columns, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, col) in row.iter_mut().zip(&self.schema.columns) {
+            let coerced = match (col.dtype, &*v) {
+                (_, Value::Null) => Value::Null,
+                (DataType::Int, Value::Int(i)) => Value::Int(*i),
+                (DataType::Int, Value::Float(f)) => Value::Int(*f as i64),
+                (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
+                (DataType::Float, Value::Float(f)) => Value::Float(*f),
+                (DataType::Text, Value::Text(s)) => Value::Text(s.clone()),
+                (want, got) => {
+                    return Err(SqlError::Eval(format!(
+                        "column {}.{} expects {want}, got {got:?}",
+                        self.schema.name, col.name
+                    )))
+                }
+            };
+            *v = coerced;
+        }
+        Ok(row)
+    }
+
+    /// Inserts a (already coerced) row, maintaining all indexes.
+    pub fn insert_row(&mut self, pool: &mut BufferPool, row: &[Value]) -> Result<RowLoc> {
+        let bytes = encode_row(row);
+        let loc = match &mut self.storage {
+            TableStorage::Heap(h) => RowLoc::Heap(h.insert(pool, &bytes)?),
+            TableStorage::Clustered {
+                tree,
+                key_cols,
+                unique,
+                next_uniquifier,
+            } => {
+                let mut key = encode_key(
+                    &key_cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>(),
+                )?;
+                if *unique {
+                    if tree.contains(pool, &key)? {
+                        return Err(SqlError::DuplicateKey {
+                            table: self.schema.name.clone(),
+                            key: format_key(row, key_cols),
+                        });
+                    }
+                } else {
+                    key.extend_from_slice(&next_uniquifier.to_be_bytes());
+                    *next_uniquifier += 1;
+                }
+                tree.insert(pool, &key, &bytes)?;
+                RowLoc::Clustered(key)
+            }
+        };
+        // Maintain secondary indexes; roll back is not attempted (single
+        // writer, errors abort the statement).
+        let clustered = self.is_clustered();
+        for idx in &mut self.indexes {
+            let mut key = encode_key(
+                &idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>(),
+            )?;
+            if idx.unique {
+                if idx.tree.contains(pool, &key)? {
+                    // Undo the base insert to keep table/indexes agreed.
+                    match (&mut self.storage, &loc) {
+                        (TableStorage::Heap(h), RowLoc::Heap(rid)) => h.delete(pool, *rid)?,
+                        (TableStorage::Clustered { tree, .. }, RowLoc::Clustered(k)) => {
+                            tree.delete(pool, k)?;
+                        }
+                        _ => unreachable!(),
+                    }
+                    return Err(SqlError::DuplicateKey {
+                        table: self.schema.name.clone(),
+                        key: format_key(row, &idx.cols),
+                    });
+                }
+                idx.tree.insert(pool, &key, &loc.to_bytes())?;
+            } else {
+                key.extend_from_slice(&loc.to_bytes());
+                idx.tree.insert(pool, &key, &[])?;
+            }
+        }
+        let _ = clustered;
+        Ok(loc)
+    }
+
+    /// Deletes the row at `loc` (the caller supplies the decoded row so
+    /// index entries can be located without a re-read).
+    pub fn delete_row(&mut self, pool: &mut BufferPool, loc: &RowLoc, row: &[Value]) -> Result<()> {
+        match (&mut self.storage, loc) {
+            (TableStorage::Heap(h), RowLoc::Heap(rid)) => h.delete(pool, *rid)?,
+            (TableStorage::Clustered { tree, .. }, RowLoc::Clustered(k)) => {
+                tree.delete(pool, k)?;
+            }
+            _ => {
+                return Err(SqlError::Eval(
+                    "row locator does not match table storage".into(),
+                ))
+            }
+        }
+        for idx in &mut self.indexes {
+            let mut key = encode_key(
+                &idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>(),
+            )?;
+            if !idx.unique {
+                key.extend_from_slice(&loc.to_bytes());
+            }
+            idx.tree.delete(pool, &key)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the row at `loc` with `new_row`, maintaining indexes.
+    /// Returns the (possibly new) locator.
+    pub fn update_row(
+        &mut self,
+        pool: &mut BufferPool,
+        loc: &RowLoc,
+        old_row: &[Value],
+        new_row: &[Value],
+    ) -> Result<RowLoc> {
+        let bytes = encode_row(new_row);
+        let new_loc = match (&mut self.storage, loc) {
+            (TableStorage::Heap(h), RowLoc::Heap(rid)) => {
+                RowLoc::Heap(h.update(pool, *rid, &bytes)?)
+            }
+            (
+                TableStorage::Clustered {
+                    tree,
+                    key_cols,
+                    unique,
+                    next_uniquifier,
+                },
+                RowLoc::Clustered(old_key),
+            ) => {
+                let key_changed = key_cols.iter().any(|&c| old_row[c] != new_row[c]);
+                if key_changed {
+                    let mut key = encode_key(
+                        &key_cols
+                            .iter()
+                            .map(|&c| new_row[c].clone())
+                            .collect::<Vec<_>>(),
+                    )?;
+                    if *unique {
+                        if tree.contains(pool, &key)? {
+                            return Err(SqlError::DuplicateKey {
+                                table: self.schema.name.clone(),
+                                key: format_key(new_row, key_cols),
+                            });
+                        }
+                    } else {
+                        key.extend_from_slice(&next_uniquifier.to_be_bytes());
+                        *next_uniquifier += 1;
+                    }
+                    tree.delete(pool, old_key)?;
+                    tree.insert(pool, &key, &bytes)?;
+                    RowLoc::Clustered(key)
+                } else {
+                    tree.insert(pool, old_key, &bytes)?;
+                    RowLoc::Clustered(old_key.clone())
+                }
+            }
+            _ => {
+                return Err(SqlError::Eval(
+                    "row locator does not match table storage".into(),
+                ))
+            }
+        };
+        for idx in &mut self.indexes {
+            let old_vals: Vec<Value> = idx.cols.iter().map(|&c| old_row[c].clone()).collect();
+            let new_vals: Vec<Value> = idx.cols.iter().map(|&c| new_row[c].clone()).collect();
+            if old_vals == new_vals && new_loc == *loc {
+                continue;
+            }
+            let mut old_key = encode_key(&old_vals)?;
+            let mut new_key = encode_key(&new_vals)?;
+            if idx.unique {
+                idx.tree.delete(pool, &old_key)?;
+                idx.tree.insert(pool, &new_key, &new_loc.to_bytes())?;
+            } else {
+                old_key.extend_from_slice(&loc.to_bytes());
+                new_key.extend_from_slice(&new_loc.to_bytes());
+                idx.tree.delete(pool, &old_key)?;
+                idx.tree.insert(pool, &new_key, &[])?;
+            }
+        }
+        Ok(new_loc)
+    }
+
+    /// Full scan in storage order; `f` returns `false` to stop.
+    pub fn scan(
+        &self,
+        pool: &mut BufferPool,
+        mut f: impl FnMut(RowLoc, Vec<Value>) -> bool,
+    ) -> Result<()> {
+        match &self.storage {
+            TableStorage::Heap(h) => {
+                let mut decode_err = None;
+                h.scan(pool, |rid, bytes| match decode_row(bytes) {
+                    Ok(row) => f(RowLoc::Heap(rid), row),
+                    Err(e) => {
+                        decode_err = Some(e);
+                        false
+                    }
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+            }
+            TableStorage::Clustered { tree, .. } => {
+                let mut decode_err = None;
+                tree.scan_range(pool, Bound::Unbounded, Bound::Unbounded, |k, v| {
+                    match decode_row(v) {
+                        Ok(row) => f(RowLoc::Clustered(k.to_vec()), row),
+                        Err(e) => {
+                            decode_err = Some(e);
+                            false
+                        }
+                    }
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches the row stored at `loc`.
+    pub fn fetch(&self, pool: &mut BufferPool, loc: &RowLoc) -> Result<Vec<Value>> {
+        match (&self.storage, loc) {
+            (TableStorage::Heap(h), RowLoc::Heap(rid)) => Ok(decode_row(&h.get(pool, *rid)?)?),
+            (TableStorage::Clustered { tree, .. }, RowLoc::Clustered(k)) => {
+                let bytes = tree
+                    .get(pool, k)?
+                    .ok_or_else(|| SqlError::Eval("dangling clustered locator".into()))?;
+                Ok(decode_row(&bytes)?)
+            }
+            _ => Err(SqlError::Eval(
+                "row locator does not match table storage".into(),
+            )),
+        }
+    }
+
+    /// Rows whose values in `cols` equal `key_vals`, using the best
+    /// available access path:
+    ///
+    /// 1. clustered tree prefix scan when `cols` is a prefix of the
+    ///    clustering key,
+    /// 2. secondary index (unique → point lookup, else prefix scan),
+    /// 3. full scan fallback.
+    ///
+    /// Returns `(used_index, matches)` so callers/plans can report access
+    /// paths.
+    pub fn lookup_eq(
+        &self,
+        pool: &mut BufferPool,
+        cols: &[usize],
+        key_vals: &[Value],
+        mut f: impl FnMut(RowLoc, Vec<Value>) -> bool,
+    ) -> Result<bool> {
+        debug_assert_eq!(cols.len(), key_vals.len());
+        // 1. Clustered prefix.
+        if let TableStorage::Clustered { tree, key_cols, .. } = &self.storage {
+            if cols.len() <= key_cols.len() && cols == &key_cols[..cols.len()] {
+                let prefix = encode_key(key_vals)?;
+                let mut decode_err = None;
+                tree.scan_prefix(pool, &prefix, |k, v| match decode_row(v) {
+                    Ok(row) => f(RowLoc::Clustered(k.to_vec()), row),
+                    Err(e) => {
+                        decode_err = Some(e);
+                        false
+                    }
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+                return Ok(true);
+            }
+        }
+        // 2. Secondary index with matching leading columns.
+        let clustered = self.is_clustered();
+        if let Some(idx) = self
+            .indexes
+            .iter()
+            .find(|i| cols.len() <= i.cols.len() && cols == &i.cols[..cols.len()])
+        {
+            let prefix = encode_key(key_vals)?;
+            let mut locs: Vec<RowLoc> = Vec::new();
+            if idx.unique && cols.len() == idx.cols.len() {
+                if let Some(v) = idx.tree.get(pool, &prefix)? {
+                    locs.push(RowLoc::from_bytes(&v, clustered));
+                }
+            } else if idx.unique {
+                idx.tree.scan_prefix(pool, &prefix, |_, v| {
+                    locs.push(RowLoc::from_bytes(v, clustered));
+                    true
+                })?;
+            } else {
+                idx.tree.scan_prefix(pool, &prefix, |k, _| {
+                    // Locator is the key suffix past the *full* indexed
+                    // column values; recover it by decoding the indexed
+                    // part and taking the rest. For prefix lookups we must
+                    // decode col-count values to find the boundary.
+                    locs.push(extract_loc_from_index_key(k, idx.cols.len(), clustered));
+                    true
+                })?;
+            }
+            for loc in locs {
+                let row = self.fetch(pool, &loc)?;
+                if !f(loc, row) {
+                    break;
+                }
+            }
+            return Ok(true);
+        }
+        // 3. Fallback: scan + filter.
+        self.scan(pool, |loc, row| {
+            let matched = cols
+                .iter()
+                .zip(key_vals)
+                .all(|(&c, v)| !row[c].is_null() && row[c].total_cmp(v).is_eq());
+            if matched {
+                f(loc, row)
+            } else {
+                true
+            }
+        })?;
+        Ok(false)
+    }
+
+    /// True when the table has an access path (clustered or secondary) whose
+    /// leading columns are exactly `cols`.
+    pub fn has_index_on(&self, cols: &[usize]) -> bool {
+        if let TableStorage::Clustered { key_cols, .. } = &self.storage {
+            if cols.len() <= key_cols.len() && cols == &key_cols[..cols.len()] {
+                return true;
+            }
+        }
+        self.indexes
+            .iter()
+            .any(|i| cols.len() <= i.cols.len() && cols == &i.cols[..cols.len()])
+    }
+
+    /// Removes all rows (storage and indexes), keeping pages for reuse.
+    pub fn truncate(&mut self, pool: &mut BufferPool) -> Result<()> {
+        match &mut self.storage {
+            TableStorage::Heap(h) => h.truncate(pool)?,
+            TableStorage::Clustered { tree, .. } => tree.clear(pool)?,
+        }
+        for idx in &mut self.indexes {
+            idx.tree.clear(pool)?;
+        }
+        Ok(())
+    }
+}
+
+/// Recovers the locator suffix from a non-unique index key by skipping the
+/// encoded index-column values.
+fn extract_loc_from_index_key(key: &[u8], n_cols: usize, clustered: bool) -> RowLoc {
+    let mut rest = key;
+    for _ in 0..n_cols {
+        let (_, r) = fempath_storage::value::decode_key_one(rest)
+            .expect("index key must decode");
+        rest = r;
+    }
+    RowLoc::from_bytes(rest, clustered)
+}
+
+fn format_key(row: &[Value], cols: &[usize]) -> String {
+    let parts: Vec<String> = cols.iter().map(|&c| row[c].to_string()).collect();
+    format!("({})", parts.join(", "))
+}
+
+/// The database catalog.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, crate::ast::Select>,
+    /// index name (lowercase) → table name (lowercase).
+    index_owner: HashMap<String, String>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    pub fn create_table(
+        &mut self,
+        pool: &mut BufferPool,
+        name: &str,
+        columns: Vec<ColumnDef>,
+        primary_key: Option<Vec<String>>,
+    ) -> Result<()> {
+        let key = Self::key(name);
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(SqlError::Catalog(format!("table {name} already exists")));
+        }
+        let schema = TableSchema {
+            name: name.to_string(),
+            columns,
+        };
+        let mut table = Table {
+            schema,
+            storage: TableStorage::Heap(HeapFile::create()),
+            indexes: Vec::new(),
+        };
+        if let Some(pk_cols) = primary_key {
+            let cols = resolve_cols(&table.schema, &pk_cols)?;
+            let idx_name = format!("pk_{}", name.to_ascii_lowercase());
+            table.indexes.push(SecondaryIndex {
+                name: idx_name.clone(),
+                cols,
+                unique: true,
+                tree: BTree::create(pool)?,
+            });
+            self.index_owner.insert(idx_name, key.clone());
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, pool: &mut BufferPool, name: &str, if_exists: bool) -> Result<()> {
+        let key = Self::key(name);
+        match self.tables.remove(&key) {
+            Some(table) => {
+                match table.storage {
+                    TableStorage::Heap(_) => { /* heap pages stay with the pool */ }
+                    TableStorage::Clustered { tree, .. } => tree.destroy(pool)?,
+                }
+                for idx in table.indexes {
+                    idx.tree.destroy(pool)?;
+                }
+                // Covers both secondary indexes and the clustered index
+                // name (which lives in the storage, not the index list).
+                self.index_owner.retain(|_, owner| owner != &key);
+                Ok(())
+            }
+            None if if_exists => Ok(()),
+            None => Err(SqlError::Catalog(format!("no such table {name}"))),
+        }
+    }
+
+    pub fn create_view(&mut self, name: &str, query: crate::ast::Select) -> Result<()> {
+        let key = Self::key(name);
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(SqlError::Catalog(format!("name {name} already in use")));
+        }
+        self.views.insert(key, query);
+        Ok(())
+    }
+
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        self.views
+            .remove(&Self::key(name))
+            .map(|_| ())
+            .ok_or_else(|| SqlError::Catalog(format!("no such view {name}")))
+    }
+
+    pub fn view(&self, name: &str) -> Option<&crate::ast::Select> {
+        self.views.get(&Self::key(name))
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| SqlError::Catalog(format!("no such table {name}")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| SqlError::Catalog(format!("no such table {name}")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// Creates an index. A clustered index physically reorganises the table
+    /// into a B+tree on the key; any existing secondary indexes are rebuilt
+    /// because row locators change.
+    pub fn create_index(
+        &mut self,
+        pool: &mut BufferPool,
+        stmt: &crate::ast::CreateIndex,
+    ) -> Result<()> {
+        let idx_key = Self::key(&stmt.name);
+        if self.index_owner.contains_key(&idx_key) {
+            return Err(SqlError::Catalog(format!(
+                "index {} already exists",
+                stmt.name
+            )));
+        }
+        let table = self
+            .tables
+            .get_mut(&Self::key(&stmt.table))
+            .ok_or_else(|| SqlError::Catalog(format!("no such table {}", stmt.table)))?;
+        let cols = resolve_cols(&table.schema, &stmt.columns)?;
+
+        if stmt.clustered {
+            if table.is_clustered() {
+                return Err(SqlError::Catalog(format!(
+                    "table {} is already clustered",
+                    stmt.table
+                )));
+            }
+            // Materialise all rows, rebuild as index-organised storage.
+            let mut rows = Vec::new();
+            table.scan(pool, |_, row| {
+                rows.push(row);
+                true
+            })?;
+            let mut storage = TableStorage::Clustered {
+                tree: BTree::create(pool)?,
+                key_cols: cols.clone(),
+                unique: stmt.unique,
+                next_uniquifier: 0,
+            };
+            std::mem::swap(&mut table.storage, &mut storage);
+            if let TableStorage::Heap(mut h) = storage {
+                h.truncate(pool)?;
+            }
+            // Rebuild secondary indexes (locators changed) and reinsert.
+            for idx in &mut table.indexes {
+                idx.tree.clear(pool)?;
+            }
+            for row in rows {
+                table.insert_row(pool, &row)?;
+            }
+            self.index_owner
+                .insert(idx_key, Self::key(&stmt.table));
+            return Ok(());
+        }
+
+        // Secondary index: build from a scan.
+        let mut index = SecondaryIndex {
+            name: stmt.name.clone(),
+            cols: cols.clone(),
+            unique: stmt.unique,
+            tree: BTree::create(pool)?,
+        };
+        let mut entries: Vec<(Vec<Value>, RowLoc)> = Vec::new();
+        table.scan(pool, |loc, row| {
+            entries.push((cols.iter().map(|&c| row[c].clone()).collect(), loc));
+            true
+        })?;
+        for (vals, loc) in entries {
+            let mut key = encode_key(&vals)?;
+            if index.unique {
+                if index.tree.contains(pool, &key)? {
+                    return Err(SqlError::DuplicateKey {
+                        table: stmt.table.clone(),
+                        key: format!("{vals:?}"),
+                    });
+                }
+                index.tree.insert(pool, &key, &loc.to_bytes())?;
+            } else {
+                key.extend_from_slice(&loc.to_bytes());
+                index.tree.insert(pool, &key, &[])?;
+            }
+        }
+        table.indexes.push(index);
+        self.index_owner.insert(idx_key, Self::key(&stmt.table));
+        Ok(())
+    }
+
+    pub fn drop_index(&mut self, pool: &mut BufferPool, name: &str) -> Result<()> {
+        let idx_key = Self::key(name);
+        let owner = self
+            .index_owner
+            .remove(&idx_key)
+            .ok_or_else(|| SqlError::Catalog(format!("no such index {name}")))?;
+        let table = self.tables.get_mut(&owner).expect("owner must exist");
+        let pos = table
+            .indexes
+            .iter()
+            .position(|i| i.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::Catalog(format!("no such index {name}")))?;
+        let idx = table.indexes.remove(pos);
+        idx.tree.destroy(pool)?;
+        Ok(())
+    }
+
+    /// Names of all tables (for diagnostics / the SQL shell example).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.values().map(|t| t.schema.name.clone()).collect();
+        names.sort();
+        names
+    }
+}
+
+fn resolve_cols(schema: &TableSchema, names: &[String]) -> Result<Vec<usize>> {
+    names
+        .iter()
+        .map(|n| {
+            schema
+                .col_index(n)
+                .ok_or_else(|| SqlError::Bind(format!("no column {n} in {}", schema.name)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CreateIndex;
+
+    fn setup() -> (BufferPool, Catalog) {
+        let mut pool = BufferPool::in_memory(256);
+        let mut cat = Catalog::new();
+        cat.create_table(
+            &mut pool,
+            "TEdges",
+            vec![
+                ColumnDef { name: "fid".into(), dtype: DataType::Int },
+                ColumnDef { name: "tid".into(), dtype: DataType::Int },
+                ColumnDef { name: "cost".into(), dtype: DataType::Int },
+            ],
+            None,
+        )
+        .unwrap();
+        (pool, cat)
+    }
+
+    fn row(f: i64, t: i64, c: i64) -> Vec<Value> {
+        vec![Value::Int(f), Value::Int(t), Value::Int(c)]
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let (mut pool, mut cat) = setup();
+        let t = cat.table_mut("tedges").unwrap();
+        for i in 0..10 {
+            t.insert_row(&mut pool, &row(i, i + 1, 5)).unwrap();
+        }
+        let mut n = 0;
+        t.scan(&mut pool, |_, r| {
+            assert_eq!(r.len(), 3);
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let (mut pool, mut cat) = setup();
+        {
+            let t = cat.table_mut("TEdges").unwrap();
+            for i in 0..100 {
+                t.insert_row(&mut pool, &row(i % 10, i, 1)).unwrap();
+            }
+        }
+        cat.create_index(
+            &mut pool,
+            &CreateIndex {
+                name: "idx_fid".into(),
+                table: "TEdges".into(),
+                columns: vec!["fid".into()],
+                unique: false,
+                clustered: false,
+            },
+        )
+        .unwrap();
+        let t = cat.table("TEdges").unwrap();
+        let mut hits = Vec::new();
+        let used = t
+            .lookup_eq(&mut pool, &[0], &[Value::Int(3)], |_, r| {
+                hits.push(r[1].clone());
+                true
+            })
+            .unwrap();
+        assert!(used, "index should be used");
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|v| v.as_i64().unwrap() % 10 == 3));
+    }
+
+    #[test]
+    fn clustered_index_reorganises_table() {
+        let (mut pool, mut cat) = setup();
+        {
+            let t = cat.table_mut("TEdges").unwrap();
+            for i in (0..50).rev() {
+                t.insert_row(&mut pool, &row(i, 100 + i, 1)).unwrap();
+            }
+        }
+        cat.create_index(
+            &mut pool,
+            &CreateIndex {
+                name: "clu_fid".into(),
+                table: "TEdges".into(),
+                columns: vec!["fid".into()],
+                unique: false,
+                clustered: true,
+            },
+        )
+        .unwrap();
+        let t = cat.table("TEdges").unwrap();
+        assert!(t.is_clustered());
+        assert_eq!(t.len(), 50);
+        // Scan now yields clustering-key order.
+        let mut fids = Vec::new();
+        t.scan(&mut pool, |_, r| {
+            fids.push(r[0].as_i64().unwrap());
+            true
+        })
+        .unwrap();
+        let mut sorted = fids.clone();
+        sorted.sort_unstable();
+        assert_eq!(fids, sorted);
+        // Prefix lookup works.
+        let mut hits = 0;
+        t.lookup_eq(&mut pool, &[0], &[Value::Int(7)], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let (mut pool, mut cat) = setup();
+        cat.create_table(
+            &mut pool,
+            "TVisited",
+            vec![
+                ColumnDef { name: "nid".into(), dtype: DataType::Int },
+                ColumnDef { name: "d2s".into(), dtype: DataType::Int },
+            ],
+            Some(vec!["nid".into()]),
+        )
+        .unwrap();
+        let t = cat.table_mut("TVisited").unwrap();
+        t.insert_row(&mut pool, &[Value::Int(1), Value::Int(0)]).unwrap();
+        let err = t.insert_row(&mut pool, &[Value::Int(1), Value::Int(9)]);
+        assert!(matches!(err, Err(SqlError::DuplicateKey { .. })));
+        // Failed insert must not leave a phantom row.
+        assert_eq!(t.len(), 1);
+        let mut seen = 0;
+        t.scan(&mut pool, |_, _| {
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let (mut pool, mut cat) = setup();
+        cat.create_table(
+            &mut pool,
+            "TVisited",
+            vec![
+                ColumnDef { name: "nid".into(), dtype: DataType::Int },
+                ColumnDef { name: "d2s".into(), dtype: DataType::Int },
+            ],
+            Some(vec!["nid".into()]),
+        )
+        .unwrap();
+        let t = cat.table_mut("TVisited").unwrap();
+        let loc = t.insert_row(&mut pool, &[Value::Int(1), Value::Int(10)]).unwrap();
+        let old = vec![Value::Int(1), Value::Int(10)];
+        let new = vec![Value::Int(2), Value::Int(20)];
+        t.update_row(&mut pool, &loc, &old, &new).unwrap();
+        // Old key gone, new key findable.
+        let mut found = Vec::new();
+        t.lookup_eq(&mut pool, &[0], &[Value::Int(1)], |_, r| {
+            found.push(r);
+            true
+        })
+        .unwrap();
+        assert!(found.is_empty());
+        t.lookup_eq(&mut pool, &[0], &[Value::Int(2)], |_, r| {
+            found.push(r);
+            true
+        })
+        .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0][1], Value::Int(20));
+    }
+
+    #[test]
+    fn delete_removes_index_entries() {
+        let (mut pool, mut cat) = setup();
+        cat.create_index(
+            &mut pool,
+            &CreateIndex {
+                name: "idx_fid".into(),
+                table: "TEdges".into(),
+                columns: vec!["fid".into()],
+                unique: false,
+                clustered: false,
+            },
+        )
+        .unwrap();
+        let t = cat.table_mut("TEdges").unwrap();
+        let loc = t.insert_row(&mut pool, &row(5, 6, 7)).unwrap();
+        t.delete_row(&mut pool, &loc, &row(5, 6, 7)).unwrap();
+        let mut hits = 0;
+        t.lookup_eq(&mut pool, &[0], &[Value::Int(5)], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 0);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn truncate_empties_table_and_indexes() {
+        let (mut pool, mut cat) = setup();
+        cat.create_index(
+            &mut pool,
+            &CreateIndex {
+                name: "idx_fid".into(),
+                table: "TEdges".into(),
+                columns: vec!["fid".into()],
+                unique: false,
+                clustered: false,
+            },
+        )
+        .unwrap();
+        let t = cat.table_mut("TEdges").unwrap();
+        for i in 0..20 {
+            t.insert_row(&mut pool, &row(i, i, i)).unwrap();
+        }
+        t.truncate(&mut pool).unwrap();
+        assert!(t.is_empty());
+        let mut hits = 0;
+        t.lookup_eq(&mut pool, &[0], &[Value::Int(3)], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn drop_table_and_views() {
+        let (mut pool, mut cat) = setup();
+        assert!(cat.has_table("tedges"));
+        cat.drop_table(&mut pool, "TEDGES", false).unwrap();
+        assert!(!cat.has_table("tedges"));
+        assert!(cat.drop_table(&mut pool, "tedges", false).is_err());
+        cat.drop_table(&mut pool, "tedges", true).unwrap();
+    }
+
+    #[test]
+    fn coerce_row_types() {
+        let (mut pool, mut cat) = setup();
+        let _ = &mut pool;
+        let t = cat.table_mut("TEdges").unwrap();
+        let coerced = t
+            .coerce_row(vec![Value::Float(2.9), Value::Int(3), Value::Int(4)])
+            .unwrap();
+        assert_eq!(coerced[0], Value::Int(2));
+        assert!(t.coerce_row(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .coerce_row(vec![Value::Text("x".into()), Value::Int(1), Value::Int(2)])
+            .is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Engine dialects.
+//!
+//! The paper evaluates on two systems: a commercial "DBMS-x" (window
+//! functions **and** MERGE) and PostgreSQL 9.0 (window functions but **no**
+//! MERGE — §5.2: "Since PostgreSQL supports the window function but cannot
+//! provide the merge statement, we use insert and update statement for the
+//! M-operator instead"). The dialect flag reproduces exactly that
+//! capability difference for Fig 8(a)/9(e).
+
+/// Capabilities of the emulated RDBMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dialect {
+    /// Human-readable name, used in error messages and experiment output.
+    pub name: &'static str,
+    /// Whether the SQL:2008 MERGE statement is available.
+    pub supports_merge: bool,
+}
+
+impl Dialect {
+    /// The commercial system of the paper: full feature set.
+    pub const DBMS_X: Dialect = Dialect {
+        name: "DBMS-x",
+        supports_merge: true,
+    };
+
+    /// PostgreSQL 9.0: window functions, but no MERGE.
+    pub const POSTGRES: Dialect = Dialect {
+        name: "PostgreSQL",
+        supports_merge: false,
+    };
+}
+
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::DBMS_X
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialect_constants() {
+        let x = Dialect::DBMS_X;
+        let pg = Dialect::POSTGRES;
+        assert!(x.supports_merge && !pg.supports_merge);
+        assert_eq!(Dialect::default(), x);
+    }
+}

@@ -1,0 +1,305 @@
+//! The database engine facade: parse, plan, execute.
+//!
+//! [`Database`] owns the buffer pool and catalog and exposes a JDBC-like
+//! surface: `execute` / `execute_params` run a statement and report affected
+//! rows (the paper's SQLCA), `query` returns a result set. Parsed ASTs are
+//! cached per SQL string, so driving the engine with the same parameterized
+//! statements each iteration — exactly what the FEM algorithms do — pays the
+//! parse cost once.
+
+use crate::ast::Stmt;
+use crate::catalog::Catalog;
+use crate::dialect::Dialect;
+use crate::error::{Result, SqlError};
+use crate::exec::eval::ExecCtx;
+use crate::exec::{dml, select};
+use crate::parser::parse_statement;
+use fempath_storage::{BufferPool, IoStats, Value};
+use std::collections::HashMap;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Rows inserted/updated/deleted (the SQLCA "affected tuples" counter
+    /// the paper's Algorithms 1 and 2 read).
+    pub rows_affected: u64,
+    /// Result set for SELECT statements.
+    pub rows: Option<ResultSet>,
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// First value of the first row, if any.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// First value of the first row as an integer (None when absent/NULL).
+    pub fn scalar_i64(&self) -> Option<i64> {
+        self.scalar().and_then(|v| v.as_i64())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// An embedded relational database instance.
+pub struct Database {
+    pool: BufferPool,
+    catalog: Catalog,
+    dialect: Dialect,
+    ast_cache: HashMap<String, Stmt>,
+    statements_executed: u64,
+}
+
+impl Database {
+    /// A database whose pages live in memory (tests, small examples).
+    pub fn in_memory(buffer_pages: usize) -> Database {
+        Database::with_pool(BufferPool::in_memory(buffer_pages))
+    }
+
+    /// A database backed by an anonymous temporary file — the disk-resident
+    /// configuration used by the experiments.
+    pub fn on_temp_file(buffer_pages: usize) -> Result<Database> {
+        Ok(Database::with_pool(BufferPool::temp_file(buffer_pages)?))
+    }
+
+    /// Wraps an existing buffer pool.
+    pub fn with_pool(pool: BufferPool) -> Database {
+        Database {
+            pool,
+            catalog: Catalog::new(),
+            dialect: Dialect::default(),
+            ast_cache: HashMap::new(),
+            statements_executed: 0,
+        }
+    }
+
+    /// Sets the SQL dialect (builder style).
+    pub fn with_dialect(mut self, dialect: Dialect) -> Database {
+        self.dialect = dialect;
+        self
+    }
+
+    /// The active dialect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Changes the dialect in place.
+    pub fn set_dialect(&mut self, dialect: Dialect) {
+        self.dialect = dialect;
+    }
+
+    /// Executes a statement without parameters.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        self.execute_params(sql, &[])
+    }
+
+    /// Executes a statement with `?` parameters bound from `params`.
+    pub fn execute_params(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        if !self.ast_cache.contains_key(sql) {
+            let stmt = parse_statement(sql)?;
+            self.ast_cache.insert(sql.to_string(), stmt);
+        }
+        let stmt = self.ast_cache.get(sql).expect("just inserted").clone();
+        self.run_stmt(&stmt, params)
+    }
+
+    /// Runs a semicolon-separated script, returning the last outcome.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmts = crate::parser::parse_statements(sql)?;
+        let mut last = ExecOutcome {
+            rows_affected: 0,
+            rows: None,
+        };
+        for stmt in stmts {
+            last = self.run_stmt(&stmt, &[])?;
+        }
+        Ok(last)
+    }
+
+    /// Convenience: runs a SELECT and returns its result set.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        self.query_params(sql, &[])
+    }
+
+    /// Convenience: parameterized SELECT.
+    pub fn query_params(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        let out = self.execute_params(sql, params)?;
+        out.rows
+            .ok_or_else(|| SqlError::Eval("statement did not return rows".into()))
+    }
+
+    /// Executes one parsed statement.
+    pub fn run_stmt(&mut self, stmt: &Stmt, params: &[Value]) -> Result<ExecOutcome> {
+        self.statements_executed += 1;
+        let no_rows = |n: u64| ExecOutcome {
+            rows_affected: n,
+            rows: None,
+        };
+        match stmt {
+            Stmt::Select(sel) => {
+                let mut ctx = ExecCtx {
+                    pool: &mut self.pool,
+                    catalog: &self.catalog,
+                    params,
+                    trace: None,
+                };
+                let rel = select::execute_select(&mut ctx, sel)?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    rows: Some(ResultSet {
+                        columns: rel.schema.cols.iter().map(|c| c.name.clone()).collect(),
+                        rows: rel.rows,
+                    }),
+                })
+            }
+            Stmt::Explain(inner) => {
+                let Stmt::Select(sel) = inner.as_ref() else {
+                    return Err(SqlError::Eval(
+                        "EXPLAIN currently supports SELECT statements only".into(),
+                    ));
+                };
+                let trace = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+                let mut ctx = ExecCtx {
+                    pool: &mut self.pool,
+                    catalog: &self.catalog,
+                    params,
+                    trace: Some(trace.clone()),
+                };
+                let rel = select::execute_select(&mut ctx, sel)?;
+                let mut lines = trace.borrow().clone();
+                lines.push(format!("RESULT {} row(s)", rel.rows.len()));
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    rows: Some(ResultSet {
+                        columns: vec!["plan".into()],
+                        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                    }),
+                })
+            }
+            Stmt::CreateTable(ct) => {
+                self.catalog.create_table(
+                    &mut self.pool,
+                    &ct.name,
+                    ct.columns.clone(),
+                    ct.primary_key.clone(),
+                )?;
+                Ok(no_rows(0))
+            }
+            Stmt::CreateIndex(ci) => {
+                self.catalog.create_index(&mut self.pool, ci)?;
+                Ok(no_rows(0))
+            }
+            Stmt::CreateView { name, query } => {
+                self.catalog.create_view(name, (**query).clone())?;
+                Ok(no_rows(0))
+            }
+            Stmt::DropTable { name, if_exists } => {
+                self.catalog.drop_table(&mut self.pool, name, *if_exists)?;
+                Ok(no_rows(0))
+            }
+            Stmt::DropIndex { name } => {
+                self.catalog.drop_index(&mut self.pool, name)?;
+                Ok(no_rows(0))
+            }
+            Stmt::DropView { name } => {
+                self.catalog.drop_view(name)?;
+                Ok(no_rows(0))
+            }
+            Stmt::Truncate { table } => {
+                let t = self.catalog.table_mut(table)?;
+                let n = t.len();
+                t.truncate(&mut self.pool)?;
+                Ok(no_rows(n))
+            }
+            Stmt::Insert(ins) => {
+                let n = dml::execute_insert(&mut self.pool, &mut self.catalog, params, ins)?;
+                Ok(no_rows(n))
+            }
+            Stmt::Update(upd) => {
+                let n = dml::execute_update(&mut self.pool, &mut self.catalog, params, upd)?;
+                Ok(no_rows(n))
+            }
+            Stmt::Delete(del) => {
+                let n = dml::execute_delete(&mut self.pool, &mut self.catalog, params, del)?;
+                Ok(no_rows(n))
+            }
+            Stmt::Merge(m) => {
+                if !self.dialect.supports_merge {
+                    return Err(SqlError::UnsupportedByDialect {
+                        feature: "MERGE statement".into(),
+                        dialect: self.dialect.name.to_string(),
+                    });
+                }
+                let n = dml::execute_merge(&mut self.pool, &mut self.catalog, params, m)?;
+                Ok(no_rows(n))
+            }
+        }
+    }
+
+    /// Number of rows currently in `table`.
+    pub fn table_len(&self, table: &str) -> Result<u64> {
+        Ok(self.catalog.table(table)?.len())
+    }
+
+    /// True when the catalog knows `table`.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.catalog.has_table(table)
+    }
+
+    /// Buffer-pool / disk counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the I/O counters.
+    pub fn reset_io_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    /// Total statements executed since creation.
+    pub fn statements_executed(&self) -> u64 {
+        self.statements_executed
+    }
+
+    /// Resizes the buffer pool (pages) — the paper's buffer-size sweeps.
+    pub fn set_buffer_capacity(&mut self, pages: usize) -> Result<()> {
+        Ok(self.pool.set_capacity(pages)?)
+    }
+
+    /// Current buffer-pool capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Flushes dirty pages and drops the cache, forcing cold reads — used
+    /// to measure cold-start behaviour.
+    pub fn clear_buffer_cache(&mut self) -> Result<()> {
+        Ok(self.pool.clear_cache()?)
+    }
+
+    /// Flushes dirty pages to the backend.
+    pub fn flush(&mut self) -> Result<()> {
+        Ok(self.pool.flush_all()?)
+    }
+
+    /// Direct catalog access (diagnostics, the SQL shell example).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}

@@ -1,0 +1,183 @@
+//! Window-function execution (`ROW_NUMBER`, `RANK` over partitions).
+//!
+//! This is the SQL:2003 feature the paper leans on (§2.2/§3.3): one window
+//! pass replaces the aggregate-plus-self-join of the traditional
+//! formulation, keeping non-aggregate columns (the parent `p2s`) available
+//! next to the per-partition minimum.
+
+use super::eval::{bind_expr, eval, BExpr, ExecCtx, SchemaCol};
+use super::select::OutItem;
+use super::Relation;
+use crate::ast::{Expr, WindowFunc};
+use crate::error::Result;
+use fempath_storage::{encode_key, Value};
+
+/// One distinct window specification found in the projection.
+#[derive(PartialEq, Clone, Debug)]
+struct WinSpec {
+    func: WindowFunc,
+    partition_by: Vec<Expr>,
+    order_by: Vec<crate::ast::OrderKey>,
+}
+
+fn collect_windows(expr: &Expr, out: &mut Vec<WinSpec>) {
+    match expr {
+        Expr::Window {
+            func,
+            partition_by,
+            order_by,
+        } => {
+            let spec = WinSpec {
+                func: *func,
+                partition_by: partition_by.clone(),
+                order_by: order_by.clone(),
+            };
+            if !out.contains(&spec) {
+                out.push(spec);
+            }
+        }
+        Expr::Unary { expr, .. } => collect_windows(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_windows(left, out);
+            collect_windows(right, out);
+        }
+        Expr::IsNull { expr, .. } => collect_windows(expr, out),
+        _ => {}
+    }
+}
+
+fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
+    match expr {
+        Expr::Window {
+            func,
+            partition_by,
+            order_by,
+        } => {
+            let spec = WinSpec {
+                func: *func,
+                partition_by: partition_by.clone(),
+                order_by: order_by.clone(),
+            };
+            let i = specs.iter().position(|s| s == &spec).expect("collected");
+            Expr::Column {
+                table: Some("#win".into()),
+                name: format!("w{i}"),
+            }
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite(expr, specs)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite(left, specs)),
+            op: *op,
+            right: Box::new(rewrite(right, specs)),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite(expr, specs)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Computes every window column, appends them to the relation under the
+/// `#win` binding, and rewrites the projection items to reference them.
+pub fn run_windows(
+    ctx: &mut ExecCtx<'_>,
+    mut rel: Relation,
+    items: Vec<OutItem>,
+) -> Result<(Relation, Vec<OutItem>)> {
+    let mut specs = Vec::new();
+    for item in &items {
+        collect_windows(&item.expr, &mut specs);
+    }
+
+    let n = rel.rows.len();
+    for (si, spec) in specs.iter().enumerate() {
+        let part: Vec<BExpr> = spec
+            .partition_by
+            .iter()
+            .map(|e| bind_expr(ctx, &rel.schema, e))
+            .collect::<Result<_>>()?;
+        let order: Vec<(BExpr, bool)> = spec
+            .order_by
+            .iter()
+            .map(|k| Ok((bind_expr(ctx, &rel.schema, &k.expr)?, k.asc)))
+            .collect::<Result<_>>()?;
+
+        // (partition key bytes, order values, original index)
+        let mut keyed: Vec<(Vec<u8>, Vec<Value>, usize)> = Vec::with_capacity(n);
+        for (i, row) in rel.rows.iter().enumerate() {
+            let mut pvals = Vec::with_capacity(part.len());
+            for p in &part {
+                pvals.push(eval(p, row)?);
+            }
+            let pkey = encode_key(&pvals).unwrap_or_default();
+            let mut ovals = Vec::with_capacity(order.len());
+            for (o, _) in &order {
+                ovals.push(eval(o, row)?);
+            }
+            keyed.push((pkey, ovals, i));
+        }
+        keyed.sort_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                for (i, (_, asc)) in order.iter().enumerate() {
+                    let ord = a.1[i].total_cmp(&b.1[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+
+        let mut values = vec![Value::Null; n];
+        let mut prev_part: Option<&[u8]> = None;
+        let mut row_num = 0i64;
+        let mut rank = 0i64;
+        let mut prev_order: Option<&[Value]> = None;
+        for (pkey, ovals, idx) in &keyed {
+            if prev_part != Some(pkey.as_slice()) {
+                row_num = 0;
+                rank = 0;
+                prev_order = None;
+                prev_part = Some(pkey.as_slice());
+            }
+            row_num += 1;
+            let tied = prev_order.is_some_and(|po| {
+                po.len() == ovals.len()
+                    && po
+                        .iter()
+                        .zip(ovals.iter())
+                        .all(|(a, b)| a.total_cmp(b).is_eq())
+            });
+            if !tied {
+                rank = row_num;
+            }
+            prev_order = Some(ovals.as_slice());
+            values[*idx] = Value::Int(match spec.func {
+                WindowFunc::RowNumber => row_num,
+                WindowFunc::Rank => rank,
+            });
+        }
+
+        rel.schema.cols.push(SchemaCol {
+            binding: Some("#win".into()),
+            name: format!("w{si}"),
+        });
+        for (row, v) in rel.rows.iter_mut().zip(values) {
+            row.push(v);
+        }
+    }
+
+    let new_items = items
+        .into_iter()
+        .map(|i| OutItem {
+            name: i.name,
+            expr: rewrite(&i.expr, &specs),
+        })
+        .collect();
+    Ok((rel, new_items))
+}

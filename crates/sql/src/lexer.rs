@@ -1,0 +1,349 @@
+//! SQL tokenizer.
+//!
+//! Keywords are case-insensitive; identifiers keep their original spelling
+//! but compare case-insensitively at bind time. String literals use single
+//! quotes with `''` escaping. `--` starts a line comment.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token with its 1-based character position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `?` positional parameter.
+    Param,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True when this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input` fully.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let err = |msg: &str, pos: usize| SqlError::Parse {
+        message: msg.to_string(),
+        position: pos + 1,
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = i + 1;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token { kind: TokenKind::Dot, pos });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token { kind: TokenKind::Semicolon, pos });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token { kind: TokenKind::Plus, pos });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token { kind: TokenKind::Minus, pos });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token { kind: TokenKind::Percent, pos });
+                i += 1;
+            }
+            b'?' => {
+                out.push(Token { kind: TokenKind::Param, pos });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::LtEq, pos });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { kind: TokenKind::NotEq, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, pos });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::GtEq, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::NotEq, pos });
+                    i += 2;
+                } else {
+                    return Err(err("unexpected '!'", i));
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string literal", pos - 1)),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Track UTF-8 boundaries via str indexing.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), pos });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>()
+                            .map_err(|_| err("invalid float literal", start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<i64>()
+                            .map_err(|_| err("integer literal out of range", start))?,
+                    )
+                };
+                out.push(Token { kind, pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    pos,
+                });
+            }
+            _ => {
+                return Err(err(
+                    &format!("unexpected character {:?}", input[i..].chars().next().unwrap()),
+                    i,
+                ))
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len() + 1,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let ks = kinds("SELECT nid FROM TVisited WHERE f = 0;");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("nid".into()));
+        assert_eq!(ks[2], TokenKind::Ident("FROM".into()));
+        assert!(ks.contains(&TokenKind::Eq));
+        assert!(ks.contains(&TokenKind::Int(0)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 7"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escape() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the whole row\n 1"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_punctuation() {
+        let ks = kinds("f(a.b, ?) * 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Comma,
+                TokenKind::Param,
+                TokenKind::RParen,
+                TokenKind::Star,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].kind.is_kw("SELECT"));
+        assert!(toks[0].kind.is_kw("select"));
+        assert!(!toks[0].kind.is_kw("FROM"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # fempath-sql
+//!
+//! A from-scratch embedded SQL engine over the `fempath-storage` layer.
+//!
+//! It implements the SQL surface the paper's shortest-path algorithms need —
+//! and enough general DDL/DML to be useful on its own:
+//!
+//! * `CREATE/DROP TABLE/INDEX/VIEW`, `TRUNCATE`, clustered (index-organized)
+//!   and secondary indexes, unique constraints;
+//! * `SELECT` with joins (index-nested-loop / hash / nested-loop), scalar
+//!   and `IN` subqueries, `GROUP BY`/`HAVING`, `ORDER BY`, `TOP`/`LIMIT`,
+//!   `DISTINCT`;
+//! * **window functions** (`ROW_NUMBER`, `RANK` with
+//!   `OVER (PARTITION BY … ORDER BY …)`) — the SQL:2003 feature of §2.2;
+//! * **`MERGE`** — the SQL:2008 feature of §2.2 — plus `UPDATE … FROM` as
+//!   the traditional-SQL fallback;
+//! * `?` positional parameters with AST caching (JDBC-style prepared
+//!   statements);
+//! * two [`Dialect`]s mirroring the paper's DBMS-x and PostgreSQL 9.0.
+//!
+//! ```
+//! use fempath_sql::Database;
+//! use fempath_storage::Value;
+//!
+//! let mut db = Database::in_memory(256);
+//! db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
+//! db.execute("CREATE CLUSTERED INDEX idx_e ON TEdges(fid)").unwrap();
+//! db.execute("INSERT INTO TEdges VALUES (1, 2, 10), (1, 3, 4), (2, 3, 1)").unwrap();
+//! let rs = db
+//!     .query_params("SELECT tid, cost FROM TEdges WHERE fid = ?", &[Value::Int(1)])
+//!     .unwrap();
+//! assert_eq!(rs.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod dialect;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use catalog::{Catalog, RowLoc, Table, TableSchema};
+pub use dialect::Dialect;
+pub use engine::{Database, ExecOutcome, ResultSet};
+pub use error::{Result, SqlError};
+pub use parser::{parse_statement, parse_statements};

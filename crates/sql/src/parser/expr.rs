@@ -1,0 +1,409 @@
+//! Expression grammar (precedence climbing).
+//!
+//! ```text
+//! expr        := or
+//! or          := and (OR and)*
+//! and         := not (AND not)*
+//! not         := NOT not | predicate
+//! predicate   := additive (cmp additive | IS [NOT] NULL | [NOT] IN (subquery))*
+//! additive    := multiplic ((+|-) multiplic)*
+//! multiplic   := unary ((*|/|%) unary)*
+//! unary       := - unary | primary
+//! primary     := literal | ? | ( expr | subquery ) | func-call | column
+//! ```
+
+use super::Parser;
+use crate::ast::{AggFunc, BinaryOp, Expr, OrderKey, UnaryOp, WindowFunc};
+use crate::error::Result;
+use crate::lexer::TokenKind;
+use fempath_storage::Value;
+
+/// Words that cannot appear as a bare column reference — catching typos like
+/// `SELECT FROM t` early instead of binding a column named "FROM".
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AND", "OR", "IN", "IS",
+    "EXISTS", "JOIN", "INNER", "ON", "AS", "MERGE", "UPDATE", "DELETE", "INSERT", "INTO",
+    "VALUES", "SET", "WHEN", "MATCHED", "THEN", "CREATE", "DROP", "TABLE", "INDEX", "VIEW",
+    "DISTINCT", "BY", "USING", "TRUNCATE",
+];
+
+impl Parser {
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.peek().is_kw("NOT") && !self.peek2().is_kw("EXISTS") {
+            self.advance();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        // EXISTS / NOT EXISTS are prefix predicates.
+        if self.peek().is_kw("EXISTS") {
+            self.advance();
+            self.expect(&TokenKind::LParen)?;
+            let q = self.select()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Exists {
+                query: Box::new(q),
+                negated: false,
+            });
+        }
+        if self.peek().is_kw("NOT") && self.peek2().is_kw("EXISTS") {
+            self.advance();
+            self.advance();
+            self.expect(&TokenKind::LParen)?;
+            let q = self.select()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Exists {
+                query: Box::new(q),
+                negated: true,
+            });
+        }
+
+        let mut left = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => Some(BinaryOp::Eq),
+                TokenKind::NotEq => Some(BinaryOp::NotEq),
+                TokenKind::Lt => Some(BinaryOp::Lt),
+                TokenKind::LtEq => Some(BinaryOp::LtEq),
+                TokenKind::Gt => Some(BinaryOp::Gt),
+                TokenKind::GtEq => Some(BinaryOp::GtEq),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.advance();
+                let right = self.additive()?;
+                left = Expr::Binary {
+                    left: Box::new(left),
+                    op,
+                    right: Box::new(right),
+                };
+                continue;
+            }
+            if self.peek().is_kw("IS") {
+                self.advance();
+                let negated = self.eat_kw("NOT");
+                self.expect_kw("NULL")?;
+                left = Expr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                };
+                continue;
+            }
+            if self.peek().is_kw("IN") || (self.peek().is_kw("NOT") && self.peek2().is_kw("IN")) {
+                let negated = self.eat_kw("NOT");
+                self.expect_kw("IN")?;
+                self.expect(&TokenKind::LParen)?;
+                if self.peek().is_kw("SELECT") {
+                    let q = self.select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    left = Expr::InSubquery {
+                        expr: Box::new(left),
+                        query: Box::new(q),
+                        negated,
+                    };
+                } else {
+                    // Value list: desugar `e IN (a, b, …)` into an OR chain
+                    // of equalities (and negate for NOT IN).
+                    let mut values = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        values.push(self.expr()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    let mut chain: Option<Expr> = None;
+                    for v in values {
+                        let eq = Expr::Binary {
+                            left: Box::new(left.clone()),
+                            op: BinaryOp::Eq,
+                            right: Box::new(v),
+                        };
+                        chain = Some(match chain {
+                            Some(c) => Expr::Binary {
+                                left: Box::new(c),
+                                op: BinaryOp::Or,
+                                right: Box::new(eq),
+                            },
+                            None => eq,
+                        });
+                    }
+                    let chain = chain.expect("at least one value");
+                    left = if negated {
+                        Expr::Unary {
+                            op: UnaryOp::Not,
+                            expr: Box::new(chain),
+                        }
+                    } else {
+                        chain
+                    };
+                }
+                continue;
+            }
+            if self.peek().is_kw("BETWEEN")
+                || (self.peek().is_kw("NOT") && self.peek2().is_kw("BETWEEN"))
+            {
+                // Desugar `e [NOT] BETWEEN lo AND hi` into range comparisons.
+                let negated = self.eat_kw("NOT");
+                self.expect_kw("BETWEEN")?;
+                let lo = self.additive()?;
+                self.expect_kw("AND")?;
+                let hi = self.additive()?;
+                let range = Expr::Binary {
+                    left: Box::new(Expr::Binary {
+                        left: Box::new(left.clone()),
+                        op: BinaryOp::GtEq,
+                        right: Box::new(lo),
+                    }),
+                    op: BinaryOp::And,
+                    right: Box::new(Expr::Binary {
+                        left: Box::new(left),
+                        op: BinaryOp::LtEq,
+                        right: Box::new(hi),
+                    }),
+                };
+                left = if negated {
+                    Expr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(range),
+                    }
+                } else {
+                    range
+                };
+                continue;
+            }
+            return Ok(left);
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            TokenKind::Param => {
+                self.advance();
+                let ordinal = self.params;
+                self.params += 1;
+                Ok(Expr::Param(ordinal))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                // Either a scalar subquery or a parenthesised expression.
+                if self.peek().is_kw("SELECT") {
+                    let q = self.select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Int(1)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Int(0)));
+                }
+                // Function call?
+                if self.peek2() == &TokenKind::LParen {
+                    if let Some(e) = self.try_function_call(&name)? {
+                        return Ok(e);
+                    }
+                }
+                if RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k)) {
+                    return Err(self.error(format!(
+                        "unexpected keyword {name} in expression"
+                    )));
+                }
+                self.advance();
+                // Qualified column `t.c`?
+                if self.eat(&TokenKind::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(self.error(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    /// Parses aggregate and window function calls; returns `Ok(None)` for
+    /// unknown function names (the caller treats the ident as a column).
+    fn try_function_call(&mut self, name: &str) -> Result<Option<Expr>> {
+        let agg = match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            _ => None,
+        };
+        if let Some(func) = agg {
+            self.advance(); // name
+            self.expect(&TokenKind::LParen)?;
+            let arg = if self.eat(&TokenKind::Star) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Some(Expr::Aggregate { func, arg }));
+        }
+        let win = match name.to_ascii_uppercase().as_str() {
+            "ROW_NUMBER" => Some(WindowFunc::RowNumber),
+            "RANK" => Some(WindowFunc::Rank),
+            _ => None,
+        };
+        if let Some(func) = win {
+            self.advance(); // name
+            self.expect(&TokenKind::LParen)?;
+            self.expect(&TokenKind::RParen)?;
+            self.expect_kw("OVER")?;
+            self.expect(&TokenKind::LParen)?;
+            let mut partition_by = Vec::new();
+            if self.eat_kw("PARTITION") {
+                self.expect_kw("BY")?;
+                partition_by.push(self.expr()?);
+                while self.eat(&TokenKind::Comma) {
+                    partition_by.push(self.expr()?);
+                }
+            }
+            let order_by = if self.eat_kw("ORDER") {
+                self.expect_kw("BY")?;
+                self.order_key_list()?
+            } else {
+                Vec::new()
+            };
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Some(Expr::Window {
+                func,
+                partition_by,
+                order_by,
+            }));
+        }
+        Ok(None)
+    }
+
+    pub(crate) fn order_key_list(&mut self) -> Result<Vec<OrderKey>> {
+        let mut keys = vec![self.order_key()?];
+        while self.eat(&TokenKind::Comma) {
+            keys.push(self.order_key()?);
+        }
+        Ok(keys)
+    }
+
+    fn order_key(&mut self) -> Result<OrderKey> {
+        let expr = self.expr()?;
+        let asc = if self.eat_kw("DESC") {
+            false
+        } else {
+            self.eat_kw("ASC");
+            true
+        };
+        Ok(OrderKey { expr, asc })
+    }
+}

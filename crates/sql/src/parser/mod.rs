@@ -1,0 +1,189 @@
+//! Recursive-descent SQL parser.
+//!
+//! Entry point: [`parse_statement`] / [`parse_statements`]. The grammar is
+//! described in [`crate::ast`].
+
+mod expr;
+mod select;
+mod stmt;
+
+use crate::ast::Stmt;
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Number of `?` parameters seen so far (assigns ordinals).
+    pub(crate) params: usize,
+    /// ON-conditions of `JOIN … ON` clauses awaiting merge into WHERE.
+    pub(crate) pending_join_conds: Vec<crate::ast::Expr>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            params: 0,
+            pending_join_conds: Vec::new(),
+        }
+    }
+
+    /// Saves the cursor for backtracking (parameters are not affected by
+    /// the lookahead paths that use this).
+    pub(crate) fn save(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn restore(&mut self, save: usize) {
+        self.pos = save;
+    }
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    pub(crate) fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn error(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            message: msg.into(),
+            position: self.tokens[self.pos].pos,
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the next token to be the given keyword.
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Consumes the next token if it matches `kind` exactly.
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Requires an identifier (keyword tokens qualify — column names like
+    /// `cost` are not reserved).
+    pub(crate) fn expect_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses a comma-separated identifier list in parentheses.
+    pub(crate) fn ident_list_parens(&mut self) -> Result<Vec<String>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut out = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Comma) {
+            out.push(self.expect_ident()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.eat_kw("EXPLAIN") {
+            let inner = self.statement()?;
+            return Ok(Stmt::Explain(Box::new(inner)));
+        }
+        let stmt = if self.peek().is_kw("SELECT") {
+            Stmt::Select(Box::new(self.select()?))
+        } else if self.peek().is_kw("CREATE") {
+            self.create()?
+        } else if self.peek().is_kw("DROP") {
+            self.drop()?
+        } else if self.peek().is_kw("INSERT") {
+            self.insert()?
+        } else if self.peek().is_kw("UPDATE") {
+            self.update()?
+        } else if self.peek().is_kw("DELETE") {
+            self.delete()?
+        } else if self.peek().is_kw("MERGE") {
+            self.merge()?
+        } else if self.peek().is_kw("TRUNCATE") {
+            self.truncate()?
+        } else {
+            return Err(self.error(format!("unexpected token {:?}", self.peek())));
+        };
+        Ok(stmt)
+    }
+}
+
+/// Parses a single SQL statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Stmt> {
+    let mut p = Parser::new(tokenize(sql)?);
+    let stmt = p.statement()?;
+    p.eat(&TokenKind::Semicolon);
+    if p.peek() != &TokenKind::Eof {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a semicolon-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Stmt>> {
+    let mut p = Parser::new(tokenize(sql)?);
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.peek() == &TokenKind::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.eat(&TokenKind::Semicolon) && p.peek() != &TokenKind::Eof {
+            return Err(p.error("expected ';' between statements"));
+        }
+    }
+    Ok(out)
+}
+
+/// Number of `?` parameters in a statement (re-tokenizes; used by prepare).
+pub fn count_params(sql: &str) -> Result<usize> {
+    Ok(tokenize(sql)?
+        .iter()
+        .filter(|t| t.kind == TokenKind::Param)
+        .count())
+}

@@ -1,0 +1,183 @@
+//! SELECT grammar.
+
+use super::Parser;
+use crate::ast::{Select, SelectItem, TableRef};
+use crate::error::Result;
+use crate::lexer::TokenKind;
+
+/// Keywords that terminate a table alias position.
+const RESERVED_AFTER_TABLE: &[&str] = &[
+    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "ON", "JOIN", "INNER", "LEFT", "USING",
+    "WHEN", "SET", "AS",
+];
+
+impl Parser {
+    pub(crate) fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let top = if self.eat_kw("TOP") {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error("expected non-negative integer after TOP")),
+            }
+        } else {
+            None
+        };
+
+        let mut items = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            from.push(self.table_ref()?);
+            loop {
+                if self.eat(&TokenKind::Comma) {
+                    from.push(self.table_ref()?);
+                } else if self.peek().is_kw("JOIN")
+                    || (self.peek().is_kw("INNER") && self.peek2().is_kw("JOIN"))
+                {
+                    // INNER JOIN sugar: `a JOIN b ON cond` is parsed as a
+                    // comma join with the ON condition folded into WHERE.
+                    self.eat_kw("INNER");
+                    self.expect_kw("JOIN")?;
+                    from.push(self.table_ref()?);
+                    self.expect_kw("ON")?;
+                    let cond = self.expr()?;
+                    // Stash; merged into the filter below.
+                    self.pending_join_conds.push(cond);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        for cond in std::mem::take(&mut self.pending_join_conds) {
+            filter = Some(match filter {
+                Some(f) => f.and(cond),
+                None => cond,
+            });
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            self.order_key_list()?
+        } else {
+            Vec::new()
+        };
+
+        let limit = if self.eat_kw("LIMIT") {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+
+        Ok(Select {
+            distinct,
+            top,
+            items,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.peek2() == &TokenKind::Dot {
+                // Look one further ahead for `*`.
+                let save = self.save();
+                self.advance();
+                self.advance();
+                if self.eat(&TokenKind::Star) {
+                    return Ok(SelectItem::QualifiedWildcard(name));
+                }
+                self.restore(save);
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(name) = self.peek() {
+            // Bare alias, unless it's a clause keyword.
+            if RESERVED_AFTER_TABLE.iter().any(|k| name.eq_ignore_ascii_case(k))
+                || name.eq_ignore_ascii_case("FROM")
+            {
+                None
+            } else {
+                let a = name.clone();
+                self.advance();
+                Some(a)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    pub(crate) fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat(&TokenKind::LParen) {
+            let query = self.select()?;
+            self.expect(&TokenKind::RParen)?;
+            self.eat_kw("AS");
+            let alias = self.expect_ident()?;
+            // Optional derived-table column list: `tmp (nid, p2s, cost)`.
+            let columns = if self.peek() == &TokenKind::LParen {
+                Some(self.ident_list_parens()?)
+            } else {
+                None
+            };
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+                columns,
+            });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_ident()?)
+        } else if let TokenKind::Ident(a) = self.peek() {
+            if RESERVED_AFTER_TABLE.iter().any(|k| a.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                let a = a.clone();
+                self.advance();
+                Some(a)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+}

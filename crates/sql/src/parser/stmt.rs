@@ -1,0 +1,594 @@
+//! DDL, DML and MERGE grammar.
+
+use super::Parser;
+use crate::ast::{
+    ColumnDef, CreateIndex, CreateTable, Delete, Insert, InsertSource, Merge, MergeInsert,
+    MergeMatched, Stmt, Update,
+};
+use crate::error::Result;
+use crate::lexer::TokenKind;
+use fempath_storage::DataType;
+
+impl Parser {
+    pub(crate) fn create(&mut self) -> Result<Stmt> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            return self.create_table();
+        }
+        if self.eat_kw("VIEW") {
+            let name = self.expect_ident()?;
+            self.expect_kw("AS")?;
+            let query = self.select()?;
+            return Ok(Stmt::CreateView {
+                name,
+                query: Box::new(query),
+            });
+        }
+        let mut unique = false;
+        let mut clustered = false;
+        loop {
+            if self.eat_kw("UNIQUE") {
+                unique = true;
+            } else if self.eat_kw("CLUSTERED") {
+                clustered = true;
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("INDEX")?;
+        let name = self.expect_ident()?;
+        self.expect_kw("ON")?;
+        let table = self.expect_ident()?;
+        let columns = self.ident_list_parens()?;
+        Ok(Stmt::CreateIndex(CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+            clustered,
+        }))
+    }
+
+    fn create_table(&mut self) -> Result<Stmt> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        loop {
+            if self.peek().is_kw("PRIMARY") {
+                self.advance();
+                self.expect_kw("KEY")?;
+                primary_key = Some(self.ident_list_parens()?);
+            } else {
+                let col = self.expect_ident()?;
+                let dtype = self.data_type()?;
+                columns.push(ColumnDef { name: col, dtype });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Stmt::CreateTable(CreateTable {
+            name,
+            columns,
+            primary_key,
+        }))
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.expect_ident()?;
+        let dt = match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => DataType::Int,
+            "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => DataType::Float,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => DataType::Text,
+            other => return Err(self.error(format!("unknown data type {other}"))),
+        };
+        // Swallow a length spec such as VARCHAR(32).
+        if self.peek() == &TokenKind::LParen {
+            self.advance();
+            while self.peek() != &TokenKind::RParen && self.peek() != &TokenKind::Eof {
+                self.advance();
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(dt)
+    }
+
+    pub(crate) fn drop(&mut self) -> Result<Stmt> {
+        self.expect_kw("DROP")?;
+        if self.eat_kw("TABLE") {
+            let mut if_exists = false;
+            if self.peek().is_kw("IF") {
+                self.advance();
+                self.expect_kw("EXISTS")?;
+                if_exists = true;
+            }
+            let name = self.expect_ident()?;
+            return Ok(Stmt::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INDEX") {
+            let name = self.expect_ident()?;
+            return Ok(Stmt::DropIndex { name });
+        }
+        if self.eat_kw("VIEW") {
+            let name = self.expect_ident()?;
+            return Ok(Stmt::DropView { name });
+        }
+        Err(self.error("expected TABLE, INDEX or VIEW after DROP"))
+    }
+
+    pub(crate) fn truncate(&mut self) -> Result<Stmt> {
+        self.expect_kw("TRUNCATE")?;
+        self.eat_kw("TABLE");
+        let table = self.expect_ident()?;
+        Ok(Stmt::Truncate { table })
+    }
+
+    pub(crate) fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.expect_ident()?;
+        let columns = if self.peek() == &TokenKind::LParen {
+            Some(self.ident_list_parens()?)
+        } else {
+            None
+        };
+        let source = if self.eat_kw("VALUES") {
+            let mut rows = vec![self.value_row()?];
+            while self.eat(&TokenKind::Comma) {
+                rows.push(self.value_row()?);
+            }
+            InsertSource::Values(rows)
+        } else if self.peek().is_kw("SELECT") {
+            InsertSource::Query(Box::new(self.select()?))
+        } else {
+            return Err(self.error("expected VALUES or SELECT in INSERT"));
+        };
+        Ok(Stmt::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
+    }
+
+    fn value_row(&mut self) -> Result<Vec<crate::ast::Expr>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut row = vec![self.expr()?];
+        while self.eat(&TokenKind::Comma) {
+            row.push(self.expr()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(row)
+    }
+
+    pub(crate) fn update(&mut self) -> Result<Stmt> {
+        self.expect_kw("UPDATE")?;
+        let table = self.expect_ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_ident()?)
+        } else if matches!(self.peek(), TokenKind::Ident(a) if !a.eq_ignore_ascii_case("SET")) {
+            let a = self.expect_ident()?;
+            Some(a)
+        } else {
+            None
+        };
+        self.expect_kw("SET")?;
+        let mut assignments = vec![self.assignment()?];
+        while self.eat(&TokenKind::Comma) {
+            assignments.push(self.assignment()?);
+        }
+        let from = if self.eat_kw("FROM") {
+            Some(self.table_ref()?)
+        } else {
+            None
+        };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update(Update {
+            table,
+            alias,
+            assignments,
+            from,
+            filter,
+        }))
+    }
+
+    fn assignment(&mut self) -> Result<(String, crate::ast::Expr)> {
+        let col = self.expect_ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let value = self.expr()?;
+        Ok((col, value))
+    }
+
+    pub(crate) fn delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.expect_ident()?;
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete(Delete { table, filter }))
+    }
+
+    /// `MERGE [INTO] target [AS alias] USING source [AS alias] ON (cond)
+    ///  WHEN MATCHED [AND cond] THEN UPDATE SET …
+    ///  WHEN NOT MATCHED [BY TARGET] THEN INSERT (…) VALUES (…)`
+    pub(crate) fn merge(&mut self) -> Result<Stmt> {
+        self.expect_kw("MERGE")?;
+        self.eat_kw("INTO");
+        let target = self.expect_ident()?;
+        self.eat_kw("AS");
+        let target_alias =
+            if matches!(self.peek(), TokenKind::Ident(a) if !a.eq_ignore_ascii_case("USING")) {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+        self.expect_kw("USING")?;
+        let source = self.table_ref()?;
+        self.expect_kw("ON")?;
+        // Parenthesised or bare condition.
+        let on = self.expr()?;
+
+        let mut when_matched = None;
+        let mut when_not_matched = None;
+        while self.eat_kw("WHEN") {
+            if self.eat_kw("MATCHED") {
+                let condition = if self.eat_kw("AND") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_kw("THEN")?;
+                self.expect_kw("UPDATE")?;
+                self.expect_kw("SET")?;
+                let mut assignments = vec![self.assignment()?];
+                while self.eat(&TokenKind::Comma) {
+                    assignments.push(self.assignment()?);
+                }
+                when_matched = Some(MergeMatched {
+                    condition,
+                    assignments,
+                });
+            } else {
+                self.expect_kw("NOT")?;
+                self.expect_kw("MATCHED")?;
+                if self.eat_kw("BY") {
+                    // `BY TARGET` — the paper's phrasing; only the target
+                    // side is supported.
+                    self.expect_kw("TARGET")?;
+                }
+                self.expect_kw("THEN")?;
+                self.expect_kw("INSERT")?;
+                let columns = self.ident_list_parens()?;
+                self.expect_kw("VALUES")?;
+                let values = self.value_row()?;
+                when_not_matched = Some(MergeInsert { columns, values });
+            }
+        }
+        Ok(Stmt::Merge(Merge {
+            target,
+            target_alias,
+            source,
+            on,
+            when_matched,
+            when_not_matched,
+        }))
+    }
+}
+
+impl Merge {
+    /// The binding name of the merge source inside ON / assignments.
+    pub fn source_name(&self) -> &str {
+        self.source.binding_name()
+    }
+}
+
+#[allow(unused_imports)]
+use crate::ast::Select;
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parser::{count_params, parse_statement, parse_statements};
+    use fempath_storage::Value;
+
+    #[test]
+    fn parse_create_table_with_pk() {
+        let s = parse_statement(
+            "CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, PRIMARY KEY(nid))",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateTable(ct) => {
+                assert_eq!(ct.name, "TVisited");
+                assert_eq!(ct.columns.len(), 4);
+                assert_eq!(ct.primary_key, Some(vec!["nid".to_string()]));
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_clustered_index() {
+        let s = parse_statement("CREATE CLUSTERED INDEX idx_edges ON TEdges(fid)").unwrap();
+        match s {
+            Stmt::CreateIndex(ci) => {
+                assert!(ci.clustered);
+                assert!(!ci.unique);
+                assert_eq!(ci.columns, vec!["fid"]);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_values_and_params() {
+        let s = parse_statement("INSERT INTO TVisited (nid, d2s, p2s, f) VALUES (?, 0, ?, 0)")
+            .unwrap();
+        match s {
+            Stmt::Insert(ins) => {
+                assert_eq!(ins.table, "TVisited");
+                match ins.source {
+                    InsertSource::Values(rows) => {
+                        assert_eq!(rows.len(), 1);
+                        assert_eq!(rows[0][0], Expr::Param(0));
+                        assert_eq!(rows[0][2], Expr::Param(1));
+                    }
+                    _ => panic!("expected VALUES"),
+                }
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+        assert_eq!(
+            count_params("INSERT INTO t (a, b) VALUES (?, ?)").unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn parse_select_top_with_subquery() {
+        // Listing 2(2) of the paper.
+        let s = parse_statement(
+            "SELECT TOP 1 nid FROM TVisited WHERE f=0 \
+             AND d2s=(SELECT MIN(d2s) FROM TVisited WHERE f=0)",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.top, Some(1));
+                let filter = sel.filter.unwrap();
+                // Must contain a scalar subquery somewhere.
+                fn has_subquery(e: &Expr) -> bool {
+                    match e {
+                        Expr::Subquery(_) => true,
+                        Expr::Binary { left, right, .. } => {
+                            has_subquery(left) || has_subquery(right)
+                        }
+                        Expr::Unary { expr, .. } => has_subquery(expr),
+                        _ => false,
+                    }
+                }
+                assert!(has_subquery(&filter));
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_window_function_with_derived_table() {
+        // The paper's E-operator (Listing 2(3)), modulo table/col names.
+        let s = parse_statement(
+            "SELECT nid, p2s, cost FROM \
+               (SELECT e.tid AS nid, e.fid AS p2s, e.cost + q.d2s AS cost, \
+                       ROW_NUMBER() OVER (PARTITION BY e.tid ORDER BY e.cost + q.d2s) AS rownum \
+                FROM TVisited q, TEdges e \
+                WHERE q.nid = e.fid AND q.f = 2) tmp \
+             WHERE rownum = 1",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.from.len(), 1);
+                match &sel.from[0] {
+                    TableRef::Derived { query, alias, .. } => {
+                        assert_eq!(alias, "tmp");
+                        assert_eq!(query.from.len(), 2);
+                        let win = query.items.iter().any(|it| match it {
+                            SelectItem::Expr { expr, .. } => expr.contains_window(),
+                            _ => false,
+                        });
+                        assert!(win, "window function must be detected");
+                    }
+                    other => panic!("expected derived table, got {other:?}"),
+                }
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_derived_table_with_column_list() {
+        let s = parse_statement(
+            "SELECT a FROM (SELECT nid, d2s FROM TVisited) tmp (a, b) WHERE b > 3",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => match &sel.from[0] {
+                TableRef::Derived { columns, .. } => {
+                    assert_eq!(columns.as_ref().unwrap(), &vec!["a".to_string(), "b".into()]);
+                }
+                other => panic!("expected derived, got {other:?}"),
+            },
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_merge_statement_from_paper() {
+        // Listing 2(4), lightly normalised.
+        let s = parse_statement(
+            "MERGE INTO TVisited AS target USING ek AS source ON source.nid = target.nid \
+             WHEN MATCHED AND target.d2s > source.cost THEN \
+               UPDATE SET d2s = source.cost, p2s = source.p2s, f = 0 \
+             WHEN NOT MATCHED BY TARGET THEN \
+               INSERT (nid, d2s, p2s, f) VALUES (source.nid, source.cost, source.p2s, 0)",
+        )
+        .unwrap();
+        match s {
+            Stmt::Merge(m) => {
+                assert_eq!(m.target, "TVisited");
+                assert_eq!(m.target_alias.as_deref(), Some("target"));
+                assert_eq!(m.source_name(), "source");
+                let wm = m.when_matched.unwrap();
+                assert!(wm.condition.is_some());
+                assert_eq!(wm.assignments.len(), 3);
+                let wnm = m.when_not_matched.unwrap();
+                assert_eq!(wnm.columns, vec!["nid", "d2s", "p2s", "f"]);
+                assert_eq!(wnm.values.len(), 4);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_with_from() {
+        let s = parse_statement(
+            "UPDATE TVisited SET d2s = ek.cost, p2s = ek.p2s, f = 0 FROM ek \
+             WHERE TVisited.nid = ek.nid AND TVisited.d2s > ek.cost",
+        )
+        .unwrap();
+        match s {
+            Stmt::Update(u) => {
+                assert_eq!(u.table, "TVisited");
+                assert!(u.from.is_some());
+                assert_eq!(u.assignments.len(), 3);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_not_in_subquery() {
+        let s = parse_statement(
+            "INSERT INTO TVisited (nid) SELECT nid FROM ek \
+             WHERE nid NOT IN (SELECT nid FROM TVisited)",
+        )
+        .unwrap();
+        match s {
+            Stmt::Insert(ins) => match ins.source {
+                InsertSource::Query(q) => {
+                    assert!(matches!(
+                        q.filter.unwrap(),
+                        Expr::InSubquery { negated: true, .. }
+                    ));
+                }
+                _ => panic!("expected query source"),
+            },
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_group_by_having_order_by() {
+        let s = parse_statement(
+            "SELECT e.tid, MIN(e.cost + q.d2s) AS c FROM TVisited q, TEdges e \
+             WHERE q.nid = e.fid GROUP BY e.tid HAVING MIN(e.cost + q.d2s) < 100 \
+             ORDER BY c DESC LIMIT 10",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.group_by.len(), 1);
+                assert!(sel.having.is_some());
+                assert_eq!(sel.order_by.len(), 1);
+                assert!(!sel.order_by[0].asc);
+                assert_eq!(sel.limit, Some(10));
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multi_statement_script() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parse_literals() {
+        let s = parse_statement("SELECT 1, 2.5, 'text', NULL, -3").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                let exprs: Vec<_> = sel
+                    .items
+                    .iter()
+                    .map(|i| match i {
+                        SelectItem::Expr { expr, .. } => expr.clone(),
+                        _ => panic!(),
+                    })
+                    .collect();
+                assert_eq!(exprs[0], Expr::Literal(Value::Int(1)));
+                assert_eq!(exprs[1], Expr::Literal(Value::Float(2.5)));
+                assert_eq!(exprs[2], Expr::Literal(Value::Text("text".into())));
+                assert_eq!(exprs[3], Expr::Literal(Value::Null));
+                assert!(matches!(exprs[4], Expr::Unary { op: UnaryOp::Neg, .. }));
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join_on_sugar() {
+        let s = parse_statement(
+            "SELECT a.x FROM ta a JOIN tb b ON a.id = b.id WHERE b.y > 2",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.from.len(), 2);
+                // ON condition folded into the filter.
+                let f = sel.filter.unwrap();
+                assert!(matches!(f, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_statement("SELEC 1").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SELECT 1 extra garbage !!!").is_err());
+    }
+
+    #[test]
+    fn parse_delete_and_truncate() {
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE a = 1").unwrap(),
+            Stmt::Delete(_)
+        ));
+        assert!(matches!(
+            parse_statement("TRUNCATE TABLE t").unwrap(),
+            Stmt::Truncate { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_is_null_and_exists() {
+        let s = parse_statement(
+            "SELECT * FROM t WHERE a IS NOT NULL AND EXISTS (SELECT 1 FROM u)",
+        )
+        .unwrap();
+        assert!(matches!(s, Stmt::Select(_)));
+    }
+}

@@ -1,0 +1,115 @@
+//! EXPLAIN output: verifies the planner makes the access-path choices the
+//! paper's performance arguments rely on (clustered-index E-operator joins,
+//! index point lookups, hash-join fallback).
+
+use fempath_sql::Database;
+use fempath_storage::Value;
+
+fn plan_of(db: &mut Database, sql: &str) -> Vec<String> {
+    let rs = db.query(&format!("EXPLAIN {sql}")).unwrap();
+    rs.rows
+        .into_iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect()
+}
+
+fn setup() -> Database {
+    let mut db = Database::in_memory(256);
+    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, f INT, PRIMARY KEY(nid))").unwrap();
+    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
+    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)").unwrap();
+    for u in 0..200i64 {
+        db.execute_params(
+            "INSERT INTO TEdges VALUES (?, ?, 1)",
+            &[Value::Int(u), Value::Int((u + 1) % 200)],
+        )
+        .unwrap();
+        db.execute_params(
+            "INSERT INTO TVisited VALUES (?, ?, ?)",
+            &[Value::Int(u), Value::Int(u), Value::Int(i64::from(u < 5) * 2)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn point_lookup_uses_index() {
+    let mut db = setup();
+    let plan = plan_of(&mut db, "SELECT d2s FROM TVisited WHERE nid = 7");
+    assert!(
+        plan.iter().any(|l| l.contains("index lookup")),
+        "expected index lookup, got {plan:?}"
+    );
+}
+
+#[test]
+fn full_scan_without_usable_predicate() {
+    let mut db = setup();
+    let plan = plan_of(&mut db, "SELECT nid FROM TVisited WHERE d2s > 100");
+    assert!(
+        plan.iter().any(|l| l.contains("full scan")),
+        "expected a full scan, got {plan:?}"
+    );
+}
+
+#[test]
+fn e_operator_join_is_index_nested_loop() {
+    // The paper's central performance mechanism: the frontier joins TEdges
+    // through the clustered index on fid.
+    let mut db = setup();
+    let plan = plan_of(
+        &mut db,
+        "SELECT e.tid FROM TVisited q, TEdges e WHERE q.nid = e.fid AND q.f = 2",
+    );
+    assert!(
+        plan.iter().any(|l| l.contains("INDEX NESTED LOOP JOIN") && l.contains("tedges")
+            || l.contains("INDEX NESTED LOOP JOIN") && l.contains("TEdges")),
+        "expected INL join into TEdges, got {plan:?}"
+    );
+}
+
+#[test]
+fn join_without_index_hashes() {
+    let mut db = setup();
+    db.execute("CREATE TABLE plain (x INT)").unwrap();
+    db.execute("INSERT INTO plain VALUES (1), (2)").unwrap();
+    let plan = plan_of(
+        &mut db,
+        "SELECT p.x FROM TVisited v, plain p WHERE v.d2s = p.x",
+    );
+    assert!(
+        plan.iter().any(|l| l.contains("HASH JOIN")),
+        "expected hash join, got {plan:?}"
+    );
+}
+
+#[test]
+fn cross_join_reports_nested_loop() {
+    let mut db = setup();
+    db.execute("CREATE TABLE a (x INT)").unwrap();
+    db.execute("CREATE TABLE b (y INT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1)").unwrap();
+    db.execute("INSERT INTO b VALUES (2)").unwrap();
+    let plan = plan_of(&mut db, "SELECT x, y FROM a, b");
+    assert!(
+        plan.iter().any(|l| l.contains("NESTED LOOP JOIN")),
+        "expected nested loop, got {plan:?}"
+    );
+}
+
+#[test]
+fn explain_reports_result_cardinality() {
+    let mut db = setup();
+    let plan = plan_of(&mut db, "SELECT nid FROM TVisited WHERE f = 2");
+    assert!(
+        plan.last().unwrap().contains("RESULT 5 row(s)"),
+        "got {plan:?}"
+    );
+}
+
+#[test]
+fn explain_non_select_rejected() {
+    let mut db = setup();
+    assert!(db.execute("EXPLAIN DELETE FROM TVisited").is_err());
+}

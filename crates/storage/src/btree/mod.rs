@@ -1,0 +1,714 @@
+//! Disk-resident B+tree.
+//!
+//! Serves two roles in the engine, mirroring the index configurations the
+//! paper evaluates in Fig 8(c):
+//!
+//! * **index-organized (clustered) table** — full rows stored as leaf
+//!   values, keyed by the clustering columns (`CluIndex`);
+//! * **secondary index** — key = indexed columns (+ record id suffix for
+//!   non-unique indexes), value = heap record id (`Index`).
+//!
+//! The root page id is stable for the lifetime of the tree: when the root
+//! splits, its content moves to a fresh page and the root is rewritten as an
+//! interior node in place, so catalog entries never need fixing up.
+//!
+//! Deletion removes leaf cells without rebalancing (see DESIGN.md §5); the
+//! workloads here are insert/update heavy, and empty leaves remain chained
+//! and are skipped by scans.
+
+pub mod node;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+use node::MAX_CELL_PAYLOAD;
+use std::ops::Bound;
+
+/// A B+tree keyed by order-preserving byte strings (see [`crate::value`]).
+pub struct BTree {
+    root: PageId,
+    len: u64,
+}
+
+enum Ins {
+    Done(Option<Vec<u8>>),
+    Split {
+        sep: Vec<u8>,
+        right: u64,
+        old: Option<Vec<u8>>,
+    },
+}
+
+impl BTree {
+    /// Allocates an empty tree (a single leaf root).
+    pub fn create(pool: &mut BufferPool) -> Result<BTree> {
+        let root = pool.allocate_page()?;
+        pool.write_page(root, node::init_leaf)?;
+        Ok(BTree { root, len: 0 })
+    }
+
+    /// Re-attaches to an existing tree (root page + entry count come from
+    /// the catalog).
+    pub fn open(root: PageId, len: u64) -> BTree {
+        BTree { root, len }
+    }
+
+    /// The (stable) root page id.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point lookup.
+    pub fn get(&self, pool: &mut BufferPool, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut pid = self.root;
+        loop {
+            enum Step {
+                Descend(u64),
+                Leaf(Option<Vec<u8>>),
+            }
+            let step = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    let (idx, found) = node::lower_bound(b, key);
+                    Step::Leaf(found.then(|| node::leaf_val_at(b, idx).to_vec()))
+                } else {
+                    Step::Descend(node::child_for(b, key))
+                }
+            })?;
+            match step {
+                Step::Descend(c) => pid = PageId(c),
+                Step::Leaf(v) => return Ok(v),
+            }
+        }
+    }
+
+    /// True when `key` is present (no value copy).
+    pub fn contains(&self, pool: &mut BufferPool, key: &[u8]) -> Result<bool> {
+        let mut pid = self.root;
+        loop {
+            let step = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    Err(node::lower_bound(b, key).1)
+                } else {
+                    Ok(node::child_for(b, key))
+                }
+            })?;
+            match step {
+                Ok(c) => pid = PageId(c),
+                Err(found) => return Ok(found),
+            }
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn insert(
+        &mut self,
+        pool: &mut BufferPool,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        if key.len() + val.len() > MAX_CELL_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                size: key.len() + val.len(),
+                max: MAX_CELL_PAYLOAD,
+            });
+        }
+        let res = insert_rec(pool, self.root, key, val)?;
+        let old = match res {
+            Ins::Done(old) => old,
+            Ins::Split { sep, right, old } => {
+                // Root split: relocate the root's content so the root page
+                // id stays stable, then turn the root into an interior node.
+                let left = pool.allocate_page()?;
+                let img: Box<[u8; PAGE_SIZE]> =
+                    pool.read_page(self.root, |b| Box::new(*b))?;
+                pool.write_page(left, move |b| *b = *img)?;
+                pool.write_page(self.root, |b| {
+                    node::init_interior(b, left.0);
+                    let ok = node::interior_insert_at(b, 0, &sep, right);
+                    debug_assert!(ok, "fresh interior root must fit one cell");
+                })?;
+                old
+            }
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    /// Removes `key`; returns its previous value if present.
+    pub fn delete(&mut self, pool: &mut BufferPool, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut pid = self.root;
+        loop {
+            let next = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    None
+                } else {
+                    Some(node::child_for(b, key))
+                }
+            })?;
+            match next {
+                Some(c) => pid = PageId(c),
+                None => break,
+            }
+        }
+        let old = pool.write_page(pid, |b| {
+            let (idx, found) = node::lower_bound(b, key);
+            if found {
+                let v = node::leaf_val_at(b, idx).to_vec();
+                node::remove_at(b, idx);
+                Some(v)
+            } else {
+                None
+            }
+        })?;
+        if old.is_some() {
+            self.len -= 1;
+        }
+        Ok(old)
+    }
+
+    /// In-order scan of `[lo, hi]`; `f` returns `false` to stop early.
+    pub fn scan_range(
+        &self,
+        pool: &mut BufferPool,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        // Descend to the leaf that would contain the lower bound.
+        let mut pid = self.root;
+        loop {
+            let next = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    None
+                } else {
+                    Some(match lo {
+                        Bound::Included(k) | Bound::Excluded(k) => node::child_for(b, k),
+                        Bound::Unbounded => node::child_at(b, 0),
+                    })
+                }
+            })?;
+            match next {
+                Some(c) => pid = PageId(c),
+                None => break,
+            }
+        }
+        let mut first_leaf = true;
+        loop {
+            let (stop, next) = pool.read_page(pid, |b| {
+                let start = if first_leaf {
+                    match lo {
+                        Bound::Included(k) => node::lower_bound(b, k).0,
+                        Bound::Excluded(k) => {
+                            let (i, found) = node::lower_bound(b, k);
+                            if found {
+                                i + 1
+                            } else {
+                                i
+                            }
+                        }
+                        Bound::Unbounded => 0,
+                    }
+                } else {
+                    0
+                };
+                for i in start..node::num_cells(b) {
+                    let k = node::key_at(b, i);
+                    let past_hi = match hi {
+                        Bound::Included(h) => k > h,
+                        Bound::Excluded(h) => k >= h,
+                        Bound::Unbounded => false,
+                    };
+                    if past_hi {
+                        return (true, u64::MAX);
+                    }
+                    if !f(k, node::leaf_val_at(b, i)) {
+                        return (true, u64::MAX);
+                    }
+                }
+                (false, node::next_leaf(b))
+            })?;
+            if stop || next == u64::MAX {
+                return Ok(());
+            }
+            pid = PageId(next);
+            first_leaf = false;
+        }
+    }
+
+    /// Scans all entries whose key starts with `prefix` (contiguous thanks
+    /// to the order-preserving encoding); `f` returns `false` to stop.
+    pub fn scan_prefix(
+        &self,
+        pool: &mut BufferPool,
+        prefix: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        self.scan_range(pool, Bound::Included(prefix), Bound::Unbounded, |k, v| {
+            if !k.starts_with(prefix) {
+                return false;
+            }
+            f(k, v)
+        })
+    }
+
+    /// Every page id reachable from the root (root first).
+    fn collect_pages(&self, pool: &mut BufferPool) -> Result<Vec<PageId>> {
+        let mut out = vec![self.root];
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            let children = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    Vec::new()
+                } else {
+                    (0..=node::num_cells(b))
+                        .map(|i| PageId(node::child_at(b, i)))
+                        .collect()
+                }
+            })?;
+            out.extend_from_slice(&children);
+            stack.extend_from_slice(&children);
+        }
+        Ok(out)
+    }
+
+    /// Removes every entry, releasing all pages except the root (which is
+    /// re-initialised as an empty leaf).
+    pub fn clear(&mut self, pool: &mut BufferPool) -> Result<()> {
+        let pages = self.collect_pages(pool)?;
+        for pid in pages.into_iter().skip(1) {
+            pool.free_page(pid);
+        }
+        pool.write_page(self.root, node::init_leaf)?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Destroys the tree, releasing every page including the root.
+    pub fn destroy(mut self, pool: &mut BufferPool) -> Result<()> {
+        self.clear(pool)?;
+        pool.free_page(self.root);
+        Ok(())
+    }
+
+    /// Tree height (1 = root is a leaf); used by tests and diagnostics.
+    pub fn height(&self, pool: &mut BufferPool) -> Result<usize> {
+        let mut h = 1;
+        let mut pid = self.root;
+        loop {
+            let next = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    None
+                } else {
+                    Some(node::child_at(b, 0))
+                }
+            })?;
+            match next {
+                Some(c) => {
+                    pid = PageId(c);
+                    h += 1;
+                }
+                None => return Ok(h),
+            }
+        }
+    }
+}
+
+fn insert_rec(pool: &mut BufferPool, pid: PageId, key: &[u8], val: &[u8]) -> Result<Ins> {
+    let leaf = pool.read_page(pid, node::is_leaf)?;
+    if leaf {
+        enum Outcome {
+            Done(Option<Vec<u8>>),
+            NeedSplit(Option<Vec<u8>>),
+        }
+        let outcome = pool.write_page(pid, |b| {
+            let (idx, found) = node::lower_bound(b, key);
+            let old = if found {
+                let v = node::leaf_val_at(b, idx).to_vec();
+                node::remove_at(b, idx);
+                Some(v)
+            } else {
+                None
+            };
+            if node::leaf_insert_at(b, idx, key, val) {
+                Outcome::Done(old)
+            } else {
+                Outcome::NeedSplit(old)
+            }
+        })?;
+        let old = match outcome {
+            Outcome::Done(old) => return Ok(Ins::Done(old)),
+            Outcome::NeedSplit(old) => old,
+        };
+        // Split: gather cells (the replaced key, if any, is already gone),
+        // add the new entry, and distribute across two leaves.
+        let (mut cells, next) = pool.read_page(pid, |b| (node::leaf_cells(b), node::next_leaf(b)))?;
+        let pos = match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(_) => unreachable!("duplicate was removed above"),
+            Err(p) => p,
+        };
+        cells.insert(pos, (key.to_vec(), val.to_vec()));
+        let mid = split_point(cells.iter().map(|(k, v)| 4 + k.len() + v.len()));
+        let right_pid = pool.allocate_page()?;
+        let sep = cells[mid].0.clone();
+        pool.write_page(pid, |b| {
+            node::init_leaf(b);
+            for (i, (k, v)) in cells[..mid].iter().enumerate() {
+                let ok = node::leaf_insert_at(b, i, k, v);
+                debug_assert!(ok);
+            }
+            node::set_next_leaf(b, right_pid.0);
+        })?;
+        pool.write_page(right_pid, |b| {
+            node::init_leaf(b);
+            for (i, (k, v)) in cells[mid..].iter().enumerate() {
+                let ok = node::leaf_insert_at(b, i, k, v);
+                debug_assert!(ok);
+            }
+            node::set_next_leaf(b, next);
+        })?;
+        return Ok(Ins::Split {
+            sep,
+            right: right_pid.0,
+            old,
+        });
+    }
+
+    let child = pool.read_page(pid, |b| node::child_for(b, key))?;
+    match insert_rec(pool, PageId(child), key, val)? {
+        Ins::Done(old) => Ok(Ins::Done(old)),
+        Ins::Split { sep, right, old } => {
+            let fitted = pool.write_page(pid, |b| {
+                let (idx, _) = node::lower_bound(b, &sep);
+                node::interior_insert_at(b, idx, &sep, right)
+            })?;
+            if fitted {
+                return Ok(Ins::Done(old));
+            }
+            // Split this interior node; the middle key moves up.
+            let (mut cells, leftmost) =
+                pool.read_page(pid, |b| (node::interior_cells(b), node::leftmost_child(b)))?;
+            let pos = match cells.binary_search_by(|(k, _)| k.as_slice().cmp(&sep)) {
+                Ok(p) => p, // separators are unique in practice; tolerate
+                Err(p) => p,
+            };
+            cells.insert(pos, (sep, right));
+            let mid = split_point(cells.iter().map(|(k, _)| 2 + k.len() + 8));
+            let (up_key, up_child) = cells[mid].clone();
+            let right_pid = pool.allocate_page()?;
+            pool.write_page(pid, |b| {
+                node::init_interior(b, leftmost);
+                for (i, (k, c)) in cells[..mid].iter().enumerate() {
+                    let ok = node::interior_insert_at(b, i, k, *c);
+                    debug_assert!(ok);
+                }
+            })?;
+            pool.write_page(right_pid, |b| {
+                node::init_interior(b, up_child);
+                for (i, (k, c)) in cells[mid + 1..].iter().enumerate() {
+                    let ok = node::interior_insert_at(b, i, k, *c);
+                    debug_assert!(ok);
+                }
+            })?;
+            Ok(Ins::Split {
+                sep: up_key,
+                right: right_pid.0,
+                old,
+            })
+        }
+    }
+}
+
+/// Number of cells to keep in the left node: the smallest count whose
+/// cumulative bytes reach half the total. Byte-balanced splits keep fill
+/// factors healthy for skewed payloads; both sides stay non-empty.
+fn split_point(sizes: impl ExactSizeIterator<Item = usize> + Clone) -> usize {
+    let n = sizes.len();
+    debug_assert!(n >= 2, "cannot split fewer than two cells");
+    let total: usize = sizes.clone().sum();
+    let mut acc = 0usize;
+    for (i, s) in sizes.enumerate() {
+        acc += s;
+        if acc * 2 >= total {
+            return (i + 1).clamp(1, n - 1);
+        }
+    }
+    n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn pool() -> BufferPool {
+        BufferPool::in_memory(64)
+    }
+
+    fn k(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn empty_tree_get_none() {
+        let mut p = pool();
+        let t = BTree::create(&mut p).unwrap();
+        assert!(t.get(&mut p, b"x").unwrap().is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        assert!(t.insert(&mut p, b"k", b"v").unwrap().is_none());
+        assert_eq!(t.get(&mut p, b"k").unwrap().unwrap(), b"v");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        t.insert(&mut p, b"k", b"v1").unwrap();
+        let old = t.insert(&mut p, b"k", b"v2").unwrap();
+        assert_eq!(old.unwrap(), b"v1");
+        assert_eq!(t.get(&mut p, b"k").unwrap().unwrap(), b"v2");
+        assert_eq!(t.len(), 1, "replace must not grow len");
+    }
+
+    #[test]
+    fn sequential_inserts_split_root() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        let n = 2000u64;
+        for i in 0..n {
+            t.insert(&mut p, &k(i), format!("val{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.height(&mut p).unwrap() >= 2);
+        for i in 0..n {
+            assert_eq!(
+                t.get(&mut p, &k(i)).unwrap().unwrap(),
+                format!("val{i}").as_bytes(),
+                "key {i}"
+            );
+        }
+        assert!(t.get(&mut p, &k(n)).unwrap().is_none());
+    }
+
+    #[test]
+    fn reverse_and_random_inserts_match_oracle() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        let mut oracle = BTreeMap::new();
+        // Reverse order
+        for i in (0..500u64).rev() {
+            t.insert(&mut p, &k(i), &k(i * 3)).unwrap();
+            oracle.insert(k(i), k(i * 3));
+        }
+        // Pseudo-random interleaved updates
+        let mut x = 99u64;
+        for _ in 0..1500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = k((x >> 40) % 800);
+            let val = k(x % 1000);
+            t.insert(&mut p, &key, &val).unwrap();
+            oracle.insert(key, val);
+        }
+        assert_eq!(t.len(), oracle.len() as u64);
+        for (key, val) in &oracle {
+            assert_eq!(&t.get(&mut p, key).unwrap().unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn full_scan_is_sorted_and_complete() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        let mut x = 7u64;
+        let mut keys = Vec::new();
+        for _ in 0..1000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let key = k(x);
+            t.insert(&mut p, &key, b"").unwrap();
+            keys.push(key);
+        }
+        keys.sort();
+        keys.dedup();
+        let mut seen = Vec::new();
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |k, _| {
+            seen.push(k.to_vec());
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, keys);
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..100u64 {
+            t.insert(&mut p, &k(i), &k(i)).unwrap();
+        }
+        let collect = |p: &mut BufferPool, t: &BTree, lo: Bound<&[u8]>, hi: Bound<&[u8]>| {
+            let mut out = Vec::new();
+            t.scan_range(p, lo, hi, |key, _| {
+                out.push(u64::from_be_bytes(key.try_into().unwrap()));
+                true
+            })
+            .unwrap();
+            out
+        };
+        let lo = k(10);
+        let hi = k(20);
+        assert_eq!(
+            collect(&mut p, &t, Bound::Included(&lo), Bound::Included(&hi)),
+            (10..=20).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(&mut p, &t, Bound::Excluded(&lo), Bound::Excluded(&hi)),
+            (11..20).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(&mut p, &t, Bound::Unbounded, Bound::Excluded(&lo)),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(&mut p, &t, Bound::Included(&k(95)), Bound::Unbounded),
+            (95..100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..100u64 {
+            t.insert(&mut p, &k(i), b"").unwrap();
+        }
+        let mut n = 0;
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |_, _| {
+            n += 1;
+            n < 7
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        // Composite keys: (group, seq).
+        for g in 0..10u8 {
+            for s in 0..20u8 {
+                t.insert(&mut p, &[g, s], &[g + s]).unwrap();
+            }
+        }
+        let mut seen = Vec::new();
+        t.scan_prefix(&mut p, &[4], |key, _| {
+            seen.push(key[1]);
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..300u64 {
+            t.insert(&mut p, &k(i), &k(i)).unwrap();
+        }
+        for i in (0..300u64).step_by(2) {
+            assert!(t.delete(&mut p, &k(i)).unwrap().is_some(), "delete {i}");
+        }
+        assert_eq!(t.len(), 150);
+        for i in 0..300u64 {
+            let got = t.get(&mut p, &k(i)).unwrap();
+            if i % 2 == 0 {
+                assert!(got.is_none(), "key {i} should be gone");
+            } else {
+                assert!(got.is_some(), "key {i} should remain");
+            }
+        }
+        // Deleting a missing key is a no-op.
+        assert!(t.delete(&mut p, &k(0)).unwrap().is_none());
+        // Re-insert over the holes.
+        for i in (0..300u64).step_by(2) {
+            t.insert(&mut p, &k(i), b"again").unwrap();
+        }
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.get(&mut p, &k(42)).unwrap().unwrap(), b"again");
+    }
+
+    #[test]
+    fn clear_releases_pages_and_tree_reusable() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..2000u64 {
+            t.insert(&mut p, &k(i), &[0u8; 32]).unwrap();
+        }
+        let pages_before = p.num_disk_pages();
+        t.clear(&mut p).unwrap();
+        assert!(t.is_empty());
+        assert!(t.get(&mut p, &k(5)).unwrap().is_none());
+        // Freed pages are recycled: rebuilding should not grow the file.
+        for i in 0..2000u64 {
+            t.insert(&mut p, &k(i), &[0u8; 32]).unwrap();
+        }
+        assert!(
+            p.num_disk_pages() <= pages_before + 1,
+            "pages should be recycled ({} -> {})",
+            pages_before,
+            p.num_disk_pages()
+        );
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        let err = t.insert(&mut p, b"k", &vec![0u8; PAGE_SIZE]);
+        assert!(matches!(err, Err(StorageError::RecordTooLarge { .. })));
+    }
+
+    #[test]
+    fn works_through_tiny_buffer_pool() {
+        // Exercise eviction paths during structural changes.
+        let mut p = BufferPool::in_memory(3);
+        let mut t = BTree::create(&mut p).unwrap();
+        let mut oracle = BTreeMap::new();
+        let mut x = 5u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = k(x >> 32);
+            t.insert(&mut p, &key, &k(x)).unwrap();
+            oracle.insert(key, k(x));
+        }
+        for (key, val) in &oracle {
+            assert_eq!(&t.get(&mut p, key).unwrap().unwrap(), val, "through evictions");
+        }
+        let mut count = 0u64;
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |_, _| {
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, oracle.len() as u64);
+    }
+}

@@ -1,0 +1,229 @@
+//! Disk backends: where pages physically live.
+//!
+//! Two implementations are provided: [`FileDisk`] (a single file, page
+//! `i` at byte offset `i * PAGE_SIZE`) for realistic disk-resident runs, and
+//! [`MemDisk`] for tests and for modelling a fully-cached database.
+
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Abstraction over the physical medium holding pages.
+pub trait DiskBackend {
+    /// Reads page `pid` into `buf`.
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()>;
+
+    /// Writes `buf` to page `pid`.
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()>;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate_page(&mut self) -> Result<PageId>;
+
+    /// Number of pages ever allocated.
+    fn num_pages(&self) -> u64;
+
+    /// Flushes any backend buffering to stable storage.
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// A file-backed disk: one flat file of pages.
+pub struct FileDisk {
+    file: File,
+    num_pages: u64,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed) the file at `path` as a page store.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileDisk {
+            file,
+            num_pages: len / PAGE_SIZE as u64,
+        })
+    }
+
+    /// Creates a page store in a fresh temporary file that is unlinked on
+    /// drop (the usual way benches and examples run "disk-resident").
+    pub fn temp() -> Result<Self> {
+        let mut path = std::env::temp_dir();
+        let unique = format!(
+            "fempath-{}-{:x}.db",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        path.push(unique);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // Unlink immediately: the fd keeps the storage alive, the name goes
+        // away, so aborted runs leave nothing behind.
+        let _ = std::fs::remove_file(&path);
+        Ok(FileDisk { file, num_pages: 0 })
+    }
+
+    fn check(&self, pid: PageId) -> Result<u64> {
+        if !pid.is_valid() || pid.0 >= self.num_pages {
+            return Err(StorageError::InvalidPageId(pid.0));
+        }
+        Ok(pid.0 * PAGE_SIZE as u64)
+    }
+}
+
+impl DiskBackend for FileDisk {
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        let off = self.check(pid)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let off = self.check(pid)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let pid = PageId(self.num_pages);
+        self.num_pages += 1;
+        self.file
+            .seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        Ok(pid)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// An in-memory disk, useful for unit tests and all-in-buffer modelling.
+#[derive(Default)]
+pub struct MemDisk {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemDisk {
+    /// An empty in-memory disk.
+    pub fn new() -> Self {
+        MemDisk::default()
+    }
+
+    fn check(&self, pid: PageId) -> Result<usize> {
+        if !pid.is_valid() || pid.0 as usize >= self.pages.len() {
+            return Err(StorageError::InvalidPageId(pid.0));
+        }
+        Ok(pid.0 as usize)
+    }
+}
+
+impl DiskBackend for MemDisk {
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        let i = self.check(pid)?;
+        buf.copy_from_slice(&self.pages[i][..]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let i = self.check(pid)?;
+        self.pages[i].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let pid = PageId(self.pages.len() as u64);
+        self.pages
+            .push(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap());
+        Ok(pid)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &mut dyn DiskBackend) {
+        let p0 = disk.allocate_page().unwrap();
+        let p1 = disk.allocate_page().unwrap();
+        assert_ne!(p0, p1);
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAA;
+        buf[PAGE_SIZE - 1] = 0x55;
+        disk.write_page(p1, &buf).unwrap();
+
+        let mut rd = [0u8; PAGE_SIZE];
+        disk.read_page(p1, &mut rd).unwrap();
+        assert_eq!(rd[0], 0xAA);
+        assert_eq!(rd[PAGE_SIZE - 1], 0x55);
+
+        // Fresh pages come back zeroed.
+        disk.read_page(p0, &mut rd).unwrap();
+        assert!(rd.iter().all(|&b| b == 0));
+
+        // Out-of-range reads error.
+        assert!(disk.read_page(PageId(99), &mut rd).is_err());
+        assert!(disk.read_page(PageId::INVALID, &mut rd).is_err());
+    }
+
+    #[test]
+    fn memdisk_basics() {
+        exercise(&mut MemDisk::new());
+    }
+
+    #[test]
+    fn filedisk_basics() {
+        exercise(&mut FileDisk::temp().unwrap());
+    }
+
+    #[test]
+    fn filedisk_persists_across_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fempath-test-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut d = FileDisk::open(&path).unwrap();
+            let p = d.allocate_page().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[7] = 77;
+            d.write_page(p, &buf).unwrap();
+            d.sync().unwrap();
+        }
+        {
+            let mut d = FileDisk::open(&path).unwrap();
+            assert_eq!(d.num_pages(), 1);
+            let mut buf = [0u8; PAGE_SIZE];
+            d.read_page(PageId(0), &mut buf).unwrap();
+            assert_eq!(buf[7], 77);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A page id was out of the range known to the disk backend.
+    InvalidPageId(u64),
+    /// A record id referenced a missing page/slot.
+    InvalidRecordId { page: u64, slot: u16 },
+    /// A record was too large to ever fit in a page.
+    RecordTooLarge { size: usize, max: usize },
+    /// Row or key bytes could not be decoded.
+    Corrupt(String),
+    /// A text value used in a key contained an interior NUL byte, which the
+    /// order-preserving key encoding cannot represent.
+    NulInTextKey,
+    /// The buffer pool had no evictable frame (everything pinned).
+    BufferExhausted,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::InvalidPageId(p) => write!(f, "invalid page id {p}"),
+            StorageError::InvalidRecordId { page, slot } => {
+                write!(f, "invalid record id (page {page}, slot {slot})")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::NulInTextKey => {
+                write!(f, "text value used in index key contains a NUL byte")
+            }
+            StorageError::BufferExhausted => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

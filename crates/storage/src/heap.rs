@@ -1,0 +1,549 @@
+//! Slotted-page heap files: unordered record storage.
+//!
+//! A heap file is a list of pages, each with a classic slot directory
+//! growing from the header and cell payloads growing from the end of the
+//! page. Records are addressed by [`RecordId`] (page index within the file +
+//! slot). Records never move pages on update *unless* they grow beyond the
+//! page's free space, in which case the caller is told the new location so
+//! secondary indexes can be fixed up.
+//!
+//! Heap metadata (the list of page ids and per-page free space) is kept in
+//! memory and rebuilt from the catalog on open; crash recovery is out of
+//! scope (see DESIGN.md §5).
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{codec, PageId, PAGE_SIZE};
+
+const HDR_NUM_SLOTS: usize = 0; // u16
+const HDR_CELL_START: usize = 2; // u16
+const HDR_DEAD: usize = 4; // u16 bytes of reclaimable cell space
+const HDR_SIZE: usize = 6;
+const SLOT_SIZE: usize = 4; // u16 offset + u16 length
+const DEAD_SLOT: u16 = u16::MAX;
+
+/// Largest record a heap page can hold.
+pub const MAX_RECORD: usize = PAGE_SIZE - HDR_SIZE - SLOT_SIZE;
+
+/// Stable address of a record: page index within the heap file + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub page: u32,
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Packs the rid into a single integer (used to store rids inside
+    /// secondary-index payloads).
+    pub fn to_u64(self) -> u64 {
+        ((self.page as u64) << 16) | self.slot as u64
+    }
+
+    /// Inverse of [`RecordId::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        RecordId {
+            page: (v >> 16) as u32,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+/// An unordered record file over the buffer pool.
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    /// Usable free bytes per page (contiguous + dead), kept in memory.
+    free: Vec<u16>,
+    len: u64,
+}
+
+fn init_page(buf: &mut [u8; PAGE_SIZE]) {
+    codec::put_u16(buf, HDR_NUM_SLOTS, 0);
+    codec::put_u16(buf, HDR_CELL_START, PAGE_SIZE as u16);
+    codec::put_u16(buf, HDR_DEAD, 0);
+}
+
+fn page_free(buf: &[u8; PAGE_SIZE]) -> usize {
+    let n = codec::get_u16(buf, HDR_NUM_SLOTS) as usize;
+    let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize;
+    let dead = codec::get_u16(buf, HDR_DEAD) as usize;
+    cell_start - (HDR_SIZE + n * SLOT_SIZE) + dead
+}
+
+/// Rewrites all live cells tightly against the end of the page, zeroing the
+/// dead-byte counter. Slot numbers are preserved.
+fn compact(buf: &mut [u8; PAGE_SIZE]) {
+    let n = codec::get_u16(buf, HDR_NUM_SLOTS) as usize;
+    let mut cells: Vec<(usize, Vec<u8>)> = Vec::with_capacity(n);
+    for s in 0..n {
+        let so = HDR_SIZE + s * SLOT_SIZE;
+        let off = codec::get_u16(buf, so);
+        if off == DEAD_SLOT {
+            continue;
+        }
+        let len = codec::get_u16(buf, so + 2) as usize;
+        cells.push((s, buf[off as usize..off as usize + len].to_vec()));
+    }
+    let mut cell_start = PAGE_SIZE;
+    for (s, bytes) in cells {
+        cell_start -= bytes.len();
+        buf[cell_start..cell_start + bytes.len()].copy_from_slice(&bytes);
+        let so = HDR_SIZE + s * SLOT_SIZE;
+        codec::put_u16(buf, so, cell_start as u16);
+        codec::put_u16(buf, so + 2, bytes.len() as u16);
+    }
+    codec::put_u16(buf, HDR_CELL_START, cell_start as u16);
+    codec::put_u16(buf, HDR_DEAD, 0);
+}
+
+/// Inserts `bytes` into the page, reusing a dead slot when available.
+/// Returns the slot number, or `None` if the page lacks space.
+fn page_insert(buf: &mut [u8; PAGE_SIZE], bytes: &[u8]) -> Option<u16> {
+    let n = codec::get_u16(buf, HDR_NUM_SLOTS) as usize;
+    // Look for a reusable dead slot first so rid space stays dense.
+    let mut slot = None;
+    for s in 0..n {
+        if codec::get_u16(buf, HDR_SIZE + s * SLOT_SIZE) == DEAD_SLOT {
+            slot = Some(s);
+            break;
+        }
+    }
+    let needs_new_slot = slot.is_none();
+    let needed = bytes.len() + if needs_new_slot { SLOT_SIZE } else { 0 };
+    if page_free(buf) < needed {
+        return None;
+    }
+    let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize;
+    let slot_area_end = HDR_SIZE + (n + usize::from(needs_new_slot)) * SLOT_SIZE;
+    if cell_start.saturating_sub(slot_area_end) < bytes.len() {
+        compact(buf);
+    }
+    let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize - bytes.len();
+    buf[cell_start..cell_start + bytes.len()].copy_from_slice(bytes);
+    codec::put_u16(buf, HDR_CELL_START, cell_start as u16);
+    let s = slot.unwrap_or(n);
+    if needs_new_slot {
+        codec::put_u16(buf, HDR_NUM_SLOTS, (n + 1) as u16);
+    }
+    let so = HDR_SIZE + s * SLOT_SIZE;
+    codec::put_u16(buf, so, cell_start as u16);
+    codec::put_u16(buf, so + 2, bytes.len() as u16);
+    Some(s as u16)
+}
+
+impl HeapFile {
+    /// Creates an empty heap file (no pages yet).
+    pub fn create() -> Self {
+        HeapFile {
+            pages: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no live records exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages owned by the file.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Inserts a record, returning its id.
+    pub fn insert(&mut self, pool: &mut BufferPool, bytes: &[u8]) -> Result<RecordId> {
+        if bytes.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: bytes.len(),
+                max: MAX_RECORD,
+            });
+        }
+        // Try the last page first (append-mostly workloads), then any page
+        // whose cached free space fits, then grow.
+        let mut candidates: Vec<usize> = Vec::new();
+        if let Some(last) = self.pages.len().checked_sub(1) {
+            candidates.push(last);
+        }
+        for (i, &f) in self.free.iter().enumerate() {
+            if f as usize >= bytes.len() + SLOT_SIZE && Some(i) != candidates.first().copied() {
+                candidates.push(i);
+            }
+        }
+        for page_idx in candidates {
+            let pid = self.pages[page_idx];
+            let slot = pool.write_page(pid, |buf| page_insert(buf, bytes))?;
+            if let Some(slot) = slot {
+                self.free[page_idx] = pool.read_page(pid, page_free)? as u16;
+                self.len += 1;
+                return Ok(RecordId {
+                    page: page_idx as u32,
+                    slot,
+                });
+            }
+        }
+        let pid = pool.allocate_page()?;
+        let slot = pool.write_page(pid, |buf| {
+            init_page(buf);
+            page_insert(buf, bytes).expect("fresh page must fit a max-size record")
+        })?;
+        self.pages.push(pid);
+        let f = pool.read_page(pid, page_free)? as u16;
+        self.free.push(f);
+        self.len += 1;
+        Ok(RecordId {
+            page: (self.pages.len() - 1) as u32,
+            slot,
+        })
+    }
+
+    fn pid_of(&self, rid: RecordId) -> Result<PageId> {
+        self.pages
+            .get(rid.page as usize)
+            .copied()
+            .ok_or(StorageError::InvalidRecordId {
+                page: rid.page as u64,
+                slot: rid.slot,
+            })
+    }
+
+    /// Reads the record at `rid`.
+    pub fn get(&self, pool: &mut BufferPool, rid: RecordId) -> Result<Vec<u8>> {
+        let pid = self.pid_of(rid)?;
+        pool.read_page(pid, |buf| {
+            let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+            if rid.slot >= n {
+                return Err(StorageError::InvalidRecordId {
+                    page: rid.page as u64,
+                    slot: rid.slot,
+                });
+            }
+            let so = HDR_SIZE + rid.slot as usize * SLOT_SIZE;
+            let off = codec::get_u16(buf, so);
+            if off == DEAD_SLOT {
+                return Err(StorageError::InvalidRecordId {
+                    page: rid.page as u64,
+                    slot: rid.slot,
+                });
+            }
+            let len = codec::get_u16(buf, so + 2) as usize;
+            Ok(buf[off as usize..off as usize + len].to_vec())
+        })?
+    }
+
+    /// Deletes the record at `rid`.
+    pub fn delete(&mut self, pool: &mut BufferPool, rid: RecordId) -> Result<()> {
+        let pid = self.pid_of(rid)?;
+        pool.write_page(pid, |buf| {
+            let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+            if rid.slot >= n {
+                return Err(StorageError::InvalidRecordId {
+                    page: rid.page as u64,
+                    slot: rid.slot,
+                });
+            }
+            let so = HDR_SIZE + rid.slot as usize * SLOT_SIZE;
+            let off = codec::get_u16(buf, so);
+            if off == DEAD_SLOT {
+                return Err(StorageError::InvalidRecordId {
+                    page: rid.page as u64,
+                    slot: rid.slot,
+                });
+            }
+            let len = codec::get_u16(buf, so + 2);
+            codec::put_u16(buf, so, DEAD_SLOT);
+            let dead = codec::get_u16(buf, HDR_DEAD);
+            codec::put_u16(buf, HDR_DEAD, dead + len);
+            Ok(())
+        })??;
+        self.free[rid.page as usize] = pool.read_page(pid, page_free)? as u16;
+        self.len -= 1;
+        Ok(())
+    }
+
+    /// Updates the record at `rid` in place when possible. Returns the
+    /// record's (possibly new) id; when it differs from `rid`, the caller
+    /// must repair any secondary indexes pointing at the old id.
+    pub fn update(
+        &mut self,
+        pool: &mut BufferPool,
+        rid: RecordId,
+        bytes: &[u8],
+    ) -> Result<RecordId> {
+        if bytes.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: bytes.len(),
+                max: MAX_RECORD,
+            });
+        }
+        let pid = self.pid_of(rid)?;
+        let updated = pool.write_page(pid, |buf| {
+            let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+            if rid.slot >= n {
+                return Err(StorageError::InvalidRecordId {
+                    page: rid.page as u64,
+                    slot: rid.slot,
+                });
+            }
+            let so = HDR_SIZE + rid.slot as usize * SLOT_SIZE;
+            let off = codec::get_u16(buf, so);
+            if off == DEAD_SLOT {
+                return Err(StorageError::InvalidRecordId {
+                    page: rid.page as u64,
+                    slot: rid.slot,
+                });
+            }
+            let old_len = codec::get_u16(buf, so + 2) as usize;
+            if bytes.len() <= old_len {
+                // Shrink (or equal): overwrite in place, account slack as dead.
+                buf[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
+                codec::put_u16(buf, so + 2, bytes.len() as u16);
+                let dead = codec::get_u16(buf, HDR_DEAD);
+                codec::put_u16(buf, HDR_DEAD, dead + (old_len - bytes.len()) as u16);
+                return Ok(true);
+            }
+            // Grow: free the old cell, then re-insert into the same page if
+            // space allows, keeping the same slot number.
+            let dead = codec::get_u16(buf, HDR_DEAD);
+            codec::put_u16(buf, HDR_DEAD, dead + old_len as u16);
+            codec::put_u16(buf, so, DEAD_SLOT);
+            if page_free(buf) >= bytes.len() {
+                let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize;
+                let slot_area_end = HDR_SIZE + n as usize * SLOT_SIZE;
+                if cell_start.saturating_sub(slot_area_end) < bytes.len() {
+                    compact(buf);
+                }
+                let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize - bytes.len();
+                buf[cell_start..cell_start + bytes.len()].copy_from_slice(bytes);
+                codec::put_u16(buf, HDR_CELL_START, cell_start as u16);
+                codec::put_u16(buf, so, cell_start as u16);
+                codec::put_u16(buf, so + 2, bytes.len() as u16);
+                return Ok(true);
+            }
+            Ok(false)
+        })??;
+        self.free[rid.page as usize] = pool.read_page(pid, page_free)? as u16;
+        if updated {
+            return Ok(rid);
+        }
+        // Record moved to another page.
+        self.len -= 1; // insert() will re-count it
+        self.insert(pool, bytes)
+    }
+
+    /// Iterates live records in file order; `f` returns `false` to stop.
+    pub fn scan(
+        &self,
+        pool: &mut BufferPool,
+        mut f: impl FnMut(RecordId, &[u8]) -> bool,
+    ) -> Result<()> {
+        for (page_idx, &pid) in self.pages.iter().enumerate() {
+            let keep_going = pool.read_page(pid, |buf| {
+                let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+                for slot in 0..n {
+                    let so = HDR_SIZE + slot as usize * SLOT_SIZE;
+                    let off = codec::get_u16(buf, so);
+                    if off == DEAD_SLOT {
+                        continue;
+                    }
+                    let len = codec::get_u16(buf, so + 2) as usize;
+                    let rid = RecordId {
+                        page: page_idx as u32,
+                        slot,
+                    };
+                    if !f(rid, &buf[off as usize..off as usize + len]) {
+                        return false;
+                    }
+                }
+                true
+            })?;
+            if !keep_going {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes every record (pages are kept and reused).
+    pub fn truncate(&mut self, pool: &mut BufferPool) -> Result<()> {
+        for &pid in &self.pages {
+            pool.write_page(pid, init_page)?;
+        }
+        for f in &mut self.free {
+            *f = (PAGE_SIZE - HDR_SIZE) as u16;
+        }
+        self.len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BufferPool {
+        BufferPool::in_memory(16)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rid = h.insert(&mut p, b"hello").unwrap();
+        assert_eq!(h.get(&mut p, rid).unwrap(), b"hello");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn many_records_span_pages() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let payload = vec![7u8; 500];
+        let rids: Vec<_> = (0..100)
+            .map(|i| {
+                let mut rec = payload.clone();
+                rec[0] = i as u8;
+                h.insert(&mut p, &rec).unwrap()
+            })
+            .collect();
+        assert!(h.num_pages() > 1, "500B x100 must not fit one page");
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(&mut p, *rid).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn delete_then_get_fails_and_slot_reused() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let a = h.insert(&mut p, b"aaa").unwrap();
+        let _b = h.insert(&mut p, b"bbb").unwrap();
+        h.delete(&mut p, a).unwrap();
+        assert!(h.get(&mut p, a).is_err());
+        assert_eq!(h.len(), 1);
+        let c = h.insert(&mut p, b"ccc").unwrap();
+        assert_eq!(c, a, "dead slot should be reused");
+        assert_eq!(h.get(&mut p, c).unwrap(), b"ccc");
+    }
+
+    #[test]
+    fn update_in_place_shrink_and_grow() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rid = h.insert(&mut p, b"0123456789").unwrap();
+        let r2 = h.update(&mut p, rid, b"abc").unwrap();
+        assert_eq!(r2, rid);
+        assert_eq!(h.get(&mut p, rid).unwrap(), b"abc");
+        let r3 = h.update(&mut p, rid, b"abcdefghijklmnop").unwrap();
+        assert_eq!(r3, rid, "grow within page keeps rid");
+        assert_eq!(h.get(&mut p, rid).unwrap(), b"abcdefghijklmnop");
+    }
+
+    #[test]
+    fn update_that_overflows_page_moves_record() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        // Fill a page almost completely.
+        let rid = h.insert(&mut p, &vec![1u8; 4000]).unwrap();
+        let _fill = h.insert(&mut p, &vec![2u8; 4000]).unwrap();
+        let big = vec![3u8; 5000];
+        let new_rid = h.update(&mut p, rid, &big).unwrap();
+        assert_ne!(new_rid, rid);
+        assert_eq!(h.get(&mut p, new_rid).unwrap(), big);
+        assert!(h.get(&mut p, rid).is_err());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn scan_sees_live_records_only() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rids: Vec<_> = (0u8..10).map(|i| h.insert(&mut p, &[i]).unwrap()).collect();
+        h.delete(&mut p, rids[3]).unwrap();
+        h.delete(&mut p, rids[7]).unwrap();
+        let mut seen = Vec::new();
+        h.scan(&mut p, |_, bytes| {
+            seen.push(bytes[0]);
+            true
+        })
+        .unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        for i in 0u8..10 {
+            h.insert(&mut p, &[i]).unwrap();
+        }
+        let mut count = 0;
+        h.scan(&mut p, |_, _| {
+            count += 1;
+            count < 4
+        })
+        .unwrap();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        for i in 0u8..50 {
+            h.insert(&mut p, &vec![i; 300]).unwrap();
+        }
+        let pages_before = h.num_pages();
+        h.truncate(&mut p).unwrap();
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.num_pages(), pages_before, "pages are retained");
+        let mut any = false;
+        h.scan(&mut p, |_, _| {
+            any = true;
+            true
+        })
+        .unwrap();
+        assert!(!any);
+        // Reusable after truncate.
+        let rid = h.insert(&mut p, b"fresh").unwrap();
+        assert_eq!(h.get(&mut p, rid).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn record_too_large_rejected() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let err = h.insert(&mut p, &vec![0u8; PAGE_SIZE]);
+        assert!(matches!(err, Err(StorageError::RecordTooLarge { .. })));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        // Alternate insert/delete to fragment the first page, then insert a
+        // record that only fits after compaction.
+        let mut rids = Vec::new();
+        for i in 0..16 {
+            rids.push(h.insert(&mut p, &vec![i as u8; 400]).unwrap());
+        }
+        let first_page_rids: Vec<_> = rids.iter().filter(|r| r.page == 0).copied().collect();
+        for r in first_page_rids.iter().skip(1) {
+            h.delete(&mut p, *r).unwrap();
+        }
+        // A 3000-byte record now fits in page 0 only via compaction.
+        let rid = h.insert(&mut p, &vec![9u8; 3000]).unwrap();
+        assert_eq!(h.get(&mut p, rid).unwrap(), vec![9u8; 3000]);
+    }
+
+    #[test]
+    fn rid_u64_roundtrip() {
+        let rid = RecordId { page: 123456, slot: 789 };
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+}

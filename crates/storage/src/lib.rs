@@ -1,0 +1,41 @@
+//! # fempath-storage
+//!
+//! Disk-backed storage engine used by the `fempath` relational graph system.
+//!
+//! The crate provides the physical layer a relational database needs:
+//!
+//! * [`Value`] / row encoding — typed column values with an order-preserving
+//!   binary key encoding so index comparisons are plain `memcmp`s,
+//! * [`Page`]-granular I/O through a [`DiskBackend`] (file-backed or
+//!   in-memory),
+//! * a pin-counted LRU [`BufferPool`] with hit/miss/eviction accounting
+//!   (the paper's buffer-size experiments — Fig 8(b)/9(g) — sweep its
+//!   capacity),
+//! * slotted-page [`HeapFile`]s for unordered table storage, and
+//! * a [`BTree`] used both as an index-organized ("clustered") table and as
+//!   a secondary index — the `CluIndex` / `Index` configurations of Fig 8(c).
+//!
+//! Everything is single-writer by design: the paper's workload is one client
+//! connection driving SQL statements, so the engine favours simplicity and
+//! deterministic accounting over concurrency.
+
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod row;
+pub mod stats;
+pub mod value;
+
+pub mod btree;
+
+pub use buffer::BufferPool;
+pub use btree::BTree;
+pub use disk::{DiskBackend, FileDisk, MemDisk};
+pub use error::{Result, StorageError};
+pub use heap::{HeapFile, RecordId};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use row::{decode_row, encode_row};
+pub use stats::IoStats;
+pub use value::{decode_key, encode_key, encode_key_into, DataType, Value};

@@ -1,0 +1,143 @@
+//! Compact row (tuple) serialization for heap pages and B+tree payloads.
+//!
+//! Unlike the key encoding in [`crate::value`], row bytes do not need to be
+//! order-preserving — they only need to round-trip — so the layout favours
+//! decode speed: a tag byte per column followed by a fixed/length-prefixed
+//! payload.
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+
+/// Serializes a row into `out` (clearing it first).
+pub fn encode_row_into(out: &mut Vec<u8>, row: &[Value]) {
+    out.clear();
+    debug_assert!(row.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(TAG_TEXT);
+                debug_assert!(s.len() <= u32::MAX as usize);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Serializes a row, returning a fresh buffer.
+pub fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + row.len() * 9);
+    encode_row_into(&mut out, row);
+    out
+}
+
+/// Deserializes a row previously produced by [`encode_row`].
+pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if bytes.len() < 2 {
+        return Err(corrupt("row shorter than header"));
+    }
+    let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 2usize;
+    for _ in 0..n {
+        let tag = *bytes.get(pos).ok_or_else(|| corrupt("truncated row tag"))?;
+        pos += 1;
+        match tag {
+            TAG_NULL => out.push(Value::Null),
+            TAG_INT => {
+                let end = pos + 8;
+                let s = bytes.get(pos..end).ok_or_else(|| corrupt("truncated int"))?;
+                out.push(Value::Int(i64::from_le_bytes(s.try_into().unwrap())));
+                pos = end;
+            }
+            TAG_FLOAT => {
+                let end = pos + 8;
+                let s = bytes
+                    .get(pos..end)
+                    .ok_or_else(|| corrupt("truncated float"))?;
+                out.push(Value::Float(f64::from_le_bytes(s.try_into().unwrap())));
+                pos = end;
+            }
+            TAG_TEXT => {
+                let lend = pos + 4;
+                let ls = bytes
+                    .get(pos..lend)
+                    .ok_or_else(|| corrupt("truncated text length"))?;
+                let len = u32::from_le_bytes(ls.try_into().unwrap()) as usize;
+                let end = lend + len;
+                let s = bytes
+                    .get(lend..end)
+                    .ok_or_else(|| corrupt("truncated text payload"))?;
+                let text =
+                    std::str::from_utf8(s).map_err(|_| corrupt("non-utf8 text payload"))?;
+                out.push(Value::Text(text.to_string()));
+                pos = end;
+            }
+            t => return Err(StorageError::Corrupt(format!("unknown row tag {t}"))),
+        }
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after row"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_row() {
+        let row = vec![
+            Value::Int(42),
+            Value::Null,
+            Value::Float(-3.75),
+            Value::Text("frontier".into()),
+            Value::Int(i64::MIN),
+        ];
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn roundtrip_empty_row() {
+        let row: Vec<Value> = vec![];
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn truncated_row_is_error() {
+        let row = vec![Value::Int(7)];
+        let bytes = encode_row(&row);
+        assert!(decode_row(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        let mut bytes = encode_row(&[Value::Int(7)]);
+        bytes.push(0xAB);
+        assert!(decode_row(&bytes).is_err());
+    }
+
+    #[test]
+    fn text_with_nul_is_fine_in_rows() {
+        // Rows (unlike keys) may contain NUL bytes in text.
+        let row = vec![Value::Text("a\0b".into())];
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+    }
+}

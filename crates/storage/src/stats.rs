@@ -1,0 +1,100 @@
+//! Physical I/O accounting.
+//!
+//! The paper's evaluation repeatedly appeals to I/O behaviour ("the
+//! redundant I/O cost for accessing edges of multiple nodes when they are
+//! stored in one data block", §4). These counters make that behaviour
+//! observable: every buffer-pool hit, miss, eviction and disk transfer is
+//! tallied so experiments can report physical reads alongside wall time.
+
+/// Snapshot of buffer-pool / disk counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests satisfied from the buffer pool.
+    pub buffer_hits: u64,
+    /// Page requests that had to go to disk.
+    pub buffer_misses: u64,
+    /// Frames recycled to make room (subset of misses once the pool fills).
+    pub evictions: u64,
+    /// Physical page reads issued to the disk backend.
+    pub disk_reads: u64,
+    /// Physical page writes issued to the disk backend (eviction + flush).
+    pub disk_writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+}
+
+impl IoStats {
+    /// Fraction of page requests served from memory, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.buffer_hits + self.buffer_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.buffer_hits as f64 / total as f64
+    }
+
+    /// Total page requests.
+    pub fn accesses(&self) -> u64 {
+        self.buffer_hits + self.buffer_misses
+    }
+
+    /// Counter-wise difference (`self - earlier`), for windowed measurement.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            buffer_misses: self.buffer_misses - earlier.buffer_misses,
+            evictions: self.evictions - earlier.evictions,
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            allocations: self.allocations - earlier.allocations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_one() {
+        assert_eq!(IoStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_half() {
+        let s = IoStats {
+            buffer_hits: 5,
+            buffer_misses: 5,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.accesses(), 10);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = IoStats {
+            buffer_hits: 10,
+            buffer_misses: 4,
+            evictions: 1,
+            disk_reads: 4,
+            disk_writes: 2,
+            allocations: 3,
+        };
+        let b = IoStats {
+            buffer_hits: 4,
+            buffer_misses: 1,
+            evictions: 0,
+            disk_reads: 1,
+            disk_writes: 1,
+            allocations: 1,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.buffer_hits, 6);
+        assert_eq!(d.buffer_misses, 3);
+        assert_eq!(d.evictions, 1);
+        assert_eq!(d.disk_reads, 3);
+        assert_eq!(d.disk_writes, 1);
+        assert_eq!(d.allocations, 2);
+    }
+}

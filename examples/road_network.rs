@@ -1,0 +1,72 @@
+//! Road-network scenario: a near-planar grid with travel-time weights,
+//! where the SegTable is built once and then amortized over many route
+//! queries — the workload that motivates precomputed indexes (§4.2).
+//!
+//! Also demonstrates running the database *disk-resident* with a small
+//! buffer pool, and reports the physical I/O the buffer manager performed.
+//!
+//! ```text
+//! cargo run --release --example road_network [-- <grid_side>]
+//! ```
+
+use fempath::core::{BsegFinder, GraphDb, GraphDbOptions, ShortestPathFinder};
+use fempath::graph::generate;
+use fempath::inmem::dijkstra;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let n = side * side;
+    println!("building a {side}x{side} road grid ({n} intersections), travel times 1..=30");
+    let g = generate::grid(side, side, 1..=30, 11);
+
+    // Disk-resident with a deliberately small buffer (2 MiB).
+    let mut db = GraphDb::new(
+        &g,
+        &GraphDbOptions {
+            buffer_pages: 256,
+            on_disk: true,
+            ..Default::default()
+        },
+    )?;
+    let seg = db.build_segtable(40)?;
+    println!(
+        "SegTable(lthd=40): {} segments, built in {:.2}s with {} disk reads / {} writes",
+        seg.segments, seg.build_time.as_secs_f64(), seg.io.disk_reads, seg.io.disk_writes
+    );
+
+    // Route queries: corners and a few random crossings.
+    let corners = [
+        (0i64, (n - 1) as i64),
+        ((side - 1) as i64, (n - side) as i64),
+        ((n / 2) as i64, 0i64),
+    ];
+    let finder = BsegFinder::default();
+    db.db.reset_io_stats();
+    for &(a, b) in &corners {
+        let out = finder.find_path(&mut db, a, b)?;
+        let p = out.path.expect("grid is connected");
+        // Cross-check against in-memory Dijkstra.
+        let oracle = dijkstra::shortest_path(&g, a as u32, b as u32).unwrap();
+        assert_eq!(p.length as u64, oracle.distance, "route must be optimal");
+        println!(
+            "route {a:>5} -> {b:>5}: travel time {:>4}, {} road segments, \
+             {} expansions, {:.1} ms",
+            p.length,
+            p.nodes.len() - 1,
+            out.stats.expansions,
+            out.stats.total_time.as_secs_f64() * 1e3,
+        );
+    }
+    let io = db.db.io_stats();
+    println!(
+        "\nbuffer pool during queries: {} hits, {} misses ({:.1}% hit rate), {} physical reads",
+        io.buffer_hits,
+        io.buffer_misses,
+        io.hit_rate() * 100.0,
+        io.disk_reads
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! A tiny interactive SQL shell over the embedded engine — handy for
+//! poking at the tables the algorithms create (TEdges, TVisited, TOutSegs).
+//!
+//! ```text
+//! cargo run --example sql_shell
+//! sql> CREATE TABLE t (a INT, b TEXT);
+//! sql> INSERT INTO t VALUES (1, 'one'), (2, 'two');
+//! sql> SELECT * FROM t WHERE a > 1;
+//! sql> \tables
+//! sql> \quit
+//! ```
+
+use fempath::sql::Database;
+use std::io::{self, BufRead, Write};
+
+fn main() -> io::Result<()> {
+    let mut db = Database::in_memory(4096);
+    println!("fempath SQL shell — \\tables lists tables, \\quit exits");
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("sql> ");
+        io::stdout().flush()?;
+        line.clear();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match input {
+            "\\quit" | "\\q" | "exit" => break,
+            "\\tables" => {
+                for t in db.catalog().table_names() {
+                    println!("  {t}");
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match db.execute_script(input) {
+            Ok(out) => {
+                if let Some(rs) = out.rows {
+                    println!("  {}", rs.columns.join(" | "));
+                    for row in &rs.rows {
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        println!("  {}", cells.join(" | "));
+                    }
+                    println!("  ({} rows)", rs.rows.len());
+                } else {
+                    println!("  ok, {} rows affected", out.rows_affected);
+                }
+            }
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # fempath
+//!
+//! A relational approach to shortest-path discovery over large graphs — a
+//! from-scratch Rust reproduction of Gao et al., *"Relational Approach for
+//! Shortest Path Discovery over Large Graphs"*, PVLDB 5(4), 2011.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`storage`] — pages, buffer pool, heap files, B+trees,
+//! * [`sql`] — the SQL engine (window functions, MERGE, views, prepared
+//!   statements),
+//! * [`graph`] — graph model, synthetic generators, relational loaders,
+//! * [`inmem`] — in-memory baselines (MDJ/MBDJ),
+//! * [`core`] — the FEM framework, the five relational shortest-path
+//!   algorithms (DJ, BDJ, BSDJ, BBFS, BSEG) and the SegTable index.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fempath::core::{GraphDb, BsdjFinder, ShortestPathFinder};
+//! use fempath::graph::generate;
+//!
+//! // A small weighted power-law graph, loaded into relational tables.
+//! let g = generate::power_law(500, 3, 1..=100, 42);
+//! let mut db = GraphDb::in_memory(&g).unwrap();
+//!
+//! // Bi-directional set Dijkstra, driven entirely by SQL statements.
+//! let finder = BsdjFinder::default();
+//! let outcome = finder.find_path(&mut db, 0, 250).unwrap();
+//! if let Some(path) = &outcome.path {
+//!     assert!(path.length > 0);
+//! }
+//! ```
+
+pub use fempath_core as core;
+pub use fempath_graph as graph;
+pub use fempath_inmem as inmem;
+pub use fempath_sql as sql;
+pub use fempath_storage as storage;

@@ -1,0 +1,146 @@
+//! Property-based tests of the SQL engine: the NSQL and TSQL formulations
+//! of the paper's operators must be semantically equivalent on arbitrary
+//! data, and MERGE must equal UPDATE-then-INSERT.
+
+use fempath::sql::Database;
+use fempath::storage::Value;
+use proptest::prelude::*;
+
+fn db_with_tables() -> Database {
+    let mut db = Database::in_memory(512);
+    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, PRIMARY KEY(nid))")
+        .unwrap();
+    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
+    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)").unwrap();
+    db
+}
+
+const WINDOW_E: &str = "SELECT nid, np, cost FROM ( \
+    SELECT e.tid AS nid, e.fid AS np, e.cost + q.d2s AS cost, \
+           ROW_NUMBER() OVER (PARTITION BY e.tid ORDER BY e.cost + q.d2s, e.fid) AS rownum \
+    FROM TVisited q, TEdges e WHERE q.nid = e.fid AND q.f = 2 \
+  ) tmp WHERE rownum = 1 ORDER BY nid";
+
+const AGG_E: &str = "SELECT e2.tid AS nid, MIN(e2.fid) AS np, m.c AS cost \
+    FROM TVisited q2, TEdges e2, ( \
+      SELECT e.tid AS mtid, MIN(e.cost + q.d2s) AS c \
+      FROM TVisited q, TEdges e WHERE q.nid = e.fid AND q.f = 2 GROUP BY e.tid \
+    ) m \
+    WHERE q2.nid = e2.fid AND q2.f = 2 AND e2.tid = m.mtid AND e2.cost + q2.d2s = m.c \
+    GROUP BY e2.tid, m.c ORDER BY nid";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The window-function E-operator and the aggregate-join E-operator
+    /// agree on (nid, cost); parents may differ only among equal-cost ties,
+    /// which the window query breaks by fid to match MIN(fid).
+    #[test]
+    fn window_and_aggregate_e_operator_agree(
+        edges in prop::collection::vec((0i64..20, 0i64..20, 1i64..50), 1..60),
+        visited in prop::collection::btree_map(0i64..20, (0i64..30, prop::bool::ANY), 1..10),
+    ) {
+        let mut db = db_with_tables();
+        for (f, t, c) in &edges {
+            if f == t { continue; }
+            db.execute_params(
+                "INSERT INTO TEdges VALUES (?, ?, ?)",
+                &[Value::Int(*f), Value::Int(*t), Value::Int(*c)],
+            ).unwrap();
+        }
+        for (nid, (d2s, frontier)) in &visited {
+            db.execute_params(
+                "INSERT INTO TVisited VALUES (?, ?, 0, ?)",
+                &[Value::Int(*nid), Value::Int(*d2s), Value::Int(if *frontier { 2 } else { 1 })],
+            ).unwrap();
+        }
+        let w = db.query(WINDOW_E).unwrap();
+        let a = db.query(AGG_E).unwrap();
+        prop_assert_eq!(w.rows.len(), a.rows.len());
+        for (rw, ra) in w.rows.iter().zip(a.rows.iter()) {
+            prop_assert_eq!(&rw[0], &ra[0], "nid");
+            prop_assert_eq!(&rw[2], &ra[2], "cost");
+            prop_assert_eq!(&rw[1], &ra[1], "parent (tie-broken by fid)");
+        }
+    }
+
+    /// MERGE == UPDATE…FROM + INSERT…NOT IN on arbitrary visited/expanded
+    /// tables (the paper's M-operator equivalence, §3.3).
+    #[test]
+    fn merge_equals_update_plus_insert(
+        visited in prop::collection::btree_map(0i64..30, 1i64..100, 0..15),
+        expanded in prop::collection::btree_map(0i64..30, (0i64..30, 1i64..100), 0..15),
+    ) {
+        let setup = |db: &mut Database| {
+            db.execute("CREATE TABLE ek (nid INT, p2s INT, cost INT)").unwrap();
+            for (nid, d2s) in &visited {
+                db.execute_params(
+                    "INSERT INTO TVisited VALUES (?, ?, -1, 1)",
+                    &[Value::Int(*nid), Value::Int(*d2s)],
+                ).unwrap();
+            }
+            for (nid, (p2s, cost)) in &expanded {
+                db.execute_params(
+                    "INSERT INTO ek VALUES (?, ?, ?)",
+                    &[Value::Int(*nid), Value::Int(*p2s), Value::Int(*cost)],
+                ).unwrap();
+            }
+        };
+        let mut m = db_with_tables();
+        setup(&mut m);
+        let merged = m.execute(
+            "MERGE INTO TVisited AS target USING ek AS source ON source.nid = target.nid \
+             WHEN MATCHED AND target.d2s > source.cost THEN \
+               UPDATE SET d2s = source.cost, p2s = source.p2s, f = 0 \
+             WHEN NOT MATCHED THEN \
+               INSERT (nid, d2s, p2s, f) VALUES (source.nid, source.cost, source.p2s, 0)",
+        ).unwrap().rows_affected;
+
+        let mut u = db_with_tables();
+        setup(&mut u);
+        let upd = u.execute(
+            "UPDATE TVisited SET d2s = ek.cost, p2s = ek.p2s, f = 0 FROM ek \
+             WHERE TVisited.nid = ek.nid AND TVisited.d2s > ek.cost",
+        ).unwrap().rows_affected;
+        let ins = u.execute(
+            "INSERT INTO TVisited (nid, d2s, p2s, f) \
+             SELECT nid, cost, p2s, 0 FROM ek WHERE nid NOT IN (SELECT nid FROM TVisited)",
+        ).unwrap().rows_affected;
+
+        prop_assert_eq!(merged, upd + ins, "affected-row counts agree");
+        let a = m.query("SELECT nid, d2s, p2s, f FROM TVisited ORDER BY nid").unwrap();
+        let b = u.query("SELECT nid, d2s, p2s, f FROM TVisited ORDER BY nid").unwrap();
+        prop_assert_eq!(a.rows, b.rows, "final table states agree");
+    }
+
+    /// ORDER BY on the engine sorts exactly like the total order on values.
+    #[test]
+    fn order_by_is_total_order(values in prop::collection::vec(any::<i32>(), 0..50)) {
+        let mut db = Database::in_memory(128);
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        for v in &values {
+            db.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(*v as i64)]).unwrap();
+        }
+        let rs = db.query("SELECT a FROM t ORDER BY a").unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut want: Vec<i64> = values.iter().map(|v| *v as i64).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Aggregates agree with straight Rust folds.
+    #[test]
+    fn aggregates_match_reference(values in prop::collection::vec(1i64..1000, 1..60)) {
+        let mut db = Database::in_memory(128);
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        for v in &values {
+            db.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(*v)]).unwrap();
+        }
+        let rs = db.query("SELECT MIN(a), MAX(a), SUM(a), COUNT(*) FROM t").unwrap();
+        let row = &rs.rows[0];
+        prop_assert_eq!(row[0].as_i64().unwrap(), *values.iter().min().unwrap());
+        prop_assert_eq!(row[1].as_i64().unwrap(), *values.iter().max().unwrap());
+        prop_assert_eq!(row[2].as_i64().unwrap(), values.iter().sum::<i64>());
+        prop_assert_eq!(row[3].as_i64().unwrap(), values.len() as i64);
+    }
+}
