@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fempath_bench::harness::query_pairs;
-use fempath_core::{
-    BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, GraphDb, ShortestPathFinder,
-};
+use fempath_core::{BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, GraphDb, ShortestPathFinder};
 use fempath_graph::generate;
 use fempath_inmem::{bidijkstra, dijkstra};
 use std::hint::black_box;

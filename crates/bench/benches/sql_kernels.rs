@@ -10,16 +10,24 @@ use std::hint::black_box;
 /// A TVisited/TEdges fixture with a marked frontier.
 fn fixture() -> Database {
     let mut db = Database::in_memory(2048);
-    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT)").unwrap();
-    db.execute("CREATE UNIQUE INDEX ix_v ON TVisited(nid)").unwrap();
-    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
-    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)").unwrap();
+    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT)")
+        .unwrap();
+    db.execute("CREATE UNIQUE INDEX ix_v ON TVisited(nid)")
+        .unwrap();
+    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)")
+        .unwrap();
+    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)")
+        .unwrap();
     // 2000 nodes, degree 4 ring-ish graph; 100-node frontier.
     for u in 0..2000i64 {
         for d in 1..=4i64 {
             db.execute_params(
                 "INSERT INTO TEdges VALUES (?, ?, ?)",
-                &[Value::Int(u), Value::Int((u + d * 7) % 2000), Value::Int(d * 3)],
+                &[
+                    Value::Int(u),
+                    Value::Int((u + d * 7) % 2000),
+                    Value::Int(d * 3),
+                ],
             )
             .unwrap();
         }
@@ -28,7 +36,12 @@ fn fixture() -> Database {
         let f = i64::from(u < 100) * 2; // first 100 are frontier (f=2)
         db.execute_params(
             "INSERT INTO TVisited VALUES (?, ?, ?, ?)",
-            &[Value::Int(u), Value::Int(u % 50), Value::Int(0), Value::Int(f)],
+            &[
+                Value::Int(u),
+                Value::Int(u % 50),
+                Value::Int(0),
+                Value::Int(f),
+            ],
         )
         .unwrap();
     }
@@ -86,7 +99,8 @@ fn bench_m_operator(c: &mut Criterion) {
     });
     group.bench_function("tsql_update_then_insert", |b| {
         let mut db = fixture();
-        db.execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)").unwrap();
+        db.execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)")
+            .unwrap();
         let fill = format!("INSERT INTO TExp (nid, p2s, cost) {WINDOW_E}");
         b.iter(|| {
             db.execute("TRUNCATE TABLE TExp").unwrap();

@@ -39,7 +39,8 @@ fn bench_btree(c: &mut Criterion) {
             let mut pool = BufferPool::in_memory(512);
             let mut t = BTree::create(&mut pool).unwrap();
             for i in 0..10_000u64 {
-                t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+                t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes())
+                    .unwrap();
             }
             black_box(t.len());
         });
@@ -49,7 +50,8 @@ fn bench_btree(c: &mut Criterion) {
         let mut pool = BufferPool::in_memory(512);
         let mut t = BTree::create(&mut pool).unwrap();
         for i in 0..10_000u64 {
-            t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         let mut i = 0u64;
         b.iter(|| {

@@ -14,7 +14,11 @@ pub fn prune(cfg: &BenchConfig) -> Result<()> {
     gdb.build_segtable(20)?;
     let pairs = query_pairs(n, cfg.queries, cfg.seed);
     let mut rows = Vec::new();
-    type FinderPair = (&'static str, Box<dyn ShortestPathFinder>, Box<dyn ShortestPathFinder>);
+    type FinderPair = (
+        &'static str,
+        Box<dyn ShortestPathFinder>,
+        Box<dyn ShortestPathFinder>,
+    );
     let cases: Vec<FinderPair> = vec![
         (
             "BSDJ",
@@ -46,7 +50,13 @@ pub fn prune(cfg: &BenchConfig) -> Result<()> {
     }
     print_table(
         "Ablation: Theorem-1 pruning on/off (Power graph)",
-        &["algo", "pruned t", "pruned Vst", "no-prune t", "no-prune Vst"],
+        &[
+            "algo",
+            "pruned t",
+            "pruned Vst",
+            "no-prune t",
+            "no-prune Vst",
+        ],
         &rows,
     );
     println!("expectation: pruning shrinks the visited set once a path is known");

@@ -34,7 +34,10 @@ pub fn fig6a(cfg: &BenchConfig) -> Result<()> {
             format!("{n}"),
             secs(bdj.avg_time),
             secs(bsdj.avg_time),
-            format!("{:.2}x", bdj.avg_time.as_secs_f64() / bsdj.avg_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                bdj.avg_time.as_secs_f64() / bsdj.avg_time.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     print_table(
@@ -133,7 +136,10 @@ pub fn fig6d(cfg: &BenchConfig) -> Result<()> {
             format!("{n}"),
             secs(nsql.avg_time),
             secs(tsql.avg_time),
-            format!("{:.2}x", tsql.avg_time.as_secs_f64() / nsql.avg_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                tsql.avg_time.as_secs_f64() / nsql.avg_time.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     print_table(

@@ -47,11 +47,7 @@ pub fn fig7b(cfg: &BenchConfig) -> Result<()> {
         let mut gdb = GraphDb::in_memory(&g)?;
         let bbfs = measure(&mut gdb, &BbfsFinder::default(), &pairs)?;
         let bsdj = measure(&mut gdb, &BsdjFinder::default(), &pairs)?;
-        let mut cells = vec![
-            format!("{n}"),
-            secs(bbfs.avg_time),
-            secs(bsdj.avg_time),
-        ];
+        let mut cells = vec![format!("{n}"), secs(bbfs.avg_time), secs(bsdj.avg_time)];
         for lthd in [3i64, 5, 7] {
             gdb.build_segtable(lthd)?;
             let bseg = measure(&mut gdb, &BsegFinder::default(), &pairs)?;

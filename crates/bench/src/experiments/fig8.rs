@@ -2,9 +2,7 @@
 //! size, (c) index strategies, (d) relational vs in-memory.
 
 use crate::harness::{measure, print_table, query_pairs, secs, BenchConfig};
-use fempath_core::{
-    BbfsFinder, BsegFinder, GraphDb, GraphDbOptions,
-};
+use fempath_core::{BbfsFinder, BsegFinder, GraphDb, GraphDbOptions};
 use fempath_graph::{generate, IndexKind};
 use fempath_inmem::{bidijkstra, dijkstra};
 use fempath_sql::{Dialect, Result};
@@ -28,7 +26,11 @@ pub fn fig8a(cfg: &BenchConfig) -> Result<()> {
         let pairs = query_pairs(n, cfg.queries, cfg.seed + i as u64);
         let bbfs = measure(&mut gdb, &BbfsFinder::default(), &pairs)?;
         let bseg = measure(&mut gdb, &BsegFinder::default(), &pairs)?;
-        rows.push(vec![format!("{n}"), secs(bbfs.avg_time), secs(bseg.avg_time)]);
+        rows.push(vec![
+            format!("{n}"),
+            secs(bbfs.avg_time),
+            secs(bseg.avg_time),
+        ]);
     }
     print_table(
         "Fig 8(a): query time (s) on the PostgreSQL dialect (no MERGE) — Power",
@@ -57,7 +59,11 @@ pub fn fig8b(cfg: &BenchConfig) -> Result<()> {
         gdb.build_segtable(3)?;
         // Warm the buffer as the paper does ("collected after the database
         // buffer becomes hot").
-        let _ = measure(&mut gdb, &BsegFinder::default(), &pairs[..pairs.len().min(2)])?;
+        let _ = measure(
+            &mut gdb,
+            &BsegFinder::default(),
+            &pairs[..pairs.len().min(2)],
+        )?;
         gdb.db.reset_io_stats();
         let bseg = measure(&mut gdb, &BsegFinder::default(), &pairs)?;
         let io = gdb.db.io_stats();
@@ -126,7 +132,11 @@ pub fn fig8d(cfg: &BenchConfig) -> Result<()> {
         let mut gdb = GraphDb::in_memory(&g)?;
         gdb.build_segtable(20)?;
         // Warm the buffer (the paper measures with a hot buffer).
-        let _ = measure(&mut gdb, &BsegFinder::default(), &pairs[..pairs.len().min(2)])?;
+        let _ = measure(
+            &mut gdb,
+            &BsegFinder::default(),
+            &pairs[..pairs.len().min(2)],
+        )?;
         let bseg = measure(&mut gdb, &BsegFinder::default(), &pairs)?;
         let t0 = Instant::now();
         for &(s, t) in &pairs {

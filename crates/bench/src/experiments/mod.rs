@@ -14,9 +14,29 @@ use fempath_sql::Result;
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "table2", "table3", "fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig7c", "fig7d",
-    "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
-    "fig9g", "fig9h", "ablation-prune",
+    "table2",
+    "table3",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig9e",
+    "fig9f",
+    "fig9g",
+    "fig9h",
+    "ablation-prune",
 ];
 
 /// Runs one experiment by id.

@@ -42,7 +42,15 @@ pub fn run(cfg: &BenchConfig) -> Result<()> {
     }
     print_table(
         "Table 2: Exps (# expansions) and Time (s) on Power graphs",
-        &["|V|", "DJ Exps", "DJ Time", "BDJ Exps", "BDJ Time", "BSDJ Exps", "BSDJ Time"],
+        &[
+            "|V|",
+            "DJ Exps",
+            "DJ Time",
+            "BDJ Exps",
+            "BDJ Time",
+            "BSDJ Exps",
+            "BSDJ Time",
+        ],
         &rows,
     );
     println!("paper shape: DJ >> BDJ >> BSDJ; DJ ~50x BDJ and ~140x BSDJ on expansions");

@@ -109,7 +109,12 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
         // F-operator: mark the frontier.
         let marked = match spec.frontier {
             FrontierPolicy::SingleMin => {
-                match runner.scalar(Phase::StatsCollection, FemOperator::Aux, &gen.select_mid(), &[])? {
+                match runner.scalar(
+                    Phase::StatsCollection,
+                    FemOperator::Aux,
+                    &gen.select_mid(),
+                    &[],
+                )? {
                     None => 0,
                     Some(mid) => {
                         runner
@@ -168,7 +173,11 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
         }
 
         // E+M operators.
-        let (lo, mc) = if spec.prune { (l_other, min_cost) } else { (0, INF) };
+        let (lo, mc) = if spec.prune {
+            (l_other, min_cost)
+        } else {
+            (0, INF)
+        };
         let params = expand_params(spec.style, FrontierPred::Marked, None, lo, mc);
         if !use_temp_exp {
             runner.exec(
@@ -186,14 +195,34 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
                 &params,
             )?;
             if runner.gdb.merge_supported() {
-                runner.exec(Phase::PathExpansion, FemOperator::M, &gen.merge_from_exp(), &[])?;
+                runner.exec(
+                    Phase::PathExpansion,
+                    FemOperator::M,
+                    &gen.merge_from_exp(),
+                    &[],
+                )?;
             } else {
-                runner.exec(Phase::PathExpansion, FemOperator::M, &gen.update_from_exp(), &[])?;
-                runner.exec(Phase::PathExpansion, FemOperator::M, &gen.insert_from_exp(), &[])?;
+                runner.exec(
+                    Phase::PathExpansion,
+                    FemOperator::M,
+                    &gen.update_from_exp(),
+                    &[],
+                )?;
+                runner.exec(
+                    Phase::PathExpansion,
+                    FemOperator::M,
+                    &gen.insert_from_exp(),
+                    &[],
+                )?;
             }
         }
         // Flip the expanded frontier to settled (Listing 4(3)).
-        runner.exec(Phase::PathExpansion, FemOperator::F, &gen.reset_frontier(), &[])?;
+        runner.exec(
+            Phase::PathExpansion,
+            FemOperator::F,
+            &gen.reset_frontier(),
+            &[],
+        )?;
         runner.stats.expansions += 1;
         *k += 1;
 
@@ -217,7 +246,12 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
             nb = cand;
         }
         let mc_now = runner
-            .scalar(Phase::StatsCollection, FemOperator::Aux, min_cost_sql(), &[])?
+            .scalar(
+                Phase::StatsCollection,
+                FemOperator::Aux,
+                min_cost_sql(),
+                &[],
+            )?
             .unwrap_or(i64::MAX);
         min_cost = if mc_now >= INF { INF } else { mc_now };
 

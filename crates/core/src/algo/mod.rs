@@ -98,7 +98,11 @@ impl<'a> Runner<'a> {
         let rows = out
             .rows
             .ok_or_else(|| SqlError::Eval("expected a result set".into()))?;
-        Ok(rows.rows.first().and_then(|r| r.first()).and_then(|v| v.as_i64()))
+        Ok(rows
+            .rows
+            .first()
+            .and_then(|r| r.first())
+            .and_then(|v| v.as_i64()))
     }
 
     /// Executes a statement and returns its first row, if any.
@@ -143,7 +147,12 @@ pub(crate) fn walk_links(
     let mut cur = from;
     while cur != anchor {
         let next = runner
-            .scalar(Phase::FullPathRecovery, FemOperator::Aux, sql, &[Value::Int(cur)])?
+            .scalar(
+                Phase::FullPathRecovery,
+                FemOperator::Aux,
+                sql,
+                &[Value::Int(cur)],
+            )?
             .ok_or_else(|| SqlError::Eval(format!("broken predecessor chain at node {cur}")))?;
         if next == NO_NODE {
             return Err(SqlError::Eval(format!(
@@ -153,7 +162,9 @@ pub(crate) fn walk_links(
         chain.push(next);
         cur = next;
         if chain.len() > limit {
-            return Err(SqlError::Eval("predecessor chain exceeds node count".into()));
+            return Err(SqlError::Eval(
+                "predecessor chain exceeds node count".into(),
+            ));
         }
     }
     Ok(chain)
@@ -209,4 +220,3 @@ pub(crate) fn trivial_case(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<P
     }
     Ok(None)
 }
-

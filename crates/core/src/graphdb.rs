@@ -180,7 +180,8 @@ impl GraphDb {
     /// expansion paths.
     pub fn reset_exp(&mut self) -> Result<()> {
         self.db.execute("DROP TABLE IF EXISTS TExp")?;
-        self.db.execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)")?;
+        self.db
+            .execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)")?;
         Ok(())
     }
 
@@ -229,7 +230,11 @@ mod tests {
     #[test]
     fn visited_index_strategies() {
         let g = generate::grid(3, 3, 1..=10, 1);
-        for kind in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
+        for kind in [
+            IndexKind::NoIndex,
+            IndexKind::Secondary,
+            IndexKind::Clustered,
+        ] {
             let mut gdb = GraphDb::new(
                 &g,
                 &GraphDbOptions {

@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn disconnected_endpoints_give_none() {
-        let g = fempath_graph::Graph::from_undirected_edges(
-            4,
-            vec![(0, 1, 1), (2, 3, 1)],
-        );
+        let g = fempath_graph::Graph::from_undirected_edges(4, vec![(0, 1, 1), (2, 3, 1)]);
         let mut gdb = GraphDb::in_memory(&g).unwrap();
         build_landmarks(&mut gdb, &[0]).unwrap();
         // Landmark 0 never reaches node 2.

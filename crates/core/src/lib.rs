@@ -32,8 +32,8 @@ pub mod pattern;
 pub mod prim;
 pub mod reach;
 pub mod segtable;
-pub mod sssp;
 pub mod sqlgen;
+pub mod sssp;
 pub mod stats;
 
 pub use algo::{
@@ -46,8 +46,8 @@ pub use landmarks::{build_landmarks, estimate_distance, DistanceBounds};
 pub use pattern::{match_label_path, set_labels};
 pub use prim::{prim_mst, MstResult};
 pub use reach::{component_size, reachable};
-pub use sssp::{single_source, SsspEntry, SsspResult};
 pub use segtable::{build_segtable, build_segtable_with, SegTableStats};
+pub use sssp::{single_source, SsspEntry, SsspResult};
 pub use stats::{FemOperator, Phase, QueryStats, SqlStyle};
 
 /// Result alias shared with the SQL layer.

@@ -78,8 +78,7 @@ pub fn match_label_path(
         gdb.db.execute(&format!("DROP TABLE IF EXISTS TMatch{k}"))?;
         gdb.db
             .execute(&format!("CREATE TABLE TMatch{k} ({})", col_defs.join(", ")))?;
-        let qualified_prev: Vec<String> =
-            cols(k - 1).iter().map(|c| format!("m.{c}")).collect();
+        let qualified_prev: Vec<String> = cols(k - 1).iter().map(|c| format!("m.{c}")).collect();
         let mut distinct = String::new();
         if isomorphic {
             for c in cols(k - 1) {
@@ -204,6 +203,9 @@ mod tests {
         let g = Graph::from_undirected_edges(3, vec![(0, 1, 1)]);
         let mut gdb = GraphDb::in_memory(&g).unwrap();
         assert!(set_labels(&mut gdb, &[0, 1]).is_err());
-        assert!(match_label_path(&mut gdb, &[0], true).is_err(), "labels not installed");
+        assert!(
+            match_label_path(&mut gdb, &[0], true).is_err(),
+            "labels not installed"
+        );
     }
 }

@@ -29,7 +29,9 @@ impl FemSearch for ReachSearch {
     }
 
     fn select_frontier(&mut self, db: &mut Database, _k: u64) -> Result<u64> {
-        Ok(db.execute("UPDATE TReach SET f = 2 WHERE f = 0")?.rows_affected)
+        Ok(db
+            .execute("UPDATE TReach SET f = 2 WHERE f = 0")?
+            .rows_affected)
     }
 
     fn expand_and_merge(&mut self, db: &mut Database, _k: u64) -> Result<u64> {
@@ -49,10 +51,8 @@ impl FemSearch for ReachSearch {
     fn after_iteration(&mut self, db: &mut Database, _k: u64, affected: u64) -> Result<bool> {
         if let Some(t) = self.target {
             if affected > 0 {
-                let rs = db.query_params(
-                    "SELECT nid FROM TReach WHERE nid = ?",
-                    &[Value::Int(t)],
-                )?;
+                let rs =
+                    db.query_params("SELECT nid FROM TReach WHERE nid = ?", &[Value::Int(t)])?;
                 if !rs.is_empty() {
                     self.hit = true;
                     return Ok(false); // early exit

@@ -41,11 +41,7 @@ pub fn build_segtable(gdb: &mut GraphDb, lthd: i64) -> Result<SegTableStats> {
 }
 
 /// Builds the SegTable with an explicit SQL style (Fig 9(f) compares both).
-pub fn build_segtable_with(
-    gdb: &mut GraphDb,
-    lthd: i64,
-    style: SqlStyle,
-) -> Result<SegTableStats> {
+pub fn build_segtable_with(gdb: &mut GraphDb, lthd: i64, style: SqlStyle) -> Result<SegTableStats> {
     if lthd <= 0 {
         return Err(SqlError::Eval("lthd must be positive".into()));
     }
@@ -199,7 +195,8 @@ pub fn build_segtable_with(
                 .execute("CREATE CLUSTERED INDEX idx_tinsegs_fid ON TInSegs(fid)")?;
         }
         IndexKind::Secondary => {
-            gdb.db.execute("CREATE INDEX idx_tinsegs_fid ON TInSegs(fid)")?;
+            gdb.db
+                .execute("CREATE INDEX idx_tinsegs_fid ON TInSegs(fid)")?;
         }
         IndexKind::NoIndex => {}
     }

@@ -28,7 +28,16 @@ pub enum Dir {
 
 impl Dir {
     /// `(dist, pred, flag, other-dist, other-pred, other-flag)` columns.
-    pub fn cols(self) -> (&'static str, &'static str, &'static str, &'static str, &'static str, &'static str) {
+    pub fn cols(
+        self,
+    ) -> (
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+    ) {
         match self {
             Dir::Fwd => ("d2s", "p2s", "f", "d2t", "p2t", "b"),
             Dir::Bwd => ("d2t", "p2t", "b", "d2s", "p2s", "f"),
@@ -123,26 +132,20 @@ impl SqlGen {
     /// Minimal candidate distance (Listing 4(4)); NULL when exhausted.
     pub fn min_candidate(&self) -> String {
         let (dist, _, flag, ..) = self.dir.cols();
-        format!(
-            "SELECT MIN({dist}) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}"
-        )
+        format!("SELECT MIN({dist}) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}")
     }
 
     /// Number of remaining candidates in this direction.
     pub fn candidate_count(&self) -> String {
         let (dist, _, flag, ..) = self.dir.cols();
-        format!(
-            "SELECT COUNT(*) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}"
-        )
+        format!("SELECT COUNT(*) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}")
     }
 
     /// Fused statistics statement: minimal candidate distance and candidate
     /// count in one scan (one SQLCA round-trip instead of two).
     pub fn candidate_stats(&self) -> String {
         let (dist, _, flag, ..) = self.dir.cols();
-        format!(
-            "SELECT MIN({dist}), COUNT(*) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}"
-        )
+        format!("SELECT MIN({dist}), COUNT(*) FROM TVisited WHERE {flag} = 0 AND {dist} < {INF}")
     }
 
     /// Mark a single node as frontier; params `[nid]`.
@@ -160,9 +163,7 @@ impl SqlGen {
     /// Mark every candidate (BFS-style).
     pub fn mark_all(&self) -> String {
         let (dist, _, flag, ..) = self.dir.cols();
-        format!(
-            "UPDATE TVisited SET {flag} = 2 WHERE {flag} = 0 AND {dist} < {INF}"
-        )
+        format!("UPDATE TVisited SET {flag} = 2 WHERE {flag} = 0 AND {dist} < {INF}")
     }
 
     /// Listing 4(1): the selective frontier of BSEG; params `[k * lthd]`.

@@ -40,10 +40,8 @@ pub fn single_source(gdb: &mut GraphDb, s: i64) -> Result<SsspResult> {
     if !use_merge {
         gdb.reset_exp()?;
     }
-    gdb.db.execute_params(
-        &SqlGen::init(Dir::Fwd),
-        &[Value::Int(s), Value::Int(s)],
-    )?;
+    gdb.db
+        .execute_params(&SqlGen::init(Dir::Fwd), &[Value::Int(s), Value::Int(s)])?;
 
     let mut l = 0i64; // current candidate minimum (see bidi.rs invariant)
     let mut iterations = 0u64;
@@ -133,7 +131,7 @@ mod tests {
                         .filter(|a| a.to == e.node as u32)
                         .map(|a| a.weight as u64)
                         .min()
-                        .expect("parent edge exists") ;
+                        .expect("parent edge exists");
                 assert_eq!(via, e.distance as u64, "parent chain of {}", e.node);
             }
         }

@@ -98,9 +98,21 @@ mod tests {
     #[test]
     fn record_accumulates() {
         let mut s = QueryStats::default();
-        s.record(Phase::PathExpansion, FemOperator::E, Duration::from_millis(5));
-        s.record(Phase::PathExpansion, FemOperator::M, Duration::from_millis(3));
-        s.record(Phase::StatsCollection, FemOperator::Aux, Duration::from_millis(2));
+        s.record(
+            Phase::PathExpansion,
+            FemOperator::E,
+            Duration::from_millis(5),
+        );
+        s.record(
+            Phase::PathExpansion,
+            FemOperator::M,
+            Duration::from_millis(3),
+        );
+        s.record(
+            Phase::StatsCollection,
+            FemOperator::Aux,
+            Duration::from_millis(2),
+        );
         assert_eq!(s.sql_statements, 3);
         assert_eq!(s.phase(Phase::PathExpansion), Duration::from_millis(8));
         assert_eq!(s.phase(Phase::StatsCollection), Duration::from_millis(2));

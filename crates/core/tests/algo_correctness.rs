@@ -59,7 +59,10 @@ fn check(g: &Graph, out: &PathOutcome, s: i64, t: i64, algo: &str) {
                     .unwrap_or_else(|| panic!("{algo}: edge {}->{} not in graph", w[0], w[1]));
                 total += arc as u64;
             }
-            assert_eq!(total, o.distance, "{algo}: path weights disagree for {s}->{t}");
+            assert_eq!(
+                total, o.distance,
+                "{algo}: path weights disagree for {s}->{t}"
+            );
         }
         (None, None) => {}
         (got, want) => panic!(
@@ -70,7 +73,12 @@ fn check(g: &Graph, out: &PathOutcome, s: i64, t: i64, algo: &str) {
     }
 }
 
-fn all_pairs_check(g: &Graph, finder: &dyn ShortestPathFinder, gdb: &mut GraphDb, pairs: &[(i64, i64)]) {
+fn all_pairs_check(
+    g: &Graph,
+    finder: &dyn ShortestPathFinder,
+    gdb: &mut GraphDb,
+    pairs: &[(i64, i64)],
+) {
     for &(s, t) in pairs {
         let out = finder.find_path(gdb, s, t).unwrap();
         check(g, &out, s, t, finder.name());
@@ -177,7 +185,9 @@ fn traditional_sql_style_is_equally_correct() {
     build_segtable_with(&mut gdb, 25, SqlStyle::Traditional).unwrap();
     let pairs = sample_pairs(200, 8);
     let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
-        Box::new(DjFinder { style: SqlStyle::Traditional }),
+        Box::new(DjFinder {
+            style: SqlStyle::Traditional,
+        }),
         Box::new(BsdjFinder {
             style: SqlStyle::Traditional,
             ..Default::default()
@@ -189,7 +199,11 @@ fn traditional_sql_style_is_equally_correct() {
     ];
     for f in &finders {
         // DJ is slow: fewer pairs.
-        let ps = if f.name() == "DJ" { &pairs[..3] } else { &pairs[..] };
+        let ps = if f.name() == "DJ" {
+            &pairs[..3]
+        } else {
+            &pairs[..]
+        };
         all_pairs_check(&g, f.as_ref(), &mut gdb, ps);
     }
 }
@@ -250,8 +264,16 @@ fn pruning_off_is_equally_correct() {
 #[test]
 fn index_strategies_are_equally_correct() {
     let g = generate::power_law(120, 3, 1..=100, 61);
-    for edges_index in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
-        for visited_index in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
+    for edges_index in [
+        IndexKind::NoIndex,
+        IndexKind::Secondary,
+        IndexKind::Clustered,
+    ] {
+        for visited_index in [
+            IndexKind::NoIndex,
+            IndexKind::Secondary,
+            IndexKind::Clustered,
+        ] {
             let mut gdb = GraphDb::new(
                 &g,
                 &GraphDbOptions {

@@ -77,7 +77,10 @@ fn validate_segtable(g: &Graph, gdb: &mut GraphDb, lthd: i64) {
     // Nothing bogus: every stored segment cost is >= the true distance.
     for ((f, t), c) in &best {
         let d = dijkstra::distances_from(g, *f as u32)[*t as usize];
-        assert!(d != u64::MAX, "segment ({f},{t}) connects unreachable nodes");
+        assert!(
+            d != u64::MAX,
+            "segment ({f},{t}) connects unreachable nodes"
+        );
         assert!(
             *c >= d as i64,
             "segment ({f},{t}) cost {c} below true distance {d}"

@@ -17,12 +17,7 @@ fn weight(rng: &mut StdRng, range: &RangeInclusive<u32>) -> u32 {
 
 /// Random graph exactly as the paper builds it: "we randomly select the
 /// source and target node for m times among n nodes", with `m = n * avg_degree`.
-pub fn random_graph(
-    n: usize,
-    avg_degree: usize,
-    weights: RangeInclusive<u32>,
-    seed: u64,
-) -> Graph {
+pub fn random_graph(n: usize, avg_degree: usize, weights: RangeInclusive<u32>, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = n * avg_degree;
     let mut edges = Vec::with_capacity(m);
@@ -41,12 +36,7 @@ pub fn random_graph(
 /// (generated there with the Barabási Graph Generator v1.4). Each new node
 /// attaches `attach` edges to existing nodes with probability proportional
 /// to their degree.
-pub fn power_law(
-    n: usize,
-    attach: usize,
-    weights: RangeInclusive<u32>,
-    seed: u64,
-) -> Graph {
+pub fn power_law(n: usize, attach: usize, weights: RangeInclusive<u32>, seed: u64) -> Graph {
     assert!(n > attach && attach >= 1, "need n > attach >= 1");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(n * attach);
@@ -182,13 +172,19 @@ mod tests {
         let b = random_graph(1000, 3, W, 7);
         assert_eq!(a.num_arcs(), b.num_arcs());
         let c = random_graph(1000, 3, W, 8);
-        assert!(a.num_arcs() != c.num_arcs() || {
-            let av: Vec<_> = a.iter_arcs().collect();
-            let cv: Vec<_> = c.iter_arcs().collect();
-            av != cv
-        });
+        assert!(
+            a.num_arcs() != c.num_arcs() || {
+                let av: Vec<_> = a.iter_arcs().collect();
+                let cv: Vec<_> = c.iter_arcs().collect();
+                av != cv
+            }
+        );
         // ~2 * n * deg arcs (minus self-loop rejections).
-        assert!(a.num_arcs() > 5000 && a.num_arcs() <= 6000, "{}", a.num_arcs());
+        assert!(
+            a.num_arcs() > 5000 && a.num_arcs() <= 6000,
+            "{}",
+            a.num_arcs()
+        );
     }
 
     #[test]
@@ -229,7 +225,10 @@ mod tests {
     fn dblp_like_density_close_to_real() {
         let g = dblp_like(2000, W, 9);
         let d = g.avg_degree();
-        assert!((3.0..6.0).contains(&d), "avg degree {d} out of DBLP-ish range");
+        assert!(
+            (3.0..6.0).contains(&d),
+            "avg degree {d} out of DBLP-ish range"
+        );
     }
 
     #[test]
@@ -248,7 +247,11 @@ mod tests {
     #[test]
     fn livejournal_like_is_denser() {
         let g = livejournal_like(2000, W, 13);
-        assert!(g.avg_degree() >= 6.0, "LJ-like should be dense, got {}", g.avg_degree());
+        assert!(
+            g.avg_degree() >= 6.0,
+            "LJ-like should be dense, got {}",
+            g.avg_degree()
+        );
     }
 
     #[test]

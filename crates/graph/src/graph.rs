@@ -105,9 +105,8 @@ impl Graph {
 
     /// Iterates all arcs as `(from, to, weight)`.
     pub fn iter_arcs(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
-        (0..self.num_nodes as u32).flat_map(move |u| {
-            self.out_arcs(u).iter().map(move |a| (u, a.to, a.weight))
-        })
+        (0..self.num_nodes as u32)
+            .flat_map(move |u| self.out_arcs(u).iter().map(move |a| (u, a.to, a.weight)))
     }
 
     /// Average out-degree.

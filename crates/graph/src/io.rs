@@ -45,7 +45,11 @@ pub fn read_arcs(path: impl AsRef<Path>) -> io::Result<Graph> {
         max_node = max_node.max(u).max(v);
         arcs.push((u, v, w));
     }
-    let n = if arcs.is_empty() { 0 } else { max_node as usize + 1 };
+    let n = if arcs.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    };
     Ok(Graph::from_arcs(n, arcs))
 }
 

@@ -85,7 +85,10 @@ fn insert_nodes(db: &mut Database, nids: &[i64]) -> Result<()> {
     // Multi-row VALUES with parameters, batched so the AST cache stays
     // effective (one cached statement per distinct batch size).
     let placeholders: Vec<&str> = nids.iter().map(|_| "(?)").collect();
-    let sql = format!("INSERT INTO TNodes (nid) VALUES {}", placeholders.join(", "));
+    let sql = format!(
+        "INSERT INTO TNodes (nid) VALUES {}",
+        placeholders.join(", ")
+    );
     let params: Vec<Value> = nids.iter().map(|&n| Value::Int(n)).collect();
     db.execute_params(&sql, &params)?;
     Ok(())
@@ -115,7 +118,11 @@ mod tests {
     #[test]
     fn load_small_graph_all_strategies() {
         let g = generate::grid(5, 5, 1..=10, 1);
-        for kind in [IndexKind::NoIndex, IndexKind::Secondary, IndexKind::Clustered] {
+        for kind in [
+            IndexKind::NoIndex,
+            IndexKind::Secondary,
+            IndexKind::Clustered,
+        ] {
             let mut db = Database::in_memory(256);
             load_graph(
                 &mut db,

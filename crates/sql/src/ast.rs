@@ -14,11 +14,23 @@ use fempath_storage::{DataType, Value};
 pub enum Stmt {
     CreateTable(CreateTable),
     CreateIndex(CreateIndex),
-    CreateView { name: String, query: Box<Select> },
-    DropTable { name: String, if_exists: bool },
-    DropIndex { name: String },
-    DropView { name: String },
-    Truncate { table: String },
+    CreateView {
+        name: String,
+        query: Box<Select>,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    DropIndex {
+        name: String,
+    },
+    DropView {
+        name: String,
+    },
+    Truncate {
+        table: String,
+    },
     Insert(Insert),
     Update(Update),
     Delete(Delete),
@@ -136,7 +148,10 @@ pub enum SelectItem {
     Wildcard,
     /// `t.*`
     QualifiedWildcard(String),
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -296,9 +311,7 @@ impl Expr {
         match self {
             Expr::Window { .. } => true,
             Expr::Unary { expr, .. } => expr.contains_window(),
-            Expr::Binary { left, right, .. } => {
-                left.contains_window() || right.contains_window()
-            }
+            Expr::Binary { left, right, .. } => left.contains_window() || right.contains_window(),
             Expr::IsNull { expr, .. } => expr.contains_window(),
             _ => false,
         }

@@ -149,9 +149,8 @@ impl Table {
                 unique,
                 next_uniquifier,
             } => {
-                let mut key = encode_key(
-                    &key_cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>(),
-                )?;
+                let mut key =
+                    encode_key(&key_cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>())?;
                 if *unique {
                     if tree.contains(pool, &key)? {
                         return Err(SqlError::DuplicateKey {
@@ -171,9 +170,8 @@ impl Table {
         // writer, errors abort the statement).
         let clustered = self.is_clustered();
         for idx in &mut self.indexes {
-            let mut key = encode_key(
-                &idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>(),
-            )?;
+            let mut key =
+                encode_key(&idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>())?;
             if idx.unique {
                 if idx.tree.contains(pool, &key)? {
                     // Undo the base insert to keep table/indexes agreed.
@@ -214,9 +212,8 @@ impl Table {
             }
         }
         for idx in &mut self.indexes {
-            let mut key = encode_key(
-                &idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>(),
-            )?;
+            let mut key =
+                encode_key(&idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>())?;
             if !idx.unique {
                 key.extend_from_slice(&loc.to_bytes());
             }
@@ -324,15 +321,18 @@ impl Table {
             }
             TableStorage::Clustered { tree, .. } => {
                 let mut decode_err = None;
-                tree.scan_range(pool, Bound::Unbounded, Bound::Unbounded, |k, v| {
-                    match decode_row(v) {
+                tree.scan_range(
+                    pool,
+                    Bound::Unbounded,
+                    Bound::Unbounded,
+                    |k, v| match decode_row(v) {
                         Ok(row) => f(RowLoc::Clustered(k.to_vec()), row),
                         Err(e) => {
                             decode_err = Some(e);
                             false
                         }
-                    }
-                })?;
+                    },
+                )?;
                 if let Some(e) = decode_err {
                     return Err(e.into());
                 }
@@ -475,8 +475,7 @@ impl Table {
 fn extract_loc_from_index_key(key: &[u8], n_cols: usize, clustered: bool) -> RowLoc {
     let mut rest = key;
     for _ in 0..n_cols {
-        let (_, r) = fempath_storage::value::decode_key_one(rest)
-            .expect("index key must decode");
+        let (_, r) = fempath_storage::value::decode_key_one(rest).expect("index key must decode");
         rest = r;
     }
     RowLoc::from_bytes(rest, clustered)
@@ -648,8 +647,7 @@ impl Catalog {
             for row in rows {
                 table.insert_row(pool, &row)?;
             }
-            self.index_owner
-                .insert(idx_key, Self::key(&stmt.table));
+            self.index_owner.insert(idx_key, Self::key(&stmt.table));
             return Ok(());
         }
 
@@ -704,7 +702,11 @@ impl Catalog {
 
     /// Names of all tables (for diagnostics / the SQL shell example).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.values().map(|t| t.schema.name.clone()).collect();
+        let mut names: Vec<String> = self
+            .tables
+            .values()
+            .map(|t| t.schema.name.clone())
+            .collect();
         names.sort();
         names
     }
@@ -733,9 +735,18 @@ mod tests {
             &mut pool,
             "TEdges",
             vec![
-                ColumnDef { name: "fid".into(), dtype: DataType::Int },
-                ColumnDef { name: "tid".into(), dtype: DataType::Int },
-                ColumnDef { name: "cost".into(), dtype: DataType::Int },
+                ColumnDef {
+                    name: "fid".into(),
+                    dtype: DataType::Int,
+                },
+                ColumnDef {
+                    name: "tid".into(),
+                    dtype: DataType::Int,
+                },
+                ColumnDef {
+                    name: "cost".into(),
+                    dtype: DataType::Int,
+                },
             ],
             None,
         )
@@ -848,14 +859,21 @@ mod tests {
             &mut pool,
             "TVisited",
             vec![
-                ColumnDef { name: "nid".into(), dtype: DataType::Int },
-                ColumnDef { name: "d2s".into(), dtype: DataType::Int },
+                ColumnDef {
+                    name: "nid".into(),
+                    dtype: DataType::Int,
+                },
+                ColumnDef {
+                    name: "d2s".into(),
+                    dtype: DataType::Int,
+                },
             ],
             Some(vec!["nid".into()]),
         )
         .unwrap();
         let t = cat.table_mut("TVisited").unwrap();
-        t.insert_row(&mut pool, &[Value::Int(1), Value::Int(0)]).unwrap();
+        t.insert_row(&mut pool, &[Value::Int(1), Value::Int(0)])
+            .unwrap();
         let err = t.insert_row(&mut pool, &[Value::Int(1), Value::Int(9)]);
         assert!(matches!(err, Err(SqlError::DuplicateKey { .. })));
         // Failed insert must not leave a phantom row.
@@ -876,14 +894,22 @@ mod tests {
             &mut pool,
             "TVisited",
             vec![
-                ColumnDef { name: "nid".into(), dtype: DataType::Int },
-                ColumnDef { name: "d2s".into(), dtype: DataType::Int },
+                ColumnDef {
+                    name: "nid".into(),
+                    dtype: DataType::Int,
+                },
+                ColumnDef {
+                    name: "d2s".into(),
+                    dtype: DataType::Int,
+                },
             ],
             Some(vec!["nid".into()]),
         )
         .unwrap();
         let t = cat.table_mut("TVisited").unwrap();
-        let loc = t.insert_row(&mut pool, &[Value::Int(1), Value::Int(10)]).unwrap();
+        let loc = t
+            .insert_row(&mut pool, &[Value::Int(1), Value::Int(10)])
+            .unwrap();
         let old = vec![Value::Int(1), Value::Int(10)];
         let new = vec![Value::Int(2), Value::Int(20)];
         t.update_row(&mut pool, &loc, &old, &new).unwrap();

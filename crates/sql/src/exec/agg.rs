@@ -15,10 +15,18 @@ use std::collections::HashMap;
 /// Running state of one aggregate over one group.
 enum AggState {
     Count(i64),
-    SumInt { acc: i64, any: bool, float: f64, is_float: bool },
+    SumInt {
+        acc: i64,
+        any: bool,
+        float: f64,
+        is_float: bool,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, n: i64 },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
 }
 
 impl AggState {
@@ -42,8 +50,8 @@ impl AggState {
         match self {
             AggState::Count(n) => {
                 match v {
-                    None => *n += 1,                      // COUNT(*)
-                    Some(Value::Null) => {}               // COUNT(expr) skips NULL
+                    None => *n += 1,        // COUNT(*)
+                    Some(Value::Null) => {} // COUNT(expr) skips NULL
                     Some(_) => *n += 1,
                 }
             }
@@ -150,11 +158,7 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
 
 /// Rewrites an expression over the post-aggregation schema: group
 /// expressions become `#agg.g{i}`, aggregate calls become `#agg.a{j}`.
-fn rewrite(
-    expr: &Expr,
-    group_by: &[Expr],
-    aggs: &[(AggFunc, Option<Expr>)],
-) -> Result<Expr> {
+fn rewrite(expr: &Expr, group_by: &[Expr], aggs: &[(AggFunc, Option<Expr>)]) -> Result<Expr> {
     if let Some(i) = group_by.iter().position(|g| g == expr) {
         return Ok(Expr::Column {
             table: Some("#agg".into()),
@@ -199,7 +203,12 @@ fn rewrite(
 /// Output of [`run_group_by`]: the grouped relation plus the rewritten
 /// projection items, HAVING clause and ORDER BY keys, all of which now
 /// reference the grouped schema.
-pub type GroupByOutput = (Relation, Vec<OutItem>, Option<Expr>, Vec<crate::ast::OrderKey>);
+pub type GroupByOutput = (
+    Relation,
+    Vec<OutItem>,
+    Option<Expr>,
+    Vec<crate::ast::OrderKey>,
+);
 
 /// Runs grouping + aggregation.
 pub fn run_group_by(
@@ -250,9 +259,8 @@ pub fn run_group_by(
         for g in &group_bexprs {
             key_vals.push(eval(g, row)?);
         }
-        let key = encode_key(&key_vals).map_err(|_| {
-            SqlError::Eval("GROUP BY key contains un-encodable value".into())
-        })?;
+        let key = encode_key(&key_vals)
+            .map_err(|_| SqlError::Eval("GROUP BY key contains un-encodable value".into()))?;
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             (

@@ -8,8 +8,7 @@
 //! (`INSERT INTO t SELECT … FROM t`) snapshot semantics.
 
 use super::eval::{
-    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx,
-    Schema,
+    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx, Schema,
 };
 use crate::ast::{BinaryOp, Delete, Expr, Insert, InsertSource, Merge, TableRef, Update};
 use crate::catalog::{Catalog, RowLoc};
@@ -58,9 +57,10 @@ pub fn execute_insert(
             names
                 .iter()
                 .map(|n| {
-                    table.schema.col_index(n).ok_or_else(|| {
-                        SqlError::Bind(format!("no column {n} in {}", ins.table))
-                    })
+                    table
+                        .schema
+                        .col_index(n)
+                        .ok_or_else(|| SqlError::Bind(format!("no column {n} in {}", ins.table)))
                 })
                 .collect::<Result<_>>()?,
         ),
@@ -125,9 +125,10 @@ pub fn execute_update(
             .assignments
             .iter()
             .map(|(name, _)| {
-                table.schema.col_index(name).ok_or_else(|| {
-                    SqlError::Bind(format!("no column {name} in {}", upd.table))
-                })
+                table
+                    .schema
+                    .col_index(name)
+                    .ok_or_else(|| SqlError::Bind(format!("no column {name} in {}", upd.table)))
             })
             .collect::<Result<_>>()?;
 
@@ -186,13 +187,16 @@ pub fn execute_update(
                 // UPDATE … FROM: join the target with the source.
                 let source = materialize_ref(&mut ctx, source_ref)?;
                 let combined = tschema.concat(&source.schema);
-                let conjuncts: Vec<Expr> = upd
-                    .filter
-                    .as_ref()
-                    .map(split_conjuncts)
-                    .unwrap_or_default();
-                let (probe_cols, probe_exprs, residual) =
-                    equi_probe_plan(&mut ctx, &upd.table, &tschema, &source.schema, &combined, &conjuncts)?;
+                let conjuncts: Vec<Expr> =
+                    upd.filter.as_ref().map(split_conjuncts).unwrap_or_default();
+                let (probe_cols, probe_exprs, residual) = equi_probe_plan(
+                    &mut ctx,
+                    &upd.table,
+                    &tschema,
+                    &source.schema,
+                    &combined,
+                    &conjuncts,
+                )?;
                 let assigns: Vec<BExpr> = upd
                     .assignments
                     .iter()
@@ -318,8 +322,14 @@ pub fn execute_merge(
         let combined = tschema.concat(&source.schema);
 
         let on_conjuncts = split_conjuncts(&m.on);
-        let (probe_cols, probe_exprs, residual) =
-            equi_probe_plan(&mut ctx, &m.target, &tschema, &source.schema, &combined, &on_conjuncts)?;
+        let (probe_cols, probe_exprs, residual) = equi_probe_plan(
+            &mut ctx,
+            &m.target,
+            &tschema,
+            &source.schema,
+            &combined,
+            &on_conjuncts,
+        )?;
 
         // Bind WHEN MATCHED parts over the combined schema.
         let matched = m
@@ -548,8 +558,7 @@ fn equi_probe_plan(
     }
     if cands.is_empty() {
         return Err(SqlError::Bind(
-            "MERGE/UPDATE-FROM requires at least one `target.col = source-expr` equality"
-                .into(),
+            "MERGE/UPDATE-FROM requires at least one `target.col = source-expr` equality".into(),
         ));
     }
 

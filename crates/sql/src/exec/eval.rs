@@ -160,9 +160,7 @@ pub fn bind_expr(ctx: &mut ExecCtx<'_>, schema: &Schema, expr: &Expr) -> Result<
     Ok(match expr {
         Expr::Literal(v) => BExpr::Const(v.clone()),
         Expr::Param(i) => BExpr::Const(ctx.param(*i)?),
-        Expr::Column { table, name } => {
-            BExpr::Col(schema.resolve(table.as_deref(), name)?)
-        }
+        Expr::Column { table, name } => BExpr::Col(schema.resolve(table.as_deref(), name)?),
         Expr::Unary { op, expr } => BExpr::Unary {
             op: *op,
             e: Box::new(bind_expr(ctx, schema, expr)?),
@@ -260,9 +258,7 @@ pub fn eval(e: &BExpr, row: &[Value]) -> Result<Value> {
                     Value::Int(i) => Value::Int(-i),
                     Value::Float(f) => Value::Float(-f),
                     Value::Null => Value::Null,
-                    Value::Text(_) => {
-                        return Err(SqlError::Eval("cannot negate text".into()))
-                    }
+                    Value::Text(_) => return Err(SqlError::Eval("cannot negate text".into())),
                 },
                 UnaryOp::Not => match v {
                     Value::Null => Value::Null,
@@ -448,9 +444,7 @@ pub fn is_row_independent(expr: &Expr) -> bool {
         Expr::Column { .. } => false,
         Expr::Literal(_) | Expr::Param(_) => true,
         Expr::Unary { expr, .. } => is_row_independent(expr),
-        Expr::Binary { left, right, .. } => {
-            is_row_independent(left) && is_row_independent(right)
-        }
+        Expr::Binary { left, right, .. } => is_row_independent(left) && is_row_independent(right),
         Expr::IsNull { expr, .. } => is_row_independent(expr),
         Expr::Subquery(_) | Expr::Exists { .. } => true,
         Expr::InSubquery { expr, .. } => is_row_independent(expr),
@@ -541,9 +535,18 @@ mod tests {
     fn schema_resolution() {
         let schema = Schema {
             cols: vec![
-                SchemaCol { binding: Some("q".into()), name: "nid".into() },
-                SchemaCol { binding: Some("e".into()), name: "nid".into() },
-                SchemaCol { binding: Some("e".into()), name: "cost".into() },
+                SchemaCol {
+                    binding: Some("q".into()),
+                    name: "nid".into(),
+                },
+                SchemaCol {
+                    binding: Some("e".into()),
+                    name: "nid".into(),
+                },
+                SchemaCol {
+                    binding: Some("e".into()),
+                    name: "cost".into(),
+                },
             ],
         };
         assert_eq!(schema.resolve(Some("q"), "nid").unwrap(), 0);

@@ -1,8 +1,7 @@
 //! FROM-clause planning: access paths and join strategies.
 
 use super::eval::{
-    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx,
-    Schema,
+    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx, Schema,
 };
 use super::Relation;
 use crate::ast::{BinaryOp, Expr, TableRef};
@@ -115,7 +114,12 @@ struct EqPred {
 fn find_const_equalities(schema: &Schema, conjuncts: &[Expr]) -> Vec<EqPred> {
     let mut out = Vec::new();
     for (i, c) in conjuncts.iter().enumerate() {
-        let Expr::Binary { left, op: BinaryOp::Eq, right } = c else {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        else {
             continue;
         };
         for (col_side, val_side) in [(left, right), (right, left)] {
@@ -192,11 +196,7 @@ fn scan_table(
     let mut rows = Vec::new();
     match access {
         Some((cols, eq_positions)) => {
-            ctx.trace(|| {
-                format!(
-                    "SCAN {name} ({binding}) via index lookup on columns {cols:?}"
-                )
-            });
+            ctx.trace(|| format!("SCAN {name} ({binding}) via index lookup on columns {cols:?}"));
             let consumed_local: Vec<usize> =
                 eq_positions.iter().map(|&p| eqs[p].conjunct_idx).collect();
             // Key values: bind the constant sides (no columns involved).
@@ -335,7 +335,12 @@ struct JoinPair {
 fn find_join_pairs(left: &Schema, right: &Schema, conjuncts: &[Expr]) -> Vec<JoinPair> {
     let mut out = Vec::new();
     for (i, c) in conjuncts.iter().enumerate() {
-        let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = c else {
+        let Expr::Binary {
+            left: a,
+            op: BinaryOp::Eq,
+            right: b,
+        } = c
+        else {
             continue;
         };
         for (lhs, rhs) in [(a, b), (b, a)] {
@@ -523,9 +528,7 @@ fn join_materialized(
     let residual_idx: Vec<usize> = conjuncts
         .iter()
         .enumerate()
-        .filter(|(i, c)| {
-            !pairs.iter().any(|p| p.conjunct_idx == *i) && binds_in(c, &combined)
-        })
+        .filter(|(i, c)| !pairs.iter().any(|p| p.conjunct_idx == *i) && binds_in(c, &combined))
         .map(|(i, _)| i)
         .collect();
     let residual: Vec<BExpr> = residual_idx

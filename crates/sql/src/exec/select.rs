@@ -80,10 +80,7 @@ pub fn execute_select(ctx: &mut ExecCtx<'_>, sel: &Select) -> Result<Relation> {
     // Grouping / aggregation.
     let needs_agg = !sel.group_by.is_empty()
         || items.iter().any(|i| i.expr.contains_aggregate())
-        || sel
-            .having
-            .as_ref()
-            .is_some_and(|h| h.contains_aggregate());
+        || sel.having.as_ref().is_some_and(|h| h.contains_aggregate());
     let mut having = sel.having.clone();
     let mut order_by = sel.order_by.clone();
     if needs_agg {

@@ -72,77 +72,131 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             b'(' => {
-                out.push(Token { kind: TokenKind::LParen, pos });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Token { kind: TokenKind::RParen, pos });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Token { kind: TokenKind::Comma, pos });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
                 i += 1;
             }
             b'.' => {
-                out.push(Token { kind: TokenKind::Dot, pos });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
                 i += 1;
             }
             b';' => {
-                out.push(Token { kind: TokenKind::Semicolon, pos });
+                out.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Token { kind: TokenKind::Star, pos });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
                 i += 1;
             }
             b'+' => {
-                out.push(Token { kind: TokenKind::Plus, pos });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Token { kind: TokenKind::Minus, pos });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    pos,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Token { kind: TokenKind::Slash, pos });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos,
+                });
                 i += 1;
             }
             b'%' => {
-                out.push(Token { kind: TokenKind::Percent, pos });
+                out.push(Token {
+                    kind: TokenKind::Percent,
+                    pos,
+                });
                 i += 1;
             }
             b'?' => {
-                out.push(Token { kind: TokenKind::Param, pos });
+                out.push(Token {
+                    kind: TokenKind::Param,
+                    pos,
+                });
                 i += 1;
             }
             b'=' => {
-                out.push(Token { kind: TokenKind::Eq, pos });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
                 i += 1;
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::LtEq, pos });
+                    out.push(Token {
+                        kind: TokenKind::LtEq,
+                        pos,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { kind: TokenKind::NotEq, pos });
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, pos });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::GtEq, pos });
+                    out.push(Token {
+                        kind: TokenKind::GtEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, pos });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::NotEq, pos });
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
                     return Err(err("unexpected '!'", i));
@@ -171,7 +225,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), pos });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -218,9 +275,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {
@@ -230,7 +285,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             _ => {
                 return Err(err(
-                    &format!("unexpected character {:?}", input[i..].chars().next().unwrap()),
+                    &format!(
+                        "unexpected character {:?}",
+                        input[i..].chars().next().unwrap()
+                    ),
                     i,
                 ))
             }

@@ -22,9 +22,9 @@ use fempath_storage::Value;
 /// `SELECT FROM t` early instead of binding a column named "FROM".
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AND", "OR", "IN", "IS",
-    "EXISTS", "JOIN", "INNER", "ON", "AS", "MERGE", "UPDATE", "DELETE", "INSERT", "INTO",
-    "VALUES", "SET", "WHEN", "MATCHED", "THEN", "CREATE", "DROP", "TABLE", "INDEX", "VIEW",
-    "DISTINCT", "BY", "USING", "TRUNCATE",
+    "EXISTS", "JOIN", "INNER", "ON", "AS", "MERGE", "UPDATE", "DELETE", "INSERT", "INTO", "VALUES",
+    "SET", "WHEN", "MATCHED", "THEN", "CREATE", "DROP", "TABLE", "INDEX", "VIEW", "DISTINCT", "BY",
+    "USING", "TRUNCATE",
 ];
 
 impl Parser {
@@ -312,9 +312,7 @@ impl Parser {
                     }
                 }
                 if RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k)) {
-                    return Err(self.error(format!(
-                        "unexpected keyword {name} in expression"
-                    )));
+                    return Err(self.error(format!("unexpected keyword {name} in expression")));
                 }
                 self.advance();
                 // Qualified column `t.c`?

@@ -7,8 +7,8 @@ use crate::lexer::TokenKind;
 
 /// Keywords that terminate a table alias position.
 const RESERVED_AFTER_TABLE: &[&str] = &[
-    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "ON", "JOIN", "INNER", "LEFT", "USING",
-    "WHEN", "SET", "AS",
+    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "ON", "JOIN", "INNER", "LEFT", "USING", "WHEN",
+    "SET", "AS",
 ];
 
 impl Parser {
@@ -131,7 +131,9 @@ impl Parser {
             Some(self.expect_ident()?)
         } else if let TokenKind::Ident(name) = self.peek() {
             // Bare alias, unless it's a clause keyword.
-            if RESERVED_AFTER_TABLE.iter().any(|k| name.eq_ignore_ascii_case(k))
+            if RESERVED_AFTER_TABLE
+                .iter()
+                .any(|k| name.eq_ignore_ascii_case(k))
                 || name.eq_ignore_ascii_case("FROM")
             {
                 None
@@ -168,7 +170,10 @@ impl Parser {
         let alias = if self.eat_kw("AS") {
             Some(self.expect_ident()?)
         } else if let TokenKind::Ident(a) = self.peek() {
-            if RESERVED_AFTER_TABLE.iter().any(|k| a.eq_ignore_ascii_case(k)) {
+            if RESERVED_AFTER_TABLE
+                .iter()
+                .any(|k| a.eq_ignore_ascii_case(k))
+            {
                 None
             } else {
                 let a = a.clone();

@@ -224,12 +224,12 @@ impl Parser {
         self.eat_kw("INTO");
         let target = self.expect_ident()?;
         self.eat_kw("AS");
-        let target_alias =
-            if matches!(self.peek(), TokenKind::Ident(a) if !a.eq_ignore_ascii_case("USING")) {
-                Some(self.expect_ident()?)
-            } else {
-                None
-            };
+        let target_alias = if matches!(self.peek(), TokenKind::Ident(a) if !a.eq_ignore_ascii_case("USING"))
+        {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
         self.expect_kw("USING")?;
         let source = self.table_ref()?;
         self.expect_kw("ON")?;
@@ -330,8 +330,8 @@ mod tests {
 
     #[test]
     fn parse_insert_values_and_params() {
-        let s = parse_statement("INSERT INTO TVisited (nid, d2s, p2s, f) VALUES (?, 0, ?, 0)")
-            .unwrap();
+        let s =
+            parse_statement("INSERT INTO TVisited (nid, d2s, p2s, f) VALUES (?, 0, ?, 0)").unwrap();
         match s {
             Stmt::Insert(ins) => {
                 assert_eq!(ins.table, "TVisited");
@@ -415,14 +415,16 @@ mod tests {
 
     #[test]
     fn parse_derived_table_with_column_list() {
-        let s = parse_statement(
-            "SELECT a FROM (SELECT nid, d2s FROM TVisited) tmp (a, b) WHERE b > 3",
-        )
-        .unwrap();
+        let s =
+            parse_statement("SELECT a FROM (SELECT nid, d2s FROM TVisited) tmp (a, b) WHERE b > 3")
+                .unwrap();
         match s {
             Stmt::Select(sel) => match &sel.from[0] {
                 TableRef::Derived { columns, .. } => {
-                    assert_eq!(columns.as_ref().unwrap(), &vec!["a".to_string(), "b".into()]);
+                    assert_eq!(
+                        columns.as_ref().unwrap(),
+                        &vec!["a".to_string(), "b".into()]
+                    );
                 }
                 other => panic!("expected derived, got {other:?}"),
             },
@@ -517,10 +519,9 @@ mod tests {
 
     #[test]
     fn parse_multi_statement_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -541,7 +542,13 @@ mod tests {
                 assert_eq!(exprs[1], Expr::Literal(Value::Float(2.5)));
                 assert_eq!(exprs[2], Expr::Literal(Value::Text("text".into())));
                 assert_eq!(exprs[3], Expr::Literal(Value::Null));
-                assert!(matches!(exprs[4], Expr::Unary { op: UnaryOp::Neg, .. }));
+                assert!(matches!(
+                    exprs[4],
+                    Expr::Unary {
+                        op: UnaryOp::Neg,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong stmt {other:?}"),
         }
@@ -549,16 +556,20 @@ mod tests {
 
     #[test]
     fn parse_join_on_sugar() {
-        let s = parse_statement(
-            "SELECT a.x FROM ta a JOIN tb b ON a.id = b.id WHERE b.y > 2",
-        )
-        .unwrap();
+        let s =
+            parse_statement("SELECT a.x FROM ta a JOIN tb b ON a.id = b.id WHERE b.y > 2").unwrap();
         match s {
             Stmt::Select(sel) => {
                 assert_eq!(sel.from.len(), 2);
                 // ON condition folded into the filter.
                 let f = sel.filter.unwrap();
-                assert!(matches!(f, Expr::Binary { op: BinaryOp::And, .. }));
+                assert!(matches!(
+                    f,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong stmt {other:?}"),
         }
@@ -585,10 +596,8 @@ mod tests {
 
     #[test]
     fn parse_is_null_and_exists() {
-        let s = parse_statement(
-            "SELECT * FROM t WHERE a IS NOT NULL AND EXISTS (SELECT 1 FROM u)",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT * FROM t WHERE a IS NOT NULL AND EXISTS (SELECT 1 FROM u)")
+            .unwrap();
         assert!(matches!(s, Stmt::Select(_)));
     }
 }

@@ -53,7 +53,8 @@ fn load_figure1(db: &mut Database) {
 #[test]
 fn create_insert_select_roundtrip() {
     let mut d = db();
-    d.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)").unwrap();
+    d.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)")
+        .unwrap();
     d.execute("INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5)")
         .unwrap();
     let rs = d.query("SELECT a, b, c FROM t ORDER BY a").unwrap();
@@ -71,7 +72,9 @@ fn where_filters_and_order_desc() {
         d.execute_params("INSERT INTO t VALUES (?)", &ints(&[i]))
             .unwrap();
     }
-    let rs = d.query("SELECT a FROM t WHERE a >= 5 AND a < 8 ORDER BY a DESC").unwrap();
+    let rs = d
+        .query("SELECT a FROM t WHERE a >= 5 AND a < 8 ORDER BY a DESC")
+        .unwrap();
     let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     assert_eq!(got, vec![7, 6, 5]);
 }
@@ -98,17 +101,21 @@ fn select_top_with_min_subquery_listing2_2() {
 fn scalar_aggregates() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (3), (1), (4), (1), (5)").unwrap();
+    d.execute("INSERT INTO t VALUES (3), (1), (4), (1), (5)")
+        .unwrap();
     let rs = d
         .query("SELECT MIN(a), MAX(a), SUM(a), COUNT(*), AVG(a) FROM t")
         .unwrap();
-    assert_eq!(rs.rows[0], vec![
-        Value::Int(1),
-        Value::Int(5),
-        Value::Int(14),
-        Value::Int(5),
-        Value::Float(2.8),
-    ]);
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Int(1),
+            Value::Int(5),
+            Value::Int(14),
+            Value::Int(5),
+            Value::Float(2.8),
+        ]
+    );
 }
 
 #[test]
@@ -139,7 +146,8 @@ fn group_by_with_having() {
 fn join_via_clustered_index() {
     let mut d = db();
     load_figure1(&mut d);
-    d.execute("CREATE TABLE frontier (nid INT, d2s INT)").unwrap();
+    d.execute("CREATE TABLE frontier (nid INT, d2s INT)")
+        .unwrap();
     d.execute("INSERT INTO frontier VALUES (2, 1)").unwrap();
     // Expansion from node c (=2): neighbors s(0), d(3), e(4).
     let rs = d
@@ -161,11 +169,10 @@ fn window_function_row_number_paper_e_operator() {
     // The paper's E-operator: pick the minimum-cost occurrence per target
     // node, keeping the parent column available.
     let mut d = db();
-    d.execute("CREATE TABLE exp (tid INT, fid INT, cost INT)").unwrap();
-    d.execute(
-        "INSERT INTO exp VALUES (4, 2, 4), (4, 1, 4), (4, 0, 9), (3, 2, 2), (3, 0, 6)",
-    )
-    .unwrap();
+    d.execute("CREATE TABLE exp (tid INT, fid INT, cost INT)")
+        .unwrap();
+    d.execute("INSERT INTO exp VALUES (4, 2, 4), (4, 1, 4), (4, 0, 9), (3, 2, 2), (3, 0, 6)")
+        .unwrap();
     let rs = d
         .query(
             "SELECT nid, p2s, cost FROM \
@@ -185,11 +192,10 @@ fn window_function_row_number_paper_e_operator() {
 fn rank_window_function_handles_ties() {
     let mut d = db();
     d.execute("CREATE TABLE t (g INT, v INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1, 10), (1, 10), (1, 20), (2, 5)").unwrap();
+    d.execute("INSERT INTO t VALUES (1, 10), (1, 10), (1, 20), (2, 5)")
+        .unwrap();
     let rs = d
-        .query(
-            "SELECT g, v, RANK() OVER (PARTITION BY g ORDER BY v) AS r FROM t ORDER BY g, v, r",
-        )
+        .query("SELECT g, v, RANK() OVER (PARTITION BY g ORDER BY v) AS r FROM t ORDER BY g, v, r")
         .unwrap();
     let got: Vec<i64> = rs.rows.iter().map(|r| r[2].as_i64().unwrap()).collect();
     assert_eq!(got, vec![1, 1, 3, 1]);
@@ -200,12 +206,15 @@ fn merge_statement_updates_and_inserts_listing2_4() {
     let mut d = db();
     d.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, PRIMARY KEY(nid))")
         .unwrap();
-    d.execute("CREATE TABLE ek (nid INT, p2s INT, cost INT)").unwrap();
+    d.execute("CREATE TABLE ek (nid INT, p2s INT, cost INT)")
+        .unwrap();
     // Visited: node 3 at distance 6; node 0 finalized at 0.
-    d.execute("INSERT INTO TVisited VALUES (0, 0, 0, 1), (3, 6, 0, 0)").unwrap();
+    d.execute("INSERT INTO TVisited VALUES (0, 0, 0, 1), (3, 6, 0, 0)")
+        .unwrap();
     // Expanded: node 3 now reachable at cost 2 (update), node 4 new (insert),
     // node 0 at cost 99 (no update: worse).
-    d.execute("INSERT INTO ek VALUES (3, 2, 2), (4, 2, 4), (0, 2, 99)").unwrap();
+    d.execute("INSERT INTO ek VALUES (3, 2, 2), (4, 2, 4), (0, 2, 99)")
+        .unwrap();
     let out = d
         .execute(
             "MERGE INTO TVisited AS target USING ek AS source ON source.nid = target.nid \
@@ -216,7 +225,9 @@ fn merge_statement_updates_and_inserts_listing2_4() {
         )
         .unwrap();
     assert_eq!(out.rows_affected, 2, "one update + one insert");
-    let rs = d.query("SELECT nid, d2s, p2s, f FROM TVisited ORDER BY nid").unwrap();
+    let rs = d
+        .query("SELECT nid, d2s, p2s, f FROM TVisited ORDER BY nid")
+        .unwrap();
     assert_eq!(rs.rows.len(), 3);
     assert_eq!(rs.rows[0], ints(&[0, 0, 0, 1]), "unchanged: worse cost");
     assert_eq!(rs.rows[1], ints(&[3, 2, 2, 0]), "updated");
@@ -241,9 +252,12 @@ fn update_from_plus_insert_not_in_replaces_merge() {
     let mut d = Database::in_memory(64).with_dialect(Dialect::POSTGRES);
     d.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, PRIMARY KEY(nid))")
         .unwrap();
-    d.execute("CREATE TABLE ek (nid INT, p2s INT, cost INT)").unwrap();
-    d.execute("INSERT INTO TVisited VALUES (0, 0, 0, 1), (3, 6, 0, 0)").unwrap();
-    d.execute("INSERT INTO ek VALUES (3, 2, 2), (4, 2, 4), (0, 2, 99)").unwrap();
+    d.execute("CREATE TABLE ek (nid INT, p2s INT, cost INT)")
+        .unwrap();
+    d.execute("INSERT INTO TVisited VALUES (0, 0, 0, 1), (3, 6, 0, 0)")
+        .unwrap();
+    d.execute("INSERT INTO ek VALUES (3, 2, 2), (4, 2, 4), (0, 2, 99)")
+        .unwrap();
 
     let upd = d
         .execute(
@@ -260,7 +274,9 @@ fn update_from_plus_insert_not_in_replaces_merge() {
         )
         .unwrap();
     assert_eq!(ins.rows_affected, 1);
-    let rs = d.query("SELECT nid, d2s FROM TVisited ORDER BY nid").unwrap();
+    let rs = d
+        .query("SELECT nid, d2s FROM TVisited ORDER BY nid")
+        .unwrap();
     assert_eq!(rs.rows.len(), 3);
     assert_eq!(rs.rows[1], ints(&[3, 2]));
     assert_eq!(rs.rows[2], ints(&[4, 4]));
@@ -270,7 +286,8 @@ fn update_from_plus_insert_not_in_replaces_merge() {
 fn views_expand_at_query_time() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
-    d.execute("CREATE VIEW big AS SELECT a FROM t WHERE a > 10").unwrap();
+    d.execute("CREATE VIEW big AS SELECT a FROM t WHERE a > 10")
+        .unwrap();
     d.execute("INSERT INTO t VALUES (5), (15), (25)").unwrap();
     let rs = d.query("SELECT a FROM big ORDER BY a").unwrap();
     assert_eq!(rs.rows.len(), 2);
@@ -286,7 +303,8 @@ fn delete_and_truncate() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
     for i in 0..10 {
-        d.execute_params("INSERT INTO t VALUES (?)", &ints(&[i])).unwrap();
+        d.execute_params("INSERT INTO t VALUES (?)", &ints(&[i]))
+            .unwrap();
     }
     let out = d.execute("DELETE FROM t WHERE a % 2 = 0").unwrap();
     assert_eq!(out.rows_affected, 5);
@@ -300,7 +318,8 @@ fn delete_and_truncate() {
 fn update_with_scalar_subquery_listing4_1() {
     // Listing 4(1): mark frontier nodes in the BSEG expansion.
     let mut d = db();
-    d.execute("CREATE TABLE TVisited (nid INT, d2s INT, f INT)").unwrap();
+    d.execute("CREATE TABLE TVisited (nid INT, d2s INT, f INT)")
+        .unwrap();
     d.execute("INSERT INTO TVisited VALUES (1, 3, 0), (2, 8, 0), (3, 20, 0), (4, 1, 1)")
         .unwrap();
     // fwd*lthd = 6: select nodes with d2s <= 6 or minimal d2s, among f=0.
@@ -329,7 +348,8 @@ fn insert_select_self_reference_snapshots() {
 #[test]
 fn duplicate_primary_key_rejected() {
     let mut d = db();
-    d.execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY(a))").unwrap();
+    d.execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY(a))")
+        .unwrap();
     d.execute("INSERT INTO t VALUES (1, 1)").unwrap();
     let err = d.execute("INSERT INTO t VALUES (1, 2)");
     assert!(matches!(err, Err(SqlError::DuplicateKey { .. })));
@@ -339,10 +359,13 @@ fn duplicate_primary_key_rejected() {
 fn distinct_and_limit() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1), (1), (2), (2), (3)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (1), (2), (2), (3)")
+        .unwrap();
     let rs = d.query("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
     assert_eq!(rs.rows.len(), 3);
-    let rs = d.query("SELECT DISTINCT a FROM t ORDER BY a LIMIT 2").unwrap();
+    let rs = d
+        .query("SELECT DISTINCT a FROM t ORDER BY a LIMIT 2")
+        .unwrap();
     assert_eq!(rs.rows.len(), 2);
 }
 
@@ -353,12 +376,12 @@ fn three_way_join() {
     d.execute("CREATE TABLE b (x INT, y INT)").unwrap();
     d.execute("CREATE TABLE c (y INT, z INT)").unwrap();
     d.execute("INSERT INTO a VALUES (1), (2)").unwrap();
-    d.execute("INSERT INTO b VALUES (1, 10), (2, 20), (3, 30)").unwrap();
-    d.execute("INSERT INTO c VALUES (10, 100), (20, 200)").unwrap();
+    d.execute("INSERT INTO b VALUES (1, 10), (2, 20), (3, 30)")
+        .unwrap();
+    d.execute("INSERT INTO c VALUES (10, 100), (20, 200)")
+        .unwrap();
     let rs = d
-        .query(
-            "SELECT a.x, c.z FROM a, b, c WHERE a.x = b.x AND b.y = c.y ORDER BY a.x",
-        )
+        .query("SELECT a.x, c.z FROM a, b, c WHERE a.x = b.x AND b.y = c.y ORDER BY a.x")
         .unwrap();
     assert_eq!(rs.rows.len(), 2);
     assert_eq!(rs.rows[0], ints(&[1, 100]));
@@ -381,7 +404,8 @@ fn exists_and_not_exists() {
 #[test]
 fn prepared_statement_reuse_with_params() {
     let mut d = db();
-    d.execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY(a))").unwrap();
+    d.execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY(a))")
+        .unwrap();
     let sql = "INSERT INTO t (a, b) VALUES (?, ?)";
     for i in 0..50 {
         d.execute_params(sql, &ints(&[i, i * i])).unwrap();
@@ -401,12 +425,25 @@ fn prepared_statement_reuse_with_params() {
 fn null_handling_in_filters() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT, b INT)").unwrap();
-    d.execute("INSERT INTO t (a, b) VALUES (1, 10), (2, NULL)").unwrap();
+    d.execute("INSERT INTO t (a, b) VALUES (1, 10), (2, NULL)")
+        .unwrap();
     // NULL comparisons exclude the row.
-    assert_eq!(d.query("SELECT a FROM t WHERE b > 5").unwrap().rows.len(), 1);
-    assert_eq!(d.query("SELECT a FROM t WHERE b IS NULL").unwrap().rows.len(), 1);
     assert_eq!(
-        d.query("SELECT a FROM t WHERE b IS NOT NULL").unwrap().rows.len(),
+        d.query("SELECT a FROM t WHERE b > 5").unwrap().rows.len(),
+        1
+    );
+    assert_eq!(
+        d.query("SELECT a FROM t WHERE b IS NULL")
+            .unwrap()
+            .rows
+            .len(),
+        1
+    );
+    assert_eq!(
+        d.query("SELECT a FROM t WHERE b IS NOT NULL")
+            .unwrap()
+            .rows
+            .len(),
         1
     );
 }

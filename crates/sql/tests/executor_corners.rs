@@ -15,10 +15,16 @@ fn hash_join_without_any_index() {
     d.execute("CREATE TABLE a (x INT, y INT)").unwrap();
     d.execute("CREATE TABLE b (x INT, z INT)").unwrap();
     for i in 0..50 {
-        d.execute_params("INSERT INTO a VALUES (?, ?)", &[Value::Int(i), Value::Int(i * 2)])
-            .unwrap();
-        d.execute_params("INSERT INTO b VALUES (?, ?)", &[Value::Int(i), Value::Int(i * 3)])
-            .unwrap();
+        d.execute_params(
+            "INSERT INTO a VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i * 2)],
+        )
+        .unwrap();
+        d.execute_params(
+            "INSERT INTO b VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i * 3)],
+        )
+        .unwrap();
     }
     let rs = d
         .query("SELECT a.y, b.z FROM a, b WHERE a.x = b.x AND a.x = 7")
@@ -145,8 +151,14 @@ fn window_rownum_filter_in_outer_query() {
         )
         .unwrap();
     assert_eq!(rs.rows.len(), 2);
-    assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(3), Value::Int(200)]);
-    assert_eq!(rs.rows[1], vec![Value::Int(2), Value::Int(9), Value::Int(300)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Int(1), Value::Int(3), Value::Int(200)]
+    );
+    assert_eq!(
+        rs.rows[1],
+        vec![Value::Int(2), Value::Int(9), Value::Int(300)]
+    );
 }
 
 #[test]
@@ -154,7 +166,8 @@ fn group_by_expression_key() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
     for i in 0..10 {
-        d.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        d.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+            .unwrap();
     }
     let rs = d
         .query("SELECT a % 3, COUNT(*) FROM t GROUP BY a % 3 ORDER BY a % 3")
@@ -178,7 +191,8 @@ fn group_by_rejects_ungrouped_column() {
 fn aggregates_ignore_nulls() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
-    d.execute("INSERT INTO t (a) VALUES (1), (NULL), (3)").unwrap();
+    d.execute("INSERT INTO t (a) VALUES (1), (NULL), (3)")
+        .unwrap();
     let rs = d
         .query("SELECT COUNT(*), COUNT(a), SUM(a), MIN(a), AVG(a) FROM t")
         .unwrap();
@@ -199,10 +213,13 @@ fn merge_with_derived_source_and_params() {
     // The algorithms merge from an inline derived table with parameters —
     // the exact Listing 4(2) shape.
     let mut d = db();
-    d.execute("CREATE TABLE tgt (k INT, v INT, PRIMARY KEY(k))").unwrap();
+    d.execute("CREATE TABLE tgt (k INT, v INT, PRIMARY KEY(k))")
+        .unwrap();
     d.execute("CREATE TABLE src (k INT, v INT)").unwrap();
-    d.execute("INSERT INTO tgt VALUES (1, 100), (2, 100)").unwrap();
-    d.execute("INSERT INTO src VALUES (1, 50), (3, 70), (4, 999)").unwrap();
+    d.execute("INSERT INTO tgt VALUES (1, 100), (2, 100)")
+        .unwrap();
+    d.execute("INSERT INTO src VALUES (1, 50), (3, 70), (4, 999)")
+        .unwrap();
     let out = d
         .execute_params(
             "MERGE INTO tgt AS target USING ( \
@@ -223,7 +240,8 @@ fn merge_with_derived_source_and_params() {
 #[test]
 fn merge_without_matched_clause() {
     let mut d = db();
-    d.execute("CREATE TABLE tgt (k INT, PRIMARY KEY(k))").unwrap();
+    d.execute("CREATE TABLE tgt (k INT, PRIMARY KEY(k))")
+        .unwrap();
     d.execute("CREATE TABLE src (k INT)").unwrap();
     d.execute("INSERT INTO tgt VALUES (1)").unwrap();
     d.execute("INSERT INTO src VALUES (1), (2)").unwrap();
@@ -240,10 +258,12 @@ fn merge_without_matched_clause() {
 #[test]
 fn update_from_derived_table() {
     let mut d = db();
-    d.execute("CREATE TABLE t (k INT, v INT, PRIMARY KEY(k))").unwrap();
+    d.execute("CREATE TABLE t (k INT, v INT, PRIMARY KEY(k))")
+        .unwrap();
     d.execute("CREATE TABLE delta (k INT, dv INT)").unwrap();
     d.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
-    d.execute("INSERT INTO delta VALUES (1, 5), (1, 7), (2, 1)").unwrap();
+    d.execute("INSERT INTO delta VALUES (1, 5), (1, 7), (2, 1)")
+        .unwrap();
     // Aggregate the deltas first, then join-update.
     let out = d
         .execute(
@@ -263,12 +283,21 @@ fn top_and_limit_interact() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
     for i in 0..10 {
-        d.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        d.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+            .unwrap();
     }
-    assert_eq!(d.query("SELECT TOP 3 a FROM t ORDER BY a").unwrap().len(), 3);
-    assert_eq!(d.query("SELECT a FROM t ORDER BY a LIMIT 4").unwrap().len(), 4);
     assert_eq!(
-        d.query("SELECT TOP 5 a FROM t ORDER BY a LIMIT 2").unwrap().len(),
+        d.query("SELECT TOP 3 a FROM t ORDER BY a").unwrap().len(),
+        3
+    );
+    assert_eq!(
+        d.query("SELECT a FROM t ORDER BY a LIMIT 4").unwrap().len(),
+        4
+    );
+    assert_eq!(
+        d.query("SELECT TOP 5 a FROM t ORDER BY a LIMIT 2")
+            .unwrap()
+            .len(),
         2,
         "the tighter bound wins"
     );
@@ -278,7 +307,8 @@ fn top_and_limit_interact() {
 fn order_by_selects_output_alias() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT, b INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1, 9), (2, 3), (3, 6)").unwrap();
+    d.execute("INSERT INTO t VALUES (1, 9), (2, 3), (3, 6)")
+        .unwrap();
     let rs = d
         .query("SELECT a, a + b AS total FROM t ORDER BY total")
         .unwrap();
@@ -292,13 +322,18 @@ fn truncate_then_reuse_under_clustered_index() {
     d.execute("CREATE TABLE t (k INT, v INT)").unwrap();
     d.execute("CREATE CLUSTERED INDEX ix ON t(k)").unwrap();
     for i in 0..100 {
-        d.execute_params("INSERT INTO t VALUES (?, ?)", &[Value::Int(i), Value::Int(i)])
-            .unwrap();
+        d.execute_params(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i)],
+        )
+        .unwrap();
     }
     d.execute("TRUNCATE TABLE t").unwrap();
     assert_eq!(d.table_len("t").unwrap(), 0);
     d.execute("INSERT INTO t VALUES (7, 70)").unwrap();
-    let rs = d.query_params("SELECT v FROM t WHERE k = ?", &[Value::Int(7)]).unwrap();
+    let rs = d
+        .query_params("SELECT v FROM t WHERE k = ?", &[Value::Int(7)])
+        .unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(70));
 }
 
@@ -306,7 +341,8 @@ fn truncate_then_reuse_under_clustered_index() {
 fn self_join_with_aliases() {
     let mut d = db();
     d.execute("CREATE TABLE e (f INT, t INT)").unwrap();
-    d.execute("INSERT INTO e VALUES (1, 2), (2, 3), (3, 4)").unwrap();
+    d.execute("INSERT INTO e VALUES (1, 2), (2, 3), (3, 4)")
+        .unwrap();
     // Two-hop pairs.
     let rs = d
         .query("SELECT a.f, b.t FROM e a, e b WHERE a.t = b.f ORDER BY a.f")
@@ -320,7 +356,8 @@ fn self_join_with_aliases() {
 fn float_arithmetic_and_comparison() {
     let mut d = db();
     d.execute("CREATE TABLE t (x FLOAT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1.5), (2.5), (3.5)").unwrap();
+    d.execute("INSERT INTO t VALUES (1.5), (2.5), (3.5)")
+        .unwrap();
     let rs = d.query("SELECT SUM(x) FROM t WHERE x > 1.6").unwrap();
     assert_eq!(rs.rows[0][0], Value::Float(6.0));
     let rs = d.query("SELECT AVG(x) FROM t").unwrap();
@@ -331,13 +368,12 @@ fn float_arithmetic_and_comparison() {
 fn text_filtering_and_ordering() {
     let mut d = db();
     d.execute("CREATE TABLE t (name TEXT, rank INT)").unwrap();
-    d.execute("INSERT INTO t VALUES ('carol', 3), ('alice', 1), ('bob', 2)").unwrap();
+    d.execute("INSERT INTO t VALUES ('carol', 3), ('alice', 1), ('bob', 2)")
+        .unwrap();
     let rs = d.query("SELECT name FROM t ORDER BY name").unwrap();
     let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     assert_eq!(names, vec!["alice", "bob", "carol"]);
-    let rs = d
-        .query("SELECT rank FROM t WHERE name = 'bob'")
-        .unwrap();
+    let rs = d.query("SELECT rank FROM t WHERE name = 'bob'").unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(2));
 }
 
@@ -347,7 +383,8 @@ fn insert_select_with_column_mapping_and_defaults() {
     d.execute("CREATE TABLE src (a INT, b INT)").unwrap();
     d.execute("CREATE TABLE dst (x INT, y INT, z INT)").unwrap();
     d.execute("INSERT INTO src VALUES (1, 2)").unwrap();
-    d.execute("INSERT INTO dst (z, x) SELECT a, b FROM src").unwrap();
+    d.execute("INSERT INTO dst (z, x) SELECT a, b FROM src")
+        .unwrap();
     let rs = d.query("SELECT x, y, z FROM dst").unwrap();
     assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Null, Value::Int(1)]);
 }
@@ -357,7 +394,8 @@ fn delete_via_subquery_filter() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
     d.execute("CREATE TABLE kill (a INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+        .unwrap();
     d.execute("INSERT INTO kill VALUES (2), (4)").unwrap();
     let out = d
         .execute("DELETE FROM t WHERE a IN (SELECT a FROM kill)")
@@ -375,15 +413,21 @@ fn statement_error_leaves_engine_usable() {
     assert!(d.execute("INSERT INTO missing VALUES (1)").is_err());
     // Engine still healthy.
     d.execute("INSERT INTO t VALUES (42)").unwrap();
-    assert_eq!(d.query("SELECT a FROM t").unwrap().rows[0][0], Value::Int(42));
+    assert_eq!(
+        d.query("SELECT a FROM t").unwrap().rows[0][0],
+        Value::Int(42)
+    );
 }
 
 #[test]
 fn in_value_list_desugars() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)").unwrap();
-    let rs = d.query("SELECT a FROM t WHERE a IN (2, 4, 99) ORDER BY a").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+        .unwrap();
+    let rs = d
+        .query("SELECT a FROM t WHERE a IN (2, 4, 99) ORDER BY a")
+        .unwrap();
     let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     assert_eq!(got, vec![2, 4]);
     let rs = d
@@ -397,9 +441,12 @@ fn between_desugars_to_range() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT)").unwrap();
     for i in 0..10 {
-        d.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        d.execute_params("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+            .unwrap();
     }
-    let rs = d.query("SELECT a FROM t WHERE a BETWEEN 3 AND 6 ORDER BY a").unwrap();
+    let rs = d
+        .query("SELECT a FROM t WHERE a BETWEEN 3 AND 6 ORDER BY a")
+        .unwrap();
     let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     assert_eq!(got, vec![3, 4, 5, 6]);
     let rs = d
@@ -413,7 +460,8 @@ fn between_desugars_to_range() {
 fn between_binds_tighter_than_and() {
     let mut d = db();
     d.execute("CREATE TABLE t (a INT, b INT)").unwrap();
-    d.execute("INSERT INTO t VALUES (5, 1), (5, 0), (99, 1)").unwrap();
+    d.execute("INSERT INTO t VALUES (5, 1), (5, 0), (99, 1)")
+        .unwrap();
     // `a BETWEEN 1 AND 10 AND b = 1` must parse as (range) AND (b = 1).
     let rs = d
         .query("SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b = 1")

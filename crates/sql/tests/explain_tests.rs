@@ -15,9 +15,12 @@ fn plan_of(db: &mut Database, sql: &str) -> Vec<String> {
 
 fn setup() -> Database {
     let mut db = Database::in_memory(256);
-    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, f INT, PRIMARY KEY(nid))").unwrap();
-    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
-    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)").unwrap();
+    db.execute("CREATE TABLE TVisited (nid INT, d2s INT, f INT, PRIMARY KEY(nid))")
+        .unwrap();
+    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)")
+        .unwrap();
+    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)")
+        .unwrap();
     for u in 0..200i64 {
         db.execute_params(
             "INSERT INTO TEdges VALUES (?, ?, 1)",
@@ -26,7 +29,11 @@ fn setup() -> Database {
         .unwrap();
         db.execute_params(
             "INSERT INTO TVisited VALUES (?, ?, ?)",
-            &[Value::Int(u), Value::Int(u), Value::Int(i64::from(u < 5) * 2)],
+            &[
+                Value::Int(u),
+                Value::Int(u),
+                Value::Int(i64::from(u < 5) * 2),
+            ],
         )
         .unwrap();
     }
@@ -63,8 +70,10 @@ fn e_operator_join_is_index_nested_loop() {
         "SELECT e.tid FROM TVisited q, TEdges e WHERE q.nid = e.fid AND q.f = 2",
     );
     assert!(
-        plan.iter().any(|l| l.contains("INDEX NESTED LOOP JOIN") && l.contains("tedges")
-            || l.contains("INDEX NESTED LOOP JOIN") && l.contains("TEdges")),
+        plan.iter().any(
+            |l| l.contains("INDEX NESTED LOOP JOIN") && l.contains("tedges")
+                || l.contains("INDEX NESTED LOOP JOIN") && l.contains("TEdges")
+        ),
         "expected INL join into TEdges, got {plan:?}"
     );
 }

@@ -129,8 +129,7 @@ impl BTree {
                 // Root split: relocate the root's content so the root page
                 // id stays stable, then turn the root into an interior node.
                 let left = pool.allocate_page()?;
-                let img: Box<[u8; PAGE_SIZE]> =
-                    pool.read_page(self.root, |b| Box::new(*b))?;
+                let img: Box<[u8; PAGE_SIZE]> = pool.read_page(self.root, |b| Box::new(*b))?;
                 pool.write_page(left, move |b| *b = *img)?;
                 pool.write_page(self.root, |b| {
                     node::init_interior(b, left.0);
@@ -353,7 +352,8 @@ fn insert_rec(pool: &mut BufferPool, pid: PageId, key: &[u8], val: &[u8]) -> Res
         };
         // Split: gather cells (the replaced key, if any, is already gone),
         // add the new entry, and distribute across two leaves.
-        let (mut cells, next) = pool.read_page(pid, |b| (node::leaf_cells(b), node::next_leaf(b)))?;
+        let (mut cells, next) =
+            pool.read_page(pid, |b| (node::leaf_cells(b), node::next_leaf(b)))?;
         let pos = match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(_) => unreachable!("duplicate was removed above"),
             Err(p) => p,
@@ -494,7 +494,8 @@ mod tests {
         let mut t = BTree::create(&mut p).unwrap();
         let n = 2000u64;
         for i in 0..n {
-            t.insert(&mut p, &k(i), format!("val{i}").as_bytes()).unwrap();
+            t.insert(&mut p, &k(i), format!("val{i}").as_bytes())
+                .unwrap();
         }
         assert_eq!(t.len(), n);
         assert!(t.height(&mut p).unwrap() >= 2);
@@ -521,7 +522,9 @@ mod tests {
         // Pseudo-random interleaved updates
         let mut x = 99u64;
         for _ in 0..1500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = k((x >> 40) % 800);
             let val = k(x % 1000);
             t.insert(&mut p, &key, &val).unwrap();
@@ -695,13 +698,19 @@ mod tests {
         let mut oracle = BTreeMap::new();
         let mut x = 5u64;
         for _ in 0..3000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = k(x >> 32);
             t.insert(&mut p, &key, &k(x)).unwrap();
             oracle.insert(key, k(x));
         }
         for (key, val) in &oracle {
-            assert_eq!(&t.get(&mut p, key).unwrap().unwrap(), val, "through evictions");
+            assert_eq!(
+                &t.get(&mut p, key).unwrap().unwrap(),
+                val,
+                "through evictions"
+            );
         }
         let mut count = 0u64;
         t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |_, _| {

@@ -162,7 +162,11 @@ impl BufferPool {
     }
 
     /// Runs `f` over an immutable view of page `pid`.
-    pub fn read_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+    pub fn read_page<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
         let idx = self.fetch(pid)?;
         Ok(f(self.frames[idx].page.bytes()))
     }
@@ -407,7 +411,9 @@ mod tests {
         // Deterministic pseudo-random access pattern.
         let mut x = 12345u64;
         for step in 0..2000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 33) as usize % n;
             if step % 3 == 0 {
                 pool.write_page(pids[i], |b| {

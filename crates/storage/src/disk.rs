@@ -100,8 +100,7 @@ impl DiskBackend for FileDisk {
     fn allocate_page(&mut self) -> Result<PageId> {
         let pid = PageId(self.num_pages);
         self.num_pages += 1;
-        self.file
-            .seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64))?;
+        self.file.seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64))?;
         self.file.write_all(&[0u8; PAGE_SIZE])?;
         Ok(pid)
     }

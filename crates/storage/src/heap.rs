@@ -543,7 +543,10 @@ mod tests {
 
     #[test]
     fn rid_u64_roundtrip() {
-        let rid = RecordId { page: 123456, slot: 789 };
+        let rid = RecordId {
+            page: 123456,
+            slot: 789,
+        };
         assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
     }
 }

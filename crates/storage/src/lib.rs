@@ -30,8 +30,8 @@ pub mod value;
 
 pub mod btree;
 
-pub use buffer::BufferPool;
 pub use btree::BTree;
+pub use buffer::BufferPool;
 pub use disk::{DiskBackend, FileDisk, MemDisk};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, RecordId};

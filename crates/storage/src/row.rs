@@ -62,7 +62,9 @@ pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
             TAG_NULL => out.push(Value::Null),
             TAG_INT => {
                 let end = pos + 8;
-                let s = bytes.get(pos..end).ok_or_else(|| corrupt("truncated int"))?;
+                let s = bytes
+                    .get(pos..end)
+                    .ok_or_else(|| corrupt("truncated int"))?;
                 out.push(Value::Int(i64::from_le_bytes(s.try_into().unwrap())));
                 pos = end;
             }
@@ -84,8 +86,7 @@ pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
                 let s = bytes
                     .get(lend..end)
                     .ok_or_else(|| corrupt("truncated text payload"))?;
-                let text =
-                    std::str::from_utf8(s).map_err(|_| corrupt("non-utf8 text payload"))?;
+                let text = std::str::from_utf8(s).map_err(|_| corrupt("non-utf8 text payload"))?;
                 out.push(Value::Text(text.to_string()));
                 pos = end;
             }

@@ -312,7 +312,15 @@ mod tests {
 
     #[test]
     fn float_encoding_preserves_order() {
-        let vals = [f64::NEG_INFINITY, -2.5, -0.0, 0.0, 1.0e-9, 2.5, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -2.5,
+            -0.0,
+            0.0,
+            1.0e-9,
+            2.5,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             let a = encode_key(&[Value::Float(w[0])]).unwrap();
             let b = encode_key(&[Value::Float(w[1])]).unwrap();

@@ -10,7 +10,8 @@ fn capacity_one_pool_supports_btree() {
     let mut pool = BufferPool::in_memory(1);
     let mut t = BTree::create(&mut pool).unwrap();
     for i in 0..500u64 {
-        t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     for i in 0..500u64 {
         assert_eq!(
@@ -63,9 +64,7 @@ fn heap_and_btree_share_one_pool() {
     // Cross-verify: every tree value resolves to the matching heap record.
     for i in (0..300u64).step_by(17) {
         let val = tree.get(&mut pool, &i.to_be_bytes()).unwrap().unwrap();
-        let rid = fempath_storage::RecordId::from_u64(u64::from_be_bytes(
-            val.try_into().unwrap(),
-        ));
+        let rid = fempath_storage::RecordId::from_u64(u64::from_be_bytes(val.try_into().unwrap()));
         let rec = heap.get(&mut pool, rid).unwrap();
         assert_eq!(rec, i.to_le_bytes());
     }
@@ -93,7 +92,8 @@ fn clear_cache_preserves_all_data() {
     let mut pool = BufferPool::temp_file(8).unwrap();
     let mut t = BTree::create(&mut pool).unwrap();
     for i in 0..1000u64 {
-        t.insert(&mut pool, &i.to_be_bytes(), &(i * 7).to_be_bytes()).unwrap();
+        t.insert(&mut pool, &i.to_be_bytes(), &(i * 7).to_be_bytes())
+            .unwrap();
     }
     pool.clear_cache().unwrap();
     for i in (0..1000u64).step_by(97) {

@@ -16,7 +16,11 @@ use fempath::graph::generate;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = generate::power_law(800, 3, 1..=50, 99);
     let mut db = GraphDb::in_memory(&g)?;
-    println!("graph: {} nodes / {} arcs, loaded relationally\n", g.num_nodes(), g.num_arcs());
+    println!(
+        "graph: {} nodes / {} arcs, loaded relationally\n",
+        g.num_nodes(),
+        g.num_arcs()
+    );
 
     // 1. Reachability (§3.1's first example).
     println!("reachable(0, 799)      = {}", reachable(&mut db, 0, 799)?);

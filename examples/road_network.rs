@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seg = db.build_segtable(40)?;
     println!(
         "SegTable(lthd=40): {} segments, built in {:.2}s with {} disk reads / {} writes",
-        seg.segments, seg.build_time.as_secs_f64(), seg.io.disk_reads, seg.io.disk_writes
+        seg.segments,
+        seg.build_time.as_secs_f64(),
+        seg.io.disk_reads,
+        seg.io.disk_writes
     );
 
     // Route queries: corners and a few random crossings.

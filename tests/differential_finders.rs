@@ -1,0 +1,108 @@
+//! Differential test: every relational shortest-path finder (DJ, BDJ, BSDJ,
+//! BBFS, BSEG) must return exactly the in-memory Dijkstra distance on each
+//! of the paper's graph families, and the path it reports must be a real
+//! walk through the graph of that exact weight.
+
+use fempath::core::{
+    BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder, GraphDb, ShortestPathFinder,
+};
+use fempath::graph::{generate, Graph};
+use fempath::inmem::dijkstra;
+
+/// Deterministic query endpoints spread over the node range.
+fn query_pairs(n: usize, count: usize) -> Vec<(i64, i64)> {
+    (0..count)
+        .map(|i| {
+            let s = (i * 7919 + 13) % n;
+            let mut t = (i * 104_729 + n / 2) % n;
+            if t == s {
+                t = (t + 1) % n;
+            }
+            (s as i64, t as i64)
+        })
+        .collect()
+}
+
+/// Asserts `path` is a genuine walk `s -> t` in `g` whose arc weights sum to
+/// `expected` (finders may legitimately return different equal-weight paths).
+fn assert_real_walk(g: &Graph, nodes: &[i64], expected: u64, ctx: &str) {
+    let mut total = 0u64;
+    for w in nodes.windows(2) {
+        let arc = g
+            .out_arcs(w[0] as u32)
+            .iter()
+            .filter(|a| a.to == w[1] as u32)
+            .map(|a| a.weight)
+            .min();
+        let weight = arc.unwrap_or_else(|| panic!("{ctx}: edge {}->{} not in graph", w[0], w[1]));
+        total += weight as u64;
+    }
+    assert_eq!(
+        total, expected,
+        "{ctx}: reported path weight differs from oracle distance"
+    );
+}
+
+fn check_graph(name: &str, g: &Graph, n: usize, queries: usize) {
+    let mut gdb = GraphDb::in_memory(g).unwrap();
+    gdb.build_segtable(10).unwrap();
+    let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
+        Box::new(DjFinder::default()),
+        Box::new(BdjFinder::default()),
+        Box::new(BsdjFinder::default()),
+        Box::new(BbfsFinder::default()),
+        Box::new(BsegFinder::default()),
+    ];
+    for (s, t) in query_pairs(n, queries) {
+        let oracle = dijkstra::shortest_path(g, s as u32, t as u32);
+        for f in &finders {
+            let ctx = format!("{} on {name} {s}->{t}", f.name());
+            let out = f.find_path(&mut gdb, s, t).unwrap();
+            match (&out.path, &oracle) {
+                (Some(p), Some(o)) => {
+                    assert_eq!(p.length as u64, o.distance, "{ctx}: distance mismatch");
+                    assert_eq!(
+                        p.nodes.first(),
+                        Some(&s),
+                        "{ctx}: path must start at source"
+                    );
+                    assert_eq!(p.nodes.last(), Some(&t), "{ctx}: path must end at target");
+                    assert_real_walk(g, &p.nodes, o.distance, &ctx);
+                }
+                (None, None) => {}
+                (got, want) => panic!(
+                    "{ctx}: reachability mismatch (relational={}, in-memory={})",
+                    got.is_some(),
+                    want.is_some()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_finders_match_dijkstra_on_grid() {
+    let g = generate::grid(8, 7, 1..=100, 42);
+    check_graph("grid(8x7)", &g, 56, 8);
+}
+
+#[test]
+fn all_finders_match_dijkstra_on_power_law() {
+    let g = generate::power_law(150, 3, 1..=100, 7);
+    check_graph("power_law(150)", &g, 150, 8);
+}
+
+#[test]
+fn all_finders_match_dijkstra_on_dblp_like() {
+    // dblp_like can leave isolated nodes, exercising the unreachable branch.
+    let g = generate::dblp_like(120, 1..=100, 11);
+    check_graph("dblp_like(120)", &g, 120, 8);
+}
+
+#[test]
+fn all_finders_agree_on_unit_weights() {
+    // Unit weights force heavy tie-breaking: a good stress of the paper's
+    // ROW_NUMBER/MIN parent selection equivalence.
+    let g = generate::grid(6, 6, 1..=1, 3);
+    check_graph("unit-grid(6x6)", &g, 36, 6);
+}

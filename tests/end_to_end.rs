@@ -15,7 +15,10 @@ fn full_pipeline_generate_load_index_query() {
     let g = generate::dblp_like(400, 1..=100, 3);
     let mut gdb = GraphDb::in_memory(&g).unwrap();
     let seg = gdb.build_segtable(8).unwrap();
-    assert!(seg.segments >= g.num_arcs() as u64 / 2, "SegTable covers the graph");
+    assert!(
+        seg.segments >= g.num_arcs() as u64 / 2,
+        "SegTable covers the graph"
+    );
 
     let finder = BsegFinder::default();
     let mut reachable = 0;
@@ -32,7 +35,10 @@ fn full_pipeline_generate_load_index_query() {
             _ => panic!("reachability mismatch"),
         }
     }
-    assert!(reachable > 0, "some pairs must connect in a DBLP-like graph");
+    assert!(
+        reachable > 0,
+        "some pairs must connect in a DBLP-like graph"
+    );
 }
 
 #[test]
@@ -132,5 +138,8 @@ fn disk_resident_pipeline_with_tiny_buffer() {
         oracle.map(|o| o.distance)
     );
     let io = gdb.db.io_stats();
-    assert!(io.disk_reads > 0 && io.disk_writes > 0, "must really hit the disk");
+    assert!(
+        io.disk_reads > 0 && io.disk_writes > 0,
+        "must really hit the disk"
+    );
 }

@@ -1,16 +1,17 @@
 //! Property-based end-to-end test: on random graphs, every relational
 //! shortest-path algorithm returns exactly the in-memory Dijkstra distance.
 
-use fempath::core::{
-    BbfsFinder, BsdjFinder, BsegFinder, GraphDb, ShortestPathFinder,
-};
+use fempath::core::{BbfsFinder, BsdjFinder, BsegFinder, GraphDb, ShortestPathFinder};
 use fempath::graph::Graph;
 use fempath::inmem::dijkstra;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = (Graph, usize)> {
-    (5usize..40, prop::collection::vec((0u32..40, 0u32..40, 1u32..30), 4..80)).prop_map(
-        |(n, edges)| {
+    (
+        5usize..40,
+        prop::collection::vec((0u32..40, 0u32..40, 1u32..30), 4..80),
+    )
+        .prop_map(|(n, edges)| {
             let n = n.max(
                 edges
                     .iter()
@@ -20,8 +21,7 @@ fn arb_graph() -> impl Strategy<Value = (Graph, usize)> {
             );
             let g = Graph::from_undirected_edges(n, edges);
             (g, n)
-        },
-    )
+        })
 }
 
 proptest! {

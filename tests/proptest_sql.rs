@@ -10,8 +10,10 @@ fn db_with_tables() -> Database {
     let mut db = Database::in_memory(512);
     db.execute("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, PRIMARY KEY(nid))")
         .unwrap();
-    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)").unwrap();
-    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)").unwrap();
+    db.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)")
+        .unwrap();
+    db.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)")
+        .unwrap();
     db
 }
 

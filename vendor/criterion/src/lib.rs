@@ -1,0 +1,198 @@
+//! Offline shim for the subset of the `criterion` API used by the bench
+//! crate: `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so this path crate stands
+//! in for the real dependency. Measurement is deliberately lightweight —
+//! a short warm-up, then a fixed wall-clock budget per benchmark, reporting
+//! mean/min time per iteration — enough for the perf-trajectory tracking
+//! ROADMAP asks for, without criterion's statistical machinery. Respects
+//! `--bench` harness invocation args (filters by substring) so
+//! `cargo bench <name>` narrows as expected.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent inside `iter` closures.
+    elapsed: Duration,
+    /// Iterations executed.
+    iters: u64,
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        std::hint::black_box(f());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline || self.elapsed > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Identifier for parameterised benchmarks (`BenchmarkId::new("x", 10)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level driver. Holds the name filter from the CLI.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any user filter strings.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let budget_ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            filter,
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = name.to_string();
+        let budget = self.budget;
+        self.run_one(&id, budget, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, budget: Duration, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<48} (no iterations)");
+            return;
+        }
+        let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{id:<48} {:>14}  ({} iterations)", format_ns(mean), b.iters);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    /// Group-scoped budget override; the parent's budget is untouched.
+    budget: Option<Duration>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget-based loop ignores
+    /// the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = Some(d);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let budget = self.budget.unwrap_or(self.criterion.budget);
+        self.criterion.run_one(&id, budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        let budget = self.budget.unwrap_or(self.criterion.budget);
+        self.criterion.run_one(&id, budget, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

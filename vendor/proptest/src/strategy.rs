@@ -1,0 +1,330 @@
+//! The [`Strategy`] trait and combinators, plus the regex-lite string
+//! strategy that backs `"pattern"`-style strategies.
+
+use rand::{rngs::StdRng, Rng};
+
+/// A generator of values, mirroring `proptest::strategy::Strategy` without
+/// the shrinking machinery (`generate` plays the role of `new_tree` +
+/// `current`).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy (object-safe because `generate` takes `&self`).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// ---- numeric range strategies -------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+// ---- tuple strategies ----------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident => $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 => 0);
+impl_tuple_strategy!(S0 => 0, S1 => 1);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+
+// ---- regex-lite string strategy -----------------------------------------
+
+/// `&str` as a strategy: the pattern is interpreted as the regex subset the
+/// workspace's tests use — literal characters, `.`, character classes
+/// `[a-z0-9 ]` (ranges + literals), and `{m}` / `{m,n}` repetition of the
+/// preceding atom. Anything else is treated as a literal character.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.gen_range(*lo..=*hi)
+            };
+            for _ in 0..n {
+                atom.emit(rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// `.` — any char: mostly printable ASCII, occasionally exotic.
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Dot => {
+                let c = match rng.gen_range(0..10u32) {
+                    // Printable ASCII dominates so parsers reach deep states.
+                    0..=7 => rng.gen_range(0x20u32..0x7F) as u8 as char,
+                    8 => rng.gen_range(0x01u32..0x20) as u8 as char,
+                    _ => char::from_u32(rng.gen_range(0xA0u32..0x2FFF)).unwrap_or('¿'),
+                };
+                out.push(c);
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*a as u32 + pick).unwrap());
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the pattern into `(atom, min_reps, max_reps)` triples.
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                assert!(!ranges.is_empty(), "empty character class in {pat:?}");
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n}"),
+                    hi.trim().parse().expect("bad {m,n}"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {m}");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn regex_lite_respects_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "c_[a-z]{1,6}".generate(&mut r);
+            assert!(s.starts_with("c_"), "{s:?}");
+            let tail = &s[2..];
+            assert!((1..=6).contains(&tail.len()), "{s:?}");
+            assert!(tail.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,12}".generate(&mut r);
+            assert!(s.len() <= 12);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '),
+                "{s:?}"
+            );
+        }
+        for _ in 0..50 {
+            let s = ".{0,200}".generate(&mut r);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_all_arms() {
+        let u = crate::prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut r = rng();
+        let v = crate::collection::vec(0u32..10, 3..6).generate(&mut r);
+        assert!((3..6).contains(&v.len()));
+        let exact = crate::collection::vec(0u32..10, 4).generate(&mut r);
+        assert_eq!(exact.len(), 4);
+        let m = crate::collection::btree_map(0u32..100, 0u32..5, 5..8).generate(&mut r);
+        assert!(m.len() <= 8);
+    }
+}
