@@ -2,6 +2,7 @@
 //! like the corresponding table/figure series in §5 of the paper.
 
 pub mod ablation;
+pub mod batch;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
@@ -37,6 +38,7 @@ pub const ALL: &[&str] = &[
     "fig9g",
     "fig9h",
     "ablation-prune",
+    "batch-throughput",
 ];
 
 /// Runs one experiment by id.
@@ -65,6 +67,7 @@ pub fn run(id: &str, cfg: &BenchConfig) -> Result<()> {
         "fig9g" => fig9::fig9g(cfg),
         "fig9h" => fig9::fig9h(cfg),
         "ablation-prune" => ablation::prune(cfg),
+        "batch-throughput" => batch::throughput(cfg),
         other => Err(fempath_sql::SqlError::Eval(format!(
             "unknown experiment {other}; known: {}",
             ALL.join(", ")

@@ -14,9 +14,12 @@
 //! client side holds only scalars (`mid`, `lf`, `lb`, `minCost`, counters),
 //! mirroring the paper's JDBC architecture.
 
+pub mod batch;
 pub mod bidi;
 pub mod dj;
 
+pub use crate::sqlgen::BatchFrontier;
+pub use batch::{BatchBdjFinder, BatchDjFinder, BatchOutcome, BatchShortestPathFinder};
 pub use bidi::{BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, FrontierPolicy};
 pub use dj::DjFinder;
 
@@ -122,14 +125,18 @@ impl<'a> Runner<'a> {
 
     /// Finishes the run: fills in visited-node count, I/O delta and total
     /// time.
-    pub fn finish(mut self, path: Option<Path>) -> Result<PathOutcome> {
-        self.stats.visited_nodes = self.gdb.db.table_len("TVisited").unwrap_or(0);
+    pub fn finish(self, path: Option<Path>) -> Result<PathOutcome> {
+        let stats = self.finish_stats("TVisited");
+        Ok(PathOutcome { path, stats })
+    }
+
+    /// Closes out the measurements against an arbitrary visited-node table
+    /// (the batched searches count `TBVisited`) and returns them.
+    pub fn finish_stats(mut self, visited_table: &str) -> QueryStats {
+        self.stats.visited_nodes = self.gdb.db.table_len(visited_table).unwrap_or(0);
         self.stats.io = self.gdb.db.io_stats().since(&self.io_start);
         self.stats.total_time = self.started.elapsed();
-        Ok(PathOutcome {
-            path,
-            stats: self.stats,
-        })
+        self.stats
     }
 }
 

@@ -185,6 +185,48 @@ impl GraphDb {
         Ok(())
     }
 
+    /// (Re)creates the batched working tables `TBVisited` and `TBounds`
+    /// (DESIGN.md §8). `TBVisited` is the per-query visited-node table with
+    /// a leading `qid` column; `TBounds` carries one row of client scalars
+    /// (`lf`, `lb`, `nf`, `nb`, `minCost`, `done`) per in-flight query.
+    /// Called at the start of every batch query.
+    pub fn reset_batch_tables(&mut self) -> Result<()> {
+        self.db.execute("DROP TABLE IF EXISTS TBVisited")?;
+        self.db.execute("DROP TABLE IF EXISTS TBounds")?;
+        self.db.execute(
+            "CREATE TABLE TBVisited (qid INT, nid INT, d2s INT, p2s INT, f INT, \
+             d2t INT, p2t INT, b INT)",
+        )?;
+        match self.visited_index {
+            IndexKind::NoIndex => {}
+            IndexKind::Secondary => {
+                self.db
+                    .execute("CREATE UNIQUE INDEX idx_tbvisited ON TBVisited(qid, nid)")?;
+            }
+            IndexKind::Clustered => {
+                self.db.execute(
+                    "CREATE UNIQUE CLUSTERED INDEX idx_tbvisited ON TBVisited(qid, nid)",
+                )?;
+            }
+        }
+        self.db.execute(
+            "CREATE TABLE TBounds (qid INT, s INT, t INT, lf INT, lb INT, \
+             nf INT, nb INT, mincost INT, done INT)",
+        )?;
+        self.db
+            .execute("CREATE UNIQUE CLUSTERED INDEX idx_tbounds ON TBounds(qid)")?;
+        Ok(())
+    }
+
+    /// (Re)creates the `TBExp` temp table used by the batched TSQL /
+    /// no-MERGE expansion paths (the qid-carrying analogue of `TExp`).
+    pub fn reset_batch_exp(&mut self) -> Result<()> {
+        self.db.execute("DROP TABLE IF EXISTS TBExp")?;
+        self.db
+            .execute("CREATE TABLE TBExp (qid INT, nid INT, p2s INT, cost INT)")?;
+        Ok(())
+    }
+
     /// True when the expansion must avoid MERGE (PostgreSQL dialect).
     pub fn merge_supported(&self) -> bool {
         self.db.dialect().supports_merge
@@ -215,6 +257,22 @@ mod tests {
             .unwrap();
         gdb.reset_visited().unwrap();
         assert_eq!(gdb.db.table_len("TVisited").unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_batch_tables_is_idempotent() {
+        let g = generate::grid(3, 3, 1..=10, 1);
+        let mut gdb = GraphDb::in_memory(&g).unwrap();
+        gdb.reset_batch_tables().unwrap();
+        gdb.db
+            .execute("INSERT INTO TBVisited VALUES (0, 1, 0, -1, 0, 0, -1, 0)")
+            .unwrap();
+        gdb.db
+            .execute("INSERT INTO TBounds VALUES (0, 1, 2, 0, 0, 1, 1, 0, 0)")
+            .unwrap();
+        gdb.reset_batch_tables().unwrap();
+        assert_eq!(gdb.db.table_len("TBVisited").unwrap(), 0);
+        assert_eq!(gdb.db.table_len("TBounds").unwrap(), 0);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! **SegTable** index of pre-computed local shortest segments.
 //!
 //! * [`GraphDb`] — a database instance with one graph loaded,
-//! * [`fem`] — the generic F/E/M iteration skeleton (§3.1),
-//! * [`algo`] — DJ, BDJ, BSDJ, BBFS and BSEG (§3.4, §4),
+//! * [`fem`] — the generic F/E/M iteration skeleton (§3.1) and its batched
+//!   multi-query variant (DESIGN.md §8),
+//! * [`algo`] — DJ, BDJ, BSDJ, BBFS and BSEG (§3.4, §4), plus the batched
+//!   BatchDJ / BatchBDJ finders answering many (s, t) pairs per iteration,
 //! * [`segtable`] — SegTable construction (§4.2),
 //! * [`prim`] — Prim's MST via FEM (the §3.1 extension),
 //! * [`stats`] — per-phase / per-operator measurement.
@@ -37,10 +39,11 @@ pub mod sssp;
 pub mod stats;
 
 pub use algo::{
+    BatchBdjFinder, BatchDjFinder, BatchFrontier, BatchOutcome, BatchShortestPathFinder,
     BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder, FrontierPolicy, Path, PathOutcome,
     ShortestPathFinder,
 };
-pub use fem::{run_fem, FemSearch};
+pub use fem::{run_batch_fem, run_fem, BatchFemSearch, FemSearch};
 pub use graphdb::{GraphDb, GraphDbOptions, SegTableInfo, INF, NO_NODE};
 pub use landmarks::{build_landmarks, estimate_distance, DistanceBounds};
 pub use pattern::{match_label_path, set_labels};

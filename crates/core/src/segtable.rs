@@ -8,7 +8,7 @@
 //! `TEdges` restricted to `cost + d2s <= lthd`, and merges. Step 2 copies
 //! the discovered segments into `TOutSegs`, merges in the residual original
 //! edges (Definition 4, case 2), mirrors `TInSegs` (identical content for
-//! symmetric graphs — see DESIGN.md) and indexes both per the configured
+//! symmetric graphs — see DESIGN.md §4) and indexes both per the configured
 //! strategy.
 
 use crate::graphdb::{GraphDb, SegTableInfo};

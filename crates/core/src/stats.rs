@@ -68,6 +68,27 @@ impl QueryStats {
     pub fn operator(&self, op: FemOperator) -> Duration {
         self.operator_times[op_index(op)]
     }
+
+    /// Folds another run's measurements into this one (used by chunked
+    /// batch execution to report whole-batch totals).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.expansions += other.expansions;
+        self.visited_nodes += other.visited_nodes;
+        self.sql_statements += other.sql_statements;
+        for (a, b) in self.phase_times.iter_mut().zip(&other.phase_times) {
+            *a += *b;
+        }
+        for (a, b) in self.operator_times.iter_mut().zip(&other.operator_times) {
+            *a += *b;
+        }
+        self.io.buffer_hits += other.io.buffer_hits;
+        self.io.buffer_misses += other.io.buffer_misses;
+        self.io.evictions += other.io.evictions;
+        self.io.disk_reads += other.io.disk_reads;
+        self.io.disk_writes += other.io.disk_writes;
+        self.io.allocations += other.io.allocations;
+        self.total_time += other.total_time;
+    }
 }
 
 fn op_index(op: FemOperator) -> usize {

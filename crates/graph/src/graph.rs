@@ -5,7 +5,7 @@
 //! datasets (collaboration and social networks are undirected; the road/web
 //! graphs are symmetrized for bidirectional search) and lets the backward
 //! expansion reuse the forward (`fid`-clustered) access path — see
-//! DESIGN.md.
+//! DESIGN.md §4.
 
 /// A directed arc.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

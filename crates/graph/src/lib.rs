@@ -4,7 +4,7 @@
 //! the fempath reproduction.
 //!
 //! * [`Graph`] — weighted CSR adjacency (stored symmetrically, see
-//!   DESIGN.md);
+//!   DESIGN.md §4);
 //! * [`generate`] — the paper's dataset families: `random_graph`,
 //!   `power_law` (Barabási), `grid`, plus stand-ins for DBLP, GoogleWeb and
 //!   LiveJournal;

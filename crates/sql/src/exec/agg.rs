@@ -4,12 +4,12 @@
 //! first, aggregate results after. Projection/HAVING expressions are then
 //! rewritten to reference those slots through the synthetic `#agg` binding.
 
-use super::eval::{bind_expr, eval, BExpr, ExecCtx, Schema, SchemaCol};
+use super::eval::{bind_expr, eval, BExpr, ExecCtx, HashKey, Schema, SchemaCol};
 use super::select::OutItem;
 use super::Relation;
 use crate::ast::{AggFunc, Expr, Select};
 use crate::error::{Result, SqlError};
-use fempath_storage::{encode_key, Value};
+use fempath_storage::Value;
 use std::collections::HashMap;
 
 /// Running state of one aggregate over one group.
@@ -251,16 +251,17 @@ pub fn run_group_by(
         })
         .collect::<Result<_>>()?;
 
-    // Group rows (insertion-ordered for deterministic output).
-    let mut order: Vec<Vec<u8>> = Vec::new();
-    let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+    // Group rows (insertion-ordered for deterministic output). The common
+    // single-integer group key (e.g. the batched-FEM per-qid statistics)
+    // hashes the integer directly instead of allocating an encoded key.
+    let mut order: Vec<HashKey> = Vec::new();
+    let mut groups: HashMap<HashKey, (Vec<Value>, Vec<AggState>)> = HashMap::new();
     for row in &rel.rows {
         let mut key_vals = Vec::with_capacity(group_bexprs.len());
         for g in &group_bexprs {
             key_vals.push(eval(g, row)?);
         }
-        let key = encode_key(&key_vals)
-            .map_err(|_| SqlError::Eval("GROUP BY key contains un-encodable value".into()))?;
+        let key = HashKey::from_values(&key_vals)?;
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             (
@@ -278,7 +279,7 @@ pub fn run_group_by(
     }
     // Scalar aggregate over an empty input still yields one row.
     if groups.is_empty() && sel.group_by.is_empty() {
-        let key = Vec::new();
+        let key = HashKey::Bytes(Vec::new());
         order.push(key.clone());
         groups.insert(
             key,

@@ -8,7 +8,8 @@
 //! (`INSERT INTO t SELECT … FROM t`) snapshot semantics.
 
 use super::eval::{
-    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx, Schema,
+    bind_expr, binds_in, eval, is_row_independent, max_bound_col, split_conjuncts, truthy, BExpr,
+    ExecCtx, Schema,
 };
 use crate::ast::{BinaryOp, Delete, Expr, Insert, InsertSource, Merge, TableRef, Update};
 use crate::catalog::{Catalog, RowLoc};
@@ -184,11 +185,17 @@ pub fn execute_update(
                 pending
             }
             Some(source_ref) => {
-                // UPDATE … FROM: join the target with the source.
-                let source = materialize_ref(&mut ctx, source_ref)?;
-                let combined = tschema.concat(&source.schema);
-                let conjuncts: Vec<Expr> =
+                // UPDATE … FROM: join the target with the source. Source
+                // rows are pre-filtered with the source-only conjuncts
+                // (skipping their probes entirely), and target-only
+                // residuals are checked on the bare target row before the
+                // combined row is built — the hot batched-FEM statements
+                // reject most rows on those cheap paths.
+                let mut conjuncts: Vec<Expr> =
                     upd.filter.as_ref().map(split_conjuncts).unwrap_or_default();
+                let source =
+                    materialize_ref_filtered(&mut ctx, source_ref, &tschema, &mut conjuncts)?;
+                let combined = tschema.concat(&source.schema);
                 let (probe_cols, probe_exprs, residual) = equi_probe_plan(
                     &mut ctx,
                     &upd.table,
@@ -197,6 +204,10 @@ pub fn execute_update(
                     &combined,
                     &conjuncts,
                 )?;
+                let target_width = tschema.cols.len();
+                let (target_residual, mixed_residual): (Vec<BExpr>, Vec<BExpr>) = residual
+                    .into_iter()
+                    .partition(|p| max_bound_col(p).is_none_or(|c| c < target_width));
                 let assigns: Vec<BExpr> = upd
                     .assignments
                     .iter()
@@ -208,17 +219,20 @@ pub fn execute_update(
                 for srow in &source.rows {
                     let matches =
                         probe_target(&mut ctx, &upd.table, &probe_cols, &probe_exprs, srow)?;
-                    for (loc, trow) in matches {
-                        let mut combined_row = trow.clone();
-                        combined_row.extend(srow.iter().cloned());
-                        let mut pass = true;
-                        for p in &residual {
-                            if !truthy(&eval(p, &combined_row)?) {
-                                pass = false;
-                                break;
+                    'target: for (loc, trow) in matches {
+                        for p in &target_residual {
+                            if !truthy(&eval(p, &trow)?) {
+                                continue 'target;
                             }
                         }
-                        if !pass || !touched.insert(loc.clone()) {
+                        let mut combined_row = trow.clone();
+                        combined_row.extend(srow.iter().cloned());
+                        for p in &mixed_residual {
+                            if !truthy(&eval(p, &combined_row)?) {
+                                continue 'target;
+                            }
+                        }
+                        if !touched.insert(loc.clone()) {
                             continue;
                         }
                         let mut new_row = trow.clone();
@@ -460,6 +474,52 @@ pub fn execute_merge(
         table.insert_row(pool, &row)?;
     }
     Ok(n)
+}
+
+/// Like [`materialize_ref`], but additionally consumes the conjuncts that
+/// bind entirely in the source schema, filtering the materialized rows with
+/// them up front — every dropped source row saves its target probes and
+/// combined-row work downstream. Conjuncts that *also* resolve in the
+/// target schema (unqualified names present on both sides) are left alone,
+/// so they still bind over the combined schema exactly as before.
+fn materialize_ref_filtered(
+    ctx: &mut ExecCtx<'_>,
+    tref: &TableRef,
+    target: &Schema,
+    conjuncts: &mut Vec<Expr>,
+) -> Result<super::Relation> {
+    let mut rel = materialize_ref(ctx, tref)?;
+    let mine_idx: Vec<usize> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| binds_in(c, &rel.schema) && !binds_in(c, target))
+        .map(|(i, _)| i)
+        .collect();
+    if mine_idx.is_empty() {
+        return Ok(rel);
+    }
+    let preds: Vec<BExpr> = mine_idx
+        .iter()
+        .map(|&i| bind_expr(ctx, &rel.schema, &conjuncts[i]))
+        .collect::<Result<_>>()?;
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    'row: for row in rel.rows {
+        for p in &preds {
+            if !truthy(&eval(p, &row)?) {
+                continue 'row;
+            }
+        }
+        rows.push(row);
+    }
+    rel.rows = rows;
+    let mut keep = Vec::with_capacity(conjuncts.len());
+    for (i, c) in conjuncts.drain(..).enumerate() {
+        if !mine_idx.contains(&i) {
+            keep.push(c);
+        }
+    }
+    *conjuncts = keep;
+    Ok(rel)
 }
 
 /// Materializes a table reference (base table, view, or derived query) with

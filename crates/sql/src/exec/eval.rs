@@ -129,6 +129,47 @@ impl BExpr {
     }
 }
 
+/// Hashable row-key identity shared by GROUP BY and hash joins: a bare
+/// integer for the common one-int-column key (no allocation), the
+/// order-preserving byte encoding otherwise. Int and Float keys stay
+/// distinct, exactly as the encoding keeps them.
+#[derive(Hash, PartialEq, Eq, Clone)]
+pub enum HashKey {
+    Int(i64),
+    Bytes(Vec<u8>),
+}
+
+impl HashKey {
+    /// Builds the key for one evaluated key-column tuple.
+    pub fn from_values(vals: &[Value]) -> Result<HashKey> {
+        Ok(match vals {
+            [Value::Int(i)] => HashKey::Int(*i),
+            vals => HashKey::Bytes(
+                fempath_storage::encode_key(vals)
+                    .map_err(|_| SqlError::Eval("key contains an un-encodable value".into()))?,
+            ),
+        })
+    }
+}
+
+/// Largest row index the bound expression reads, or `None` when it is
+/// row-independent. Lets executors evaluate a predicate against a row
+/// prefix (e.g. the target half of an UPDATE … FROM join) without
+/// materializing the full combined row.
+pub fn max_bound_col(e: &BExpr) -> Option<usize> {
+    match e {
+        BExpr::Const(_) => None,
+        BExpr::Col(i) => Some(*i),
+        BExpr::Unary { e, .. } => max_bound_col(e),
+        BExpr::Binary { l, r, .. } => match (max_bound_col(l), max_bound_col(r)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        },
+        BExpr::IsNull { e, .. } => max_bound_col(e),
+        BExpr::InList { e, .. } => max_bound_col(e),
+    }
+}
+
 /// Everything binding/execution needs. `pool` is the buffer pool, `catalog`
 /// resolves tables/views, `params` backs `?` placeholders.
 pub struct ExecCtx<'a> {

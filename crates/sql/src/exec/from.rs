@@ -1,13 +1,14 @@
 //! FROM-clause planning: access paths and join strategies.
 
 use super::eval::{
-    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx, Schema,
+    bind_expr, binds_in, eval, is_row_independent, split_conjuncts, truthy, BExpr, ExecCtx,
+    HashKey, Schema,
 };
 use super::Relation;
 use crate::ast::{BinaryOp, Expr, TableRef};
 use crate::catalog::Table;
 use crate::error::{Result, SqlError};
-use fempath_storage::{encode_key, Value};
+use fempath_storage::Value;
 use std::collections::HashMap;
 
 /// Builds the row stream for a FROM list, consuming every conjunct of the
@@ -574,13 +575,15 @@ fn join_materialized(
                 right.rows.len()
             )
         });
-        // Build hash table on the right side keyed by encoded join values.
+        // Build hash table on the right side, keyed by [`HashKey`] (a
+        // single-integer join key — e.g. the batched-FEM per-qid bounds
+        // join — hashes the integer directly, no allocation).
         let left_exprs: Vec<BExpr> = pairs
             .iter()
             .map(|p| bind_expr(ctx, &left.schema, &p.left_expr))
             .collect::<Result<_>>()?;
         let right_cols: Vec<usize> = pairs.iter().map(|p| p.right_col).collect();
-        let mut ht: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        let mut ht: HashMap<HashKey, Vec<usize>> = HashMap::new();
         'rrow: for (i, rrow) in right.rows.iter().enumerate() {
             let mut vals = Vec::with_capacity(right_cols.len());
             for &c in &right_cols {
@@ -589,8 +592,7 @@ fn join_materialized(
                 }
                 vals.push(rrow[c].clone());
             }
-            let key = encode_key(&vals)?;
-            ht.entry(key).or_default().push(i);
+            ht.entry(HashKey::from_values(&vals)?).or_default().push(i);
         }
         'lrow: for lrow in &left.rows {
             let mut vals: Vec<Value> = Vec::with_capacity(left_exprs.len());
@@ -601,8 +603,7 @@ fn join_materialized(
                 }
                 vals.push(v);
             }
-            let key = encode_key(&vals)?;
-            if let Some(matches) = ht.get(&key) {
+            if let Some(matches) = ht.get(&HashKey::from_values(&vals)?) {
                 'm: for &ri in matches {
                     let mut combined_row = lrow.clone();
                     combined_row.extend(right.rows[ri].iter().cloned());

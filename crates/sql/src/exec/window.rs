@@ -10,7 +10,7 @@ use super::select::OutItem;
 use super::Relation;
 use crate::ast::{Expr, WindowFunc};
 use crate::error::Result;
-use fempath_storage::{encode_key, Value};
+use fempath_storage::Value;
 
 /// One distinct window specification found in the projection.
 #[derive(PartialEq, Clone, Debug)]
@@ -106,22 +106,42 @@ pub fn run_windows(
             .map(|k| Ok((bind_expr(ctx, &rel.schema, &k.expr)?, k.asc)))
             .collect::<Result<_>>()?;
 
-        // (partition key bytes, order values, original index)
-        let mut keyed: Vec<(Vec<u8>, Vec<Value>, usize)> = Vec::with_capacity(n);
+        // (partition values, order values, original index). Partitions are
+        // compared value-wise, type tag before value — the same identity the
+        // order-preserving key encoding gives (Int(1) and Float(1.0) stay in
+        // distinct partitions, matching GROUP BY) without an allocation per
+        // row.
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>, usize)> = Vec::with_capacity(n);
         for (i, row) in rel.rows.iter().enumerate() {
             let mut pvals = Vec::with_capacity(part.len());
             for p in &part {
                 pvals.push(eval(p, row)?);
             }
-            let pkey = encode_key(&pvals).unwrap_or_default();
             let mut ovals = Vec::with_capacity(order.len());
             for (o, _) in &order {
                 ovals.push(eval(o, row)?);
             }
-            keyed.push((pkey, ovals, i));
+            keyed.push((pvals, ovals, i));
         }
+        fn type_rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        let cmp_part = |a: &[Value], b: &[Value]| {
+            for (x, y) in a.iter().zip(b) {
+                let ord = type_rank(x).cmp(&type_rank(y)).then_with(|| x.total_cmp(y));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
         keyed.sort_by(|a, b| {
-            a.0.cmp(&b.0).then_with(|| {
+            cmp_part(&a.0, &b.0).then_with(|| {
                 for (i, (_, asc)) in order.iter().enumerate() {
                     let ord = a.1[i].total_cmp(&b.1[i]);
                     let ord = if *asc { ord } else { ord.reverse() };
@@ -134,12 +154,13 @@ pub fn run_windows(
         });
 
         let mut values = vec![Value::Null; n];
-        let mut prev_part: Option<&[u8]> = None;
+        let mut prev_part: Option<&[Value]> = None;
         let mut row_num = 0i64;
         let mut rank = 0i64;
         let mut prev_order: Option<&[Value]> = None;
         for (pkey, ovals, idx) in &keyed {
-            if prev_part != Some(pkey.as_slice()) {
+            let same = prev_part.is_some_and(|pp| cmp_part(pp, pkey).is_eq());
+            if !same {
                 row_num = 0;
                 rank = 0;
                 prev_order = None;

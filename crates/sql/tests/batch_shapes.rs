@@ -1,0 +1,219 @@
+//! Executor coverage for the statement shapes the batched (multi-query)
+//! FEM path leans on: composite-key MERGE driven by a window partitioned
+//! over two columns, `UPDATE … FROM` against a grouped derived table, and
+//! `UPDATE … FROM` joining two base tables on a shared key column. See
+//! DESIGN.md §8 for the batched schema these shapes serve.
+
+use fempath_sql::Database;
+use fempath_storage::Value;
+
+fn db() -> Database {
+    Database::in_memory(64)
+}
+
+/// Builds a two-query visited table plus an edge table:
+/// qid 0 explores from node 0, qid 1 from node 10.
+fn seed_batch(db: &mut Database) {
+    db.execute("CREATE TABLE BV (qid INT, nid INT, d INT, p INT, f INT)")
+        .unwrap();
+    db.execute("CREATE UNIQUE CLUSTERED INDEX idx_bv ON BV(qid, nid)")
+        .unwrap();
+    db.execute("CREATE TABLE E (fid INT, tid INT, cost INT)")
+        .unwrap();
+    db.execute("CREATE CLUSTERED INDEX idx_e ON E(fid)")
+        .unwrap();
+    db.execute("INSERT INTO BV VALUES (0, 0, 0, -1, 2), (1, 10, 0, -1, 2)")
+        .unwrap();
+    db.execute("INSERT INTO E VALUES (0, 1, 5), (0, 2, 3), (2, 1, 1), (10, 11, 7)")
+        .unwrap();
+}
+
+#[test]
+fn merge_on_composite_key_with_two_column_window_partition() {
+    let mut db = db();
+    seed_batch(&mut db);
+    // The batched E+M operator: per-(qid, tid) minimum via ROW_NUMBER
+    // partitioned over both columns, merged on the composite key.
+    let n = db
+        .execute(
+            "MERGE INTO BV AS target USING ( \
+               SELECT qid, nid, np, cost FROM ( \
+                 SELECT q.qid AS qid, e.tid AS nid, e.fid AS np, e.cost + q.d AS cost, \
+                        ROW_NUMBER() OVER (PARTITION BY q.qid, e.tid ORDER BY e.cost + q.d) AS rownum \
+                 FROM BV q, E e WHERE q.nid = e.fid AND q.f = 2 \
+               ) tmp WHERE rownum = 1 \
+             ) AS source (qid, nid, np, cost) \
+             ON source.qid = target.qid AND source.nid = target.nid \
+             WHEN MATCHED AND target.d > source.cost THEN \
+               UPDATE SET d = source.cost, p = source.np, f = 0 \
+             WHEN NOT MATCHED THEN \
+               INSERT (qid, nid, d, p, f) VALUES (source.qid, source.nid, source.cost, source.np, 0)",
+        )
+        .unwrap()
+        .rows_affected;
+    // qid 0 discovers nodes 1 and 2; qid 1 discovers node 11.
+    assert_eq!(n, 3);
+    let rs = db
+        .query("SELECT qid, nid, d FROM BV WHERE f = 0 ORDER BY qid, nid")
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(0), Value::Int(1), Value::Int(5)],
+            vec![Value::Int(0), Value::Int(2), Value::Int(3)],
+            vec![Value::Int(1), Value::Int(11), Value::Int(7)],
+        ]
+    );
+}
+
+#[test]
+fn update_from_grouped_derived_table() {
+    let mut db = db();
+    db.execute("CREATE TABLE B (qid INT, l INT, n INT, done INT)")
+        .unwrap();
+    db.execute("CREATE UNIQUE CLUSTERED INDEX idx_b ON B(qid)")
+        .unwrap();
+    db.execute("CREATE TABLE BV (qid INT, d INT, f INT)")
+        .unwrap();
+    db.execute("INSERT INTO B VALUES (0, -1, -1, 0), (1, -1, -1, 0), (2, -1, -1, 1)")
+        .unwrap();
+    db.execute("INSERT INTO BV VALUES (0, 4, 0), (0, 9, 0), (0, 2, 1), (1, 7, 0), (2, 1, 0)")
+        .unwrap();
+    // Per-qid candidate stats folded into the bounds table in one statement.
+    let n = db
+        .execute(
+            "UPDATE B SET l = src.l, n = src.c \
+             FROM (SELECT qid, MIN(d) AS l, COUNT(*) AS c FROM BV WHERE f = 0 GROUP BY qid) src \
+             WHERE B.qid = src.qid AND B.done = 0",
+        )
+        .unwrap()
+        .rows_affected;
+    assert_eq!(n, 2, "done groups must not be refreshed");
+    let rs = db.query("SELECT qid, l, n FROM B ORDER BY qid").unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(0), Value::Int(4), Value::Int(2)],
+            vec![Value::Int(1), Value::Int(7), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(-1), Value::Int(-1)],
+        ]
+    );
+}
+
+#[test]
+fn update_from_base_table_with_cross_predicates() {
+    let mut db = db();
+    db.execute("CREATE TABLE B (qid INT, lf INT, done INT)")
+        .unwrap();
+    db.execute("CREATE TABLE BV (qid INT, nid INT, d INT, f INT)")
+        .unwrap();
+    db.execute("CREATE UNIQUE CLUSTERED INDEX idx_bv ON BV(qid, nid)")
+        .unwrap();
+    db.execute("INSERT INTO B VALUES (0, 3, 0), (1, 5, 0), (2, 1, 1)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO BV VALUES (0, 7, 3, 0), (0, 8, 3, 0), (0, 9, 4, 0), \
+         (1, 7, 5, 0), (2, 7, 1, 0)",
+    )
+    .unwrap();
+    // The batched F-operator: mark candidates sitting at their own query's
+    // minimum, skipping finished queries.
+    let n = db
+        .execute(
+            "UPDATE BV SET f = 2 FROM B \
+             WHERE BV.qid = B.qid AND B.done = 0 AND BV.f = 0 AND BV.d = B.lf",
+        )
+        .unwrap()
+        .rows_affected;
+    assert_eq!(n, 3);
+    let rs = db
+        .query("SELECT qid, nid FROM BV WHERE f = 2 ORDER BY qid, nid")
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(0), Value::Int(7)],
+            vec![Value::Int(0), Value::Int(8)],
+            vec![Value::Int(1), Value::Int(7)],
+        ]
+    );
+}
+
+#[test]
+fn update_from_with_source_column_comparison_in_where() {
+    let mut db = db();
+    db.execute("CREATE TABLE B (qid INT, mincost INT, done INT)")
+        .unwrap();
+    db.execute("CREATE UNIQUE CLUSTERED INDEX idx_b ON B(qid)")
+        .unwrap();
+    db.execute("CREATE TABLE BV (qid INT, ds INT, dt INT)")
+        .unwrap();
+    db.execute("INSERT INTO B VALUES (0, 100, 0), (1, 4, 0)")
+        .unwrap();
+    db.execute("INSERT INTO BV VALUES (0, 2, 3), (0, 4, 9), (1, 5, 5)")
+        .unwrap();
+    // minCost tightening: only write when the fresh minimum improves.
+    let n = db
+        .execute(
+            "UPDATE B SET mincost = src.mc \
+             FROM (SELECT qid, MIN(ds + dt) AS mc FROM BV GROUP BY qid) src \
+             WHERE B.qid = src.qid AND B.done = 0 AND src.mc < B.mincost",
+        )
+        .unwrap()
+        .rows_affected;
+    assert_eq!(n, 1, "qid 1's stale bound (4 < 10) must be kept");
+    let rs = db.query("SELECT mincost FROM B ORDER BY qid").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(5)], vec![Value::Int(4)]]);
+}
+
+#[test]
+fn grouped_aggregate_join_source_for_traditional_style() {
+    let mut db = db();
+    seed_batch(&mut db);
+    // The TSQL-style batched E-operator: GROUP BY (qid, tid) minimum plus a
+    // rejoin recovering the parent, all before any window support.
+    let rs = db
+        .query(
+            "SELECT q2.qid AS qid, e2.tid AS nid, MIN(e2.fid) AS np, m.c AS cost \
+             FROM BV q2, E e2, ( \
+                SELECT q.qid AS mqid, e.tid AS mtid, MIN(e.cost + q.d) AS c \
+                FROM BV q, E e WHERE q.nid = e.fid AND q.f = 2 \
+                GROUP BY q.qid, e.tid \
+             ) m \
+             WHERE q2.nid = e2.fid AND q2.f = 2 AND q2.qid = m.mqid AND e2.tid = m.mtid \
+               AND e2.cost + q2.d = m.c \
+             GROUP BY q2.qid, e2.tid, m.c \
+             ORDER BY qid, nid",
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(0), Value::Int(1), Value::Int(0), Value::Int(5)],
+            vec![Value::Int(0), Value::Int(2), Value::Int(0), Value::Int(3)],
+            vec![Value::Int(1), Value::Int(11), Value::Int(10), Value::Int(7)],
+        ]
+    );
+}
+
+#[test]
+fn update_from_keeps_ambiguous_unqualified_columns_an_error() {
+    let mut db = db();
+    db.execute("CREATE TABLE TA (id INT, flag INT)").unwrap();
+    db.execute("CREATE TABLE TB (id INT, flag INT)").unwrap();
+    db.execute("INSERT INTO TA VALUES (1, 0)").unwrap();
+    db.execute("INSERT INTO TB VALUES (1, 1)").unwrap();
+    // `flag` resolves in both the target and the source. The source-side
+    // pushdown must leave it to combined-schema binding (where it is an
+    // ambiguity error), not silently consume it as a source filter.
+    let out = db.execute("UPDATE TA SET id = 2 FROM TB WHERE TA.id = TB.id AND flag = 1");
+    assert!(out.is_err(), "ambiguous column must not be silently bound");
+    // Qualified references on either side still work.
+    let n = db
+        .execute(
+            "UPDATE TA SET flag = 9 FROM TB WHERE TA.id = TB.id AND TB.flag = 1 AND TA.flag = 0",
+        )
+        .unwrap()
+        .rows_affected;
+    assert_eq!(n, 1);
+}

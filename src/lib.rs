@@ -12,7 +12,8 @@
 //! * [`graph`] — graph model, synthetic generators, relational loaders,
 //! * [`inmem`] — in-memory baselines (MDJ/MBDJ),
 //! * [`core`] — the FEM framework, the five relational shortest-path
-//!   algorithms (DJ, BDJ, BSDJ, BBFS, BSEG) and the SegTable index.
+//!   algorithms (DJ, BDJ, BSDJ, BBFS, BSEG), the batched multi-pair
+//!   finders (BatchDJ, BatchBDJ — DESIGN.md §8) and the SegTable index.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +31,23 @@
 //! if let Some(path) = &outcome.path {
 //!     assert!(path.length > 0);
 //! }
+//! ```
+//!
+//! ## Batched throughput
+//!
+//! Answer many (s, t) pairs per relational iteration — the working tables
+//! carry a `qid` column, so one F/E/M statement advances the whole batch:
+//!
+//! ```
+//! use fempath::core::{GraphDb, BatchBdjFinder, BatchShortestPathFinder};
+//! use fempath::graph::generate;
+//!
+//! let g = generate::power_law(500, 3, 1..=100, 42);
+//! let mut db = GraphDb::in_memory(&g).unwrap();
+//!
+//! let pairs = vec![(0, 250), (7, 431), (123, 123), (250, 0)];
+//! let out = BatchBdjFinder::default().find_paths(&mut db, &pairs).unwrap();
+//! assert_eq!(out.paths.len(), pairs.len()); // paths[i] answers pairs[i]
 //! ```
 
 pub use fempath_core as core;

@@ -4,7 +4,8 @@
 //! walk through the graph of that exact weight.
 
 use fempath::core::{
-    BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder, GraphDb, ShortestPathFinder,
+    BatchBdjFinder, BatchDjFinder, BatchShortestPathFinder, BbfsFinder, BdjFinder, BsdjFinder,
+    BsegFinder, DjFinder, GraphDb, ShortestPathFinder,
 };
 use fempath::graph::{generate, Graph};
 use fempath::inmem::dijkstra;
@@ -80,6 +81,67 @@ fn check_graph(name: &str, g: &Graph, n: usize, queries: usize) {
     }
 }
 
+/// Cross-validates every batched finder on one batch of pairs: each answer
+/// must match per-pair in-memory Dijkstra (distance, reachability, and a
+/// real walk of exactly that weight), and the reported distances must be
+/// identical to the single-query relational finder's.
+fn check_batch(name: &str, g: &Graph, pairs: &[(i64, i64)]) {
+    let mut gdb = GraphDb::in_memory(g).unwrap();
+    let oracles: Vec<Option<u64>> = pairs
+        .iter()
+        .map(|&(s, t)| dijkstra::shortest_path(g, s as u32, t as u32).map(|o| o.distance))
+        .collect();
+    let single = BsdjFinder::default();
+    let single_lengths: Vec<Option<i64>> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            single
+                .find_path(&mut gdb, s, t)
+                .unwrap()
+                .path
+                .map(|p| p.length)
+        })
+        .collect();
+    let finders: Vec<Box<dyn BatchShortestPathFinder>> = vec![
+        Box::new(BatchDjFinder::default()),
+        Box::new(BatchBdjFinder::default()),
+        Box::new(BatchBdjFinder {
+            prune: false,
+            ..Default::default()
+        }),
+    ];
+    for f in &finders {
+        let out = f.find_paths(&mut gdb, pairs).unwrap();
+        assert_eq!(out.paths.len(), pairs.len());
+        for (i, (&(s, t), oracle)) in pairs.iter().zip(&oracles).enumerate() {
+            let ctx = format!("{} on {name} {s}->{t} (qid {i})", f.name());
+            match (&out.paths[i], oracle) {
+                (Some(p), Some(d)) => {
+                    assert_eq!(p.length as u64, *d, "{ctx}: distance mismatch");
+                    assert_eq!(
+                        Some(p.length),
+                        single_lengths[i],
+                        "{ctx}: batched and single-query distances must be identical"
+                    );
+                    assert_eq!(
+                        p.nodes.first(),
+                        Some(&s),
+                        "{ctx}: path must start at source"
+                    );
+                    assert_eq!(p.nodes.last(), Some(&t), "{ctx}: path must end at target");
+                    assert_real_walk(g, &p.nodes, *d, &ctx);
+                }
+                (None, None) => {}
+                (got, want) => panic!(
+                    "{ctx}: reachability mismatch (batched={}, in-memory={})",
+                    got.is_some(),
+                    want.is_some()
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn all_finders_match_dijkstra_on_grid() {
     let g = generate::grid(8, 7, 1..=100, 42);
@@ -105,4 +167,75 @@ fn all_finders_agree_on_unit_weights() {
     // ROW_NUMBER/MIN parent selection equivalence.
     let g = generate::grid(6, 6, 1..=1, 3);
     check_graph("unit-grid(6x6)", &g, 36, 6);
+}
+
+#[test]
+fn batched_finders_match_dijkstra_on_grid() {
+    let g = generate::grid(8, 7, 1..=100, 42);
+    let mut pairs = query_pairs(56, 10);
+    pairs.push((5, 5)); // trivial pair inside a batch
+    pairs.push(pairs[0]); // duplicate pair: independent qids
+    check_batch("grid(8x7)", &g, &pairs);
+}
+
+#[test]
+fn batched_finders_match_dijkstra_on_power_law() {
+    let g = generate::power_law(150, 3, 1..=100, 7);
+    check_batch("power_law(150)", &g, &query_pairs(150, 10));
+}
+
+#[test]
+fn batched_finders_match_dijkstra_on_mixed_reachability() {
+    // dblp_like leaves isolated nodes, so one batch mixes reachable and
+    // unreachable pairs — per-qid termination must not let finished or
+    // hopeless queries hold the batch up.
+    let g = generate::dblp_like(120, 1..=100, 11);
+    let mut pairs = query_pairs(120, 10);
+    // Force pairs against the lowest-degree nodes (isolated in dblp_like).
+    let isolated: Vec<i64> = (0..120u32)
+        .filter(|&v| g.out_arcs(v).is_empty())
+        .map(|v| v as i64)
+        .collect();
+    for (i, &v) in isolated.iter().take(3).enumerate() {
+        pairs.push((i as i64, v));
+    }
+    check_batch("dblp_like(120)", &g, &pairs);
+}
+
+#[test]
+fn batched_finders_match_on_unit_weights() {
+    // Heavy tie-breaking across qids sharing frontier nodes.
+    let g = generate::grid(6, 6, 1..=1, 3);
+    check_batch("unit-grid(6x6)", &g, &query_pairs(36, 8));
+}
+
+#[test]
+fn batched_finders_work_without_merge_support() {
+    // The PostgreSQL dialect forces the TBExp + UPDATE/INSERT M-operator.
+    use fempath::core::GraphDbOptions;
+    use fempath::sql::Dialect;
+    let g = generate::grid(6, 6, 1..=50, 21);
+    let mut gdb = GraphDb::new(
+        &g,
+        &GraphDbOptions {
+            dialect: Dialect::POSTGRES,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let pairs = query_pairs(36, 6);
+    for f in [
+        Box::new(BatchBdjFinder::default()) as Box<dyn BatchShortestPathFinder>,
+        Box::new(BatchDjFinder::default()),
+    ] {
+        let out = f.find_paths(&mut gdb, &pairs).unwrap();
+        for (&(s, t), p) in pairs.iter().zip(&out.paths) {
+            let oracle = dijkstra::shortest_path(&g, s as u32, t as u32).unwrap();
+            let p = p
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} (no MERGE): {s}->{t} must be reachable", f.name()));
+            assert_eq!(p.length as u64, oracle.distance, "{} (no MERGE)", f.name());
+            assert_real_walk(&g, &p.nodes, oracle.distance, "no-MERGE batch");
+        }
+    }
 }
