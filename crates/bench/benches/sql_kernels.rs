@@ -126,5 +126,49 @@ fn bench_m_operator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e_operator, bench_m_operator);
+/// Per-statement overhead: the same FEM-loop statements executed through
+/// a prepared handle (no per-execution planning), through the plan cache
+/// (`execute_params`: hash lookup + prepared execution), and fully
+/// unprepared (parse + bind + interpret every call). The gap between the
+/// unprepared and prepared bars is exactly the work `Database::prepare`
+/// hoists out of the hot loop.
+fn bench_prepared_vs_unprepared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared_vs_unprepared");
+    group.sample_size(20);
+    const STATS: &str = "SELECT MIN(d2s), COUNT(*) FROM TVisited WHERE f = 0 AND d2s < 100";
+    const MARK: &str = "UPDATE TVisited SET f = f WHERE f = 2";
+    for (name, sql) in [
+        ("stats_select", STATS),
+        ("mark_update", MARK),
+        ("window_e", WINDOW_E),
+    ] {
+        group.bench_function(&format!("{name}_prepared"), |b| {
+            let mut db = fixture();
+            let stmt = db.prepare(sql).unwrap();
+            b.iter(|| {
+                black_box(db.execute_prepared(&stmt, &[]).unwrap().rows_affected);
+            });
+        });
+        group.bench_function(&format!("{name}_plan_cache"), |b| {
+            let mut db = fixture();
+            b.iter(|| {
+                black_box(db.execute_params(sql, &[]).unwrap().rows_affected);
+            });
+        });
+        group.bench_function(&format!("{name}_unprepared"), |b| {
+            let mut db = fixture();
+            b.iter(|| {
+                black_box(db.execute_unplanned(sql, &[]).unwrap().rows_affected);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e_operator,
+    bench_m_operator,
+    bench_prepared_vs_unprepared
+);
 criterion_main!(benches);

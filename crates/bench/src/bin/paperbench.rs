@@ -39,6 +39,9 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--json" => {
+                cfg.json = true;
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -56,8 +59,11 @@ fn main() {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
     }
     println!(
-        "fempath paperbench — scale {} | {} queries/measurement | seed {}",
-        cfg.scale, cfg.queries, cfg.seed
+        "fempath paperbench — scale {} | {} queries/measurement | seed {}{}",
+        cfg.scale,
+        cfg.queries,
+        cfg.seed,
+        if cfg.json { " | json" } else { "" }
     );
     for id in &ids {
         let t = Instant::now();
@@ -70,7 +76,8 @@ fn main() {
 }
 
 fn usage() {
-    println!("usage: paperbench <experiment...|all> [--scale X] [--queries N] [--seed N]");
+    println!("usage: paperbench <experiment...|all> [--scale X] [--queries N] [--seed N] [--json]");
+    println!("  --json   also write each experiment as BENCH_<experiment>.json at the repo root");
     println!("experiments: {}", experiments::ALL.join(", "));
 }
 

@@ -40,9 +40,10 @@ pub fn fig6a(cfg: &BenchConfig) -> Result<()> {
             ),
         ]);
     }
+    let header = ["|V|", "BDJ", "BSDJ", "BDJ/BSDJ"];
     print_table(
         "Fig 6(a): query time (s) vs graph scale — BDJ vs BSDJ (Power)",
-        &["|V|", "BDJ", "BSDJ", "BDJ/BSDJ"],
+        &header,
         &rows,
     );
     println!("paper shape: BSDJ ~1/3 of BDJ across all sizes");
@@ -72,9 +73,10 @@ pub fn fig6b(cfg: &BenchConfig) -> Result<()> {
             secs(fpr / q),
         ]);
     }
+    let header = ["|V|", "PE", "SC", "FPR"];
     print_table(
         "Fig 6(b): query time (s) per phase — BSDJ (Power)",
-        &["|V|", "PE", "SC", "FPR"],
+        &header,
         &rows,
     );
     println!("paper shape: path expansion (PE) dominates");
@@ -109,9 +111,10 @@ pub fn fig6c(cfg: &BenchConfig) -> Result<()> {
             format!("{:.0}%", e.as_secs_f64() / total * 100.0),
         ]);
     }
+    let header = ["|V|", "F-op", "E-op", "M-op", "E share"];
     print_table(
         "Fig 6(c): query time (s) per operator — BSDJ, split statements (Power)",
-        &["|V|", "F-op", "E-op", "M-op", "E share"],
+        &header,
         &rows,
     );
     println!("paper shape: the E-operator takes ~75% (it joins the graph table)");
@@ -142,9 +145,10 @@ pub fn fig6d(cfg: &BenchConfig) -> Result<()> {
             ),
         ]);
     }
+    let header = ["|V|", "NSQL", "TSQL", "TSQL/NSQL"];
     print_table(
         "Fig 6(d): query time (s) — NSQL vs TSQL, BSDJ (Power)",
-        &["|V|", "NSQL", "TSQL", "TSQL/NSQL"],
+        &header,
         &rows,
     );
     println!("paper shape: NSQL outperforms TSQL significantly");

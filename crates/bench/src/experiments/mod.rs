@@ -41,8 +41,23 @@ pub const ALL: &[&str] = &[
     "batch-throughput",
 ];
 
-/// Runs one experiment by id.
+/// Runs one experiment by id. With `cfg.json` set, the experiment's
+/// printed table is also persisted as `BENCH_<id>.json` at the repo root
+/// (captured from [`crate::harness::print_table`], so every experiment
+/// gets it for free).
 pub fn run(id: &str, cfg: &BenchConfig) -> Result<()> {
+    crate::harness::take_last_table(); // drop any stale capture
+    dispatch(id, cfg)?;
+    if cfg.json {
+        match crate::harness::take_last_table() {
+            Some(table) => crate::harness::write_bench_json(cfg, id, &table),
+            None => eprintln!("[--json: experiment {id} printed no table]"),
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(id: &str, cfg: &BenchConfig) -> Result<()> {
     match id {
         "table2" => table2::run(cfg),
         "table3" => table3::run(cfg),

@@ -16,6 +16,10 @@ pub struct BenchConfig {
     pub queries: usize,
     /// RNG seed for graphs and query endpoints.
     pub seed: u64,
+    /// Also write each experiment's table as `BENCH_<experiment>.json` at
+    /// the repo root (paperbench `--json`) — the machine-readable perf
+    /// trajectory.
+    pub json: bool,
 }
 
 impl Default for BenchConfig {
@@ -24,6 +28,7 @@ impl Default for BenchConfig {
             scale: 1.0,
             queries: 10,
             seed: 42,
+            json: false,
         }
     }
 }
@@ -101,8 +106,81 @@ pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
-/// Prints a header + aligned rows (the paper-table look).
+/// The most recent table an experiment printed, captured by
+/// [`print_table`] so the experiment dispatcher can persist it
+/// (`paperbench --json`) without every experiment wiring JSON by hand.
+pub struct CapturedTable {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+thread_local! {
+    static LAST_TABLE: std::cell::RefCell<Option<CapturedTable>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Takes (and clears) the table most recently printed on this thread.
+pub fn take_last_table() -> Option<CapturedTable> {
+    LAST_TABLE.with(|t| t.borrow_mut().take())
+}
+
+/// Writes one experiment's captured table as `BENCH_<experiment>.json`
+/// at the repo root (dashes become underscores). The file carries the
+/// run configuration so before/after numbers are comparable.
+pub fn write_bench_json(cfg: &BenchConfig, experiment: &str, table: &CapturedTable) {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", esc(experiment)));
+    out.push_str(&format!("  \"title\": \"{}\",\n", esc(&table.title)));
+    out.push_str(&format!(
+        "  \"config\": {{\"scale\": {}, \"queries\": {}, \"seed\": {}}},\n",
+        cfg.scale, cfg.queries, cfg.seed
+    ));
+    out.push_str(&format!(
+        "  \"header\": [{}],\n",
+        table
+            .header
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in table.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    [{}]{}\n",
+            row.iter()
+                .map(|c| format!("\"{}\"", esc(c)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < table.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // The bench crate lives at <repo>/crates/bench; the JSON trajectory
+    // lands at the repo root regardless of the working directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join(format!("BENCH_{}.json", experiment.replace('-', "_")));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+}
+
+/// Prints a header + aligned rows (the paper-table look) and captures
+/// the table for [`take_last_table`].
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    LAST_TABLE.with(|t| {
+        *t.borrow_mut() = Some(CapturedTable {
+            title: title.to_string(),
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: rows.to_vec(),
+        })
+    });
     println!("\n=== {title} ===");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {

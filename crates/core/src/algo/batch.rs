@@ -32,15 +32,15 @@
 //! [`DEFAULT_BATCH_CHUNK`] in-flight queries, where per-statement savings
 //! outweigh the larger working set.
 
-use super::{Path, Runner};
-use crate::graphdb::{GraphDb, INF, NO_NODE};
+use super::{walk_links, Path, Runner};
+use crate::graphdb::{GraphDb, INF};
 use crate::sqlgen::{
     batch_delete_done_bounds, batch_delete_done_visited, batch_fused_stats,
     batch_mark_done_drained, batch_mark_done_met, batch_meet_node, batch_read_done_bounds,
     batch_reset_both, truncate_batch_exp, BatchFrontier, BatchSqlGen, Dir, EdgeSource,
 };
 use crate::stats::{FemOperator, Phase, QueryStats, SqlStyle};
-use fempath_sql::{Result, SqlError};
+use fempath_sql::{Database, PreparedStmt, Result, SqlError};
 use fempath_storage::Value;
 use std::collections::HashMap;
 
@@ -110,6 +110,146 @@ fn run_batch_chunked(
     Ok(BatchOutcome { paths, stats })
 }
 
+/// Prepared handles for one direction of the batched loop.
+struct BatchDirStmts {
+    mark: PreparedStmt,
+    expand_merge: Option<PreparedStmt>,
+    expand_into_exp: Option<PreparedStmt>,
+    merge_from_exp: Option<PreparedStmt>,
+    update_from_exp: Option<PreparedStmt>,
+    insert_from_exp: Option<PreparedStmt>,
+    reset_frontier: PreparedStmt,
+    pred_of: PreparedStmt,
+}
+
+impl BatchDirStmts {
+    fn prepare(
+        db: &mut Database,
+        gen: &BatchSqlGen,
+        spec: &BatchSpec,
+        use_merge: bool,
+        merge_supported: bool,
+    ) -> Result<BatchDirStmts> {
+        Ok(BatchDirStmts {
+            mark: db.prepare(&gen.mark_frontier(spec.frontier, spec.bidi))?,
+            expand_merge: if use_merge {
+                Some(db.prepare(&gen.expand_merge())?)
+            } else {
+                None
+            },
+            expand_into_exp: if use_merge {
+                None
+            } else {
+                Some(db.prepare(&gen.expand_into_exp())?)
+            },
+            merge_from_exp: if !use_merge && merge_supported {
+                Some(db.prepare(&gen.merge_from_exp())?)
+            } else {
+                None
+            },
+            update_from_exp: if !use_merge && !merge_supported {
+                Some(db.prepare(&gen.update_from_exp())?)
+            } else {
+                None
+            },
+            insert_from_exp: if !use_merge && !merge_supported {
+                Some(db.prepare(&gen.insert_from_exp())?)
+            } else {
+                None
+            },
+            reset_frontier: db.prepare(&gen.reset_frontier())?,
+            pred_of: db.prepare(&gen.pred_of())?,
+        })
+    }
+}
+
+/// Prepared handles shared by both directions of the batched loop.
+struct BatchSharedStmts {
+    truncate_exp: Option<PreparedStmt>,
+    reset_both: Option<PreparedStmt>,
+    // Bidirectional statistics/termination.
+    fused_stats: Option<PreparedStmt>,
+    mark_done_met: Option<PreparedStmt>,
+    mark_done_drained: Option<PreparedStmt>,
+    // Single-directional statistics/termination.
+    clear_stats: Option<PreparedStmt>,
+    refresh_stats: Option<PreparedStmt>,
+    mark_done_target: Option<PreparedStmt>,
+    mark_done_exhausted: Option<PreparedStmt>,
+    // Retirement.
+    read_done_bounds: PreparedStmt,
+    meet_node: Option<PreparedStmt>,
+    dist_of_fwd: PreparedStmt,
+    delete_done_visited: PreparedStmt,
+    delete_done_bounds: PreparedStmt,
+}
+
+impl BatchSharedStmts {
+    fn prepare(
+        db: &mut Database,
+        fgen: &BatchSqlGen,
+        spec: &BatchSpec,
+        use_merge: bool,
+    ) -> Result<BatchSharedStmts> {
+        Ok(BatchSharedStmts {
+            truncate_exp: if use_merge {
+                None
+            } else {
+                Some(db.prepare(truncate_batch_exp())?)
+            },
+            reset_both: if spec.bidi {
+                Some(db.prepare(batch_reset_both())?)
+            } else {
+                None
+            },
+            fused_stats: if spec.bidi {
+                Some(db.prepare(&batch_fused_stats())?)
+            } else {
+                None
+            },
+            mark_done_met: if spec.bidi {
+                Some(db.prepare(&batch_mark_done_met())?)
+            } else {
+                None
+            },
+            mark_done_drained: if spec.bidi {
+                Some(db.prepare(batch_mark_done_drained())?)
+            } else {
+                None
+            },
+            clear_stats: if spec.bidi {
+                None
+            } else {
+                Some(db.prepare(&fgen.clear_stats())?)
+            },
+            refresh_stats: if spec.bidi {
+                None
+            } else {
+                Some(db.prepare(&fgen.refresh_stats())?)
+            },
+            mark_done_target: if spec.bidi {
+                None
+            } else {
+                Some(db.prepare(&fgen.mark_done_target_settled())?)
+            },
+            mark_done_exhausted: if spec.bidi {
+                None
+            } else {
+                Some(db.prepare(&fgen.mark_done_exhausted())?)
+            },
+            read_done_bounds: db.prepare(batch_read_done_bounds())?,
+            meet_node: if spec.bidi {
+                Some(db.prepare(batch_meet_node())?)
+            } else {
+                None
+            },
+            dist_of_fwd: db.prepare(&fgen.dist_of())?,
+            delete_done_visited: db.prepare(batch_delete_done_visited())?,
+            delete_done_bounds: db.prepare(batch_delete_done_bounds())?,
+        })
+    }
+}
+
 fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result<BatchOutcome> {
     for &(s, t) in pairs {
         gdb.check_node(s)?;
@@ -150,24 +290,43 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
     let n = gdb.num_nodes() as i64;
     let max_iters = 2 * gdb.num_nodes() as u64 + 16;
 
+    // Prepare the loop statement set once per batch; after the first batch
+    // these are plan-cache hits (TRUNCATE-based resets keep the catalog
+    // version stable).
+    let merge_supported = gdb.merge_supported();
+    let fwd_stmts = BatchDirStmts::prepare(&mut gdb.db, &fgen, &spec, use_merge, merge_supported)?;
+    let bwd_stmts = if spec.bidi {
+        Some(BatchDirStmts::prepare(
+            &mut gdb.db,
+            &bgen,
+            &spec,
+            use_merge,
+            merge_supported,
+        )?)
+    } else {
+        None
+    };
+    let shared = BatchSharedStmts::prepare(&mut gdb.db, &fgen, &spec, use_merge)?;
+
     let mut runner = Runner::new(gdb);
     // Multi-row initialization: one INSERT per table seeds the whole batch
-    // (the statements are batch-specific, so they are built as literals).
-    runner.exec(
+    // (the statements are batch-specific literals, so they run through the
+    // unplanned path and stay out of the plan cache).
+    runner.exec_once(
         Phase::PathExpansion,
         FemOperator::Aux,
         &BatchSqlGen::init_batch(Dir::Fwd, &live),
         &[],
     )?;
     if spec.bidi {
-        runner.exec(
+        runner.exec_once(
             Phase::PathExpansion,
             FemOperator::Aux,
             &BatchSqlGen::init_batch(Dir::Bwd, &live),
             &[],
         )?;
     }
-    runner.exec(
+    runner.exec_once(
         Phase::PathExpansion,
         FemOperator::Aux,
         &BatchSqlGen::init_bounds_batch(&live, spec.bidi),
@@ -177,82 +336,64 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
     let live_map: HashMap<i64, (i64, i64)> = live.iter().map(|&(q, s, t)| (q, (s, t))).collect();
     let mut active = live.len() as u64;
     let mut iters = 0u64;
+    let mut visited_retired = 0u64;
     loop {
         // F-operator, per direction: each unfinished query marks its
         // frontier in its smaller direction.
         let marked_f = runner
-            .exec(
-                Phase::PathExpansion,
-                FemOperator::F,
-                &fgen.mark_frontier(spec.frontier, spec.bidi),
-                &[],
-            )?
+            .exec_prepared(Phase::PathExpansion, FemOperator::F, &fwd_stmts.mark, &[])?
             .rows_affected;
-        let marked_b = if spec.bidi {
+        let marked_b = if let Some(bwd) = &bwd_stmts {
             runner
-                .exec(
-                    Phase::PathExpansion,
-                    FemOperator::F,
-                    &bgen.mark_frontier(spec.frontier, true),
-                    &[],
-                )?
+                .exec_prepared(Phase::PathExpansion, FemOperator::F, &bwd.mark, &[])?
                 .rows_affected
         } else {
             0
         };
 
         // E+M operators for each direction that marked anything.
-        for (gen, marked) in [(&fgen, marked_f), (&bgen, marked_b)] {
+        for (stmts, marked) in [(Some(&fwd_stmts), marked_f), (bwd_stmts.as_ref(), marked_b)] {
+            let Some(stmts) = stmts else { continue };
             if marked == 0 {
                 continue;
             }
-            if use_merge {
-                runner.exec(
-                    Phase::PathExpansion,
-                    FemOperator::E,
-                    &gen.expand_merge(),
-                    &[],
-                )?;
+            if let Some(expand) = &stmts.expand_merge {
+                runner.exec_prepared(Phase::PathExpansion, FemOperator::E, expand, &[])?;
             } else {
-                runner.exec(
+                runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::Aux,
-                    truncate_batch_exp(),
+                    shared.truncate_exp.as_ref().expect("temp-exp mode"),
                     &[],
                 )?;
-                runner.exec(
+                runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::E,
-                    &gen.expand_into_exp(),
+                    stmts.expand_into_exp.as_ref().expect("temp-exp mode"),
                     &[],
                 )?;
-                if runner.gdb.merge_supported() {
-                    runner.exec(
-                        Phase::PathExpansion,
-                        FemOperator::M,
-                        &gen.merge_from_exp(),
-                        &[],
-                    )?;
+                if let Some(merge) = &stmts.merge_from_exp {
+                    runner.exec_prepared(Phase::PathExpansion, FemOperator::M, merge, &[])?;
                 } else {
-                    runner.exec(
+                    runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        &gen.update_from_exp(),
+                        stmts.update_from_exp.as_ref().expect("no-MERGE mode"),
                         &[],
                     )?;
-                    runner.exec(
+                    runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        &gen.insert_from_exp(),
+                        stmts.insert_from_exp.as_ref().expect("no-MERGE mode"),
                         &[Value::Int(n), Value::Int(n)],
                     )?;
                 }
             }
             if !spec.bidi {
-                runner.exec(
+                runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::F,
-                    &gen.reset_frontier(),
+                    &stmts.reset_frontier,
                     &[],
                 )?;
             }
@@ -262,10 +403,10 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
         // fused scan (neither expansion touches the other side's flags, so
         // deferring the settle past the second expansion changes nothing).
         if spec.bidi && marked_f + marked_b > 0 {
-            runner.exec(
+            runner.exec_prepared(
                 Phase::PathExpansion,
                 FemOperator::F,
-                batch_reset_both(),
+                shared.reset_both.as_ref().expect("bidi mode"),
                 &[],
             )?;
         }
@@ -276,54 +417,57 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
         // final (or whose candidates drained); the single-directional mode
         // refreshes its forward bounds and checks its target.
         let newly_done = if spec.bidi {
-            runner.exec(
+            runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                &batch_fused_stats(),
+                shared.fused_stats.as_ref().expect("bidi mode"),
                 &[],
             )?;
             runner
-                .exec(
+                .exec_prepared(
                     Phase::StatsCollection,
                     FemOperator::Aux,
-                    &batch_mark_done_met(),
+                    shared.mark_done_met.as_ref().expect("bidi mode"),
                     &[],
                 )?
                 .rows_affected
                 + runner
-                    .exec(
+                    .exec_prepared(
                         Phase::StatsCollection,
                         FemOperator::Aux,
-                        batch_mark_done_drained(),
+                        shared.mark_done_drained.as_ref().expect("bidi mode"),
                         &[],
                     )?
                     .rows_affected
         } else {
-            runner.exec(
+            runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                &fgen.clear_stats(),
+                shared.clear_stats.as_ref().expect("single-dir mode"),
                 &[],
             )?;
-            runner.exec(
+            runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                &fgen.refresh_stats(),
+                shared.refresh_stats.as_ref().expect("single-dir mode"),
                 &[],
             )?;
             runner
-                .exec(
+                .exec_prepared(
                     Phase::StatsCollection,
                     FemOperator::Aux,
-                    &fgen.mark_done_target_settled(),
+                    shared.mark_done_target.as_ref().expect("single-dir mode"),
                     &[],
                 )?
                 .rows_affected
                 + runner
-                    .exec(
+                    .exec_prepared(
                         Phase::StatsCollection,
                         FemOperator::Aux,
-                        &fgen.mark_done_exhausted(),
+                        shared
+                            .mark_done_exhausted
+                            .as_ref()
+                            .expect("single-dir mode"),
                         &[],
                     )?
                     .rows_affected
@@ -333,7 +477,15 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
         // done-marking statement touches distinct live bounds rows, so the
         // affected counts track the active population exactly.
         if newly_done > 0 {
-            retire_done(&mut runner, &spec, &fgen, &bgen, &live_map, &mut paths)?;
+            visited_retired += retire_done(
+                &mut runner,
+                &spec,
+                &shared,
+                &fwd_stmts,
+                bwd_stmts.as_ref(),
+                &live_map,
+                &mut paths,
+            )?;
             active = active.saturating_sub(newly_done);
         }
         if active == 0 {
@@ -353,25 +505,31 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
             )));
         }
     }
-    let stats = runner.finish_stats("TBVisited");
+    // Retirement deleted each finished query's rows as it went, so the
+    // final table count alone would under-report the visited set — add
+    // back what retirement removed.
+    let mut stats = runner.finish_stats("TBVisited");
+    stats.visited_nodes += visited_retired;
     Ok(BatchOutcome { paths, stats })
 }
 
 /// Recovers the paths of every query marked done this iteration (the
 /// batched Listings 3(3)/4(6), per qid), then deletes those queries' rows
-/// from `TBVisited` and `TBounds`.
+/// from `TBVisited` and `TBounds`. Returns the number of visited rows
+/// removed (for the batch's `visited_nodes` statistic).
 fn retire_done(
     runner: &mut Runner<'_>,
     spec: &BatchSpec,
-    fgen: &BatchSqlGen,
-    bgen: &BatchSqlGen,
+    shared: &BatchSharedStmts,
+    fwd_stmts: &BatchDirStmts,
+    bwd_stmts: Option<&BatchDirStmts>,
     live_map: &HashMap<i64, (i64, i64)>,
     paths: &mut [Option<Path>],
-) -> Result<()> {
-    let bounds = runner.exec(
+) -> Result<u64> {
+    let bounds = runner.exec_prepared(
         Phase::FullPathRecovery,
         FemOperator::Aux,
-        batch_read_done_bounds(),
+        &shared.read_done_bounds,
         &[],
     )?;
     let done_rows = bounds
@@ -391,22 +549,22 @@ fn retire_done(
                 continue; // unreachable: paths[qid] stays None
             }
             let meet = runner
-                .scalar(
+                .scalar_prepared(
                     Phase::FullPathRecovery,
                     FemOperator::Aux,
-                    batch_meet_node(),
+                    shared.meet_node.as_ref().expect("bidi mode"),
                     &[Value::Int(qid), Value::Int(min_cost)],
                 )?
                 .ok_or_else(|| {
                     SqlError::Eval(format!("qid {qid}: no node realizes minCost {min_cost}"))
                 })?;
-            let mut nodes = walk_links_qid(runner, &fgen.pred_of(), qid, meet, s, limit)?;
+            let mut nodes = walk_links(runner, &fwd_stmts.pred_of, Some(qid), meet, s, limit)?;
             nodes.reverse();
             nodes.push(meet);
-            nodes.extend(walk_links_qid(
+            nodes.extend(walk_links(
                 runner,
-                &bgen.pred_of(),
-                qid,
+                &bwd_stmts.expect("bidi mode").pred_of,
+                Some(qid),
                 meet,
                 t,
                 limit,
@@ -420,74 +578,36 @@ fn retire_done(
         } else {
             // The target row exists iff the forward search reached it, and
             // its distance is final once the query is done.
-            let Some(length) = runner.scalar(
+            let Some(length) = runner.scalar_prepared(
                 Phase::FullPathRecovery,
                 FemOperator::Aux,
-                &fgen.dist_of(),
+                &shared.dist_of_fwd,
                 &[Value::Int(qid), Value::Int(t)],
             )?
             else {
                 continue;
             };
-            let mut nodes = walk_links_qid(runner, &fgen.pred_of(), qid, t, s, limit)?;
+            let mut nodes = walk_links(runner, &fwd_stmts.pred_of, Some(qid), t, s, limit)?;
             nodes.reverse();
             nodes.push(t);
             paths[qid as usize] = Some(Path { nodes, length });
         }
     }
-    runner.exec(
+    let visited_deleted = runner
+        .exec_prepared(
+            Phase::StatsCollection,
+            FemOperator::Aux,
+            &shared.delete_done_visited,
+            &[],
+        )?
+        .rows_affected;
+    runner.exec_prepared(
         Phase::StatsCollection,
         FemOperator::Aux,
-        batch_delete_done_visited(),
+        &shared.delete_done_bounds,
         &[],
     )?;
-    runner.exec(
-        Phase::StatsCollection,
-        FemOperator::Aux,
-        batch_delete_done_bounds(),
-        &[],
-    )?;
-    Ok(())
-}
-
-/// Walks one query's predecessor links from `from` back to `anchor`
-/// (the batched Listing 3(3)). Returns the chain **excluding** `from`,
-/// ordered from the node nearest `from` to `anchor`.
-fn walk_links_qid(
-    runner: &mut Runner<'_>,
-    sql: &str,
-    qid: i64,
-    from: i64,
-    anchor: i64,
-    limit: usize,
-) -> Result<Vec<i64>> {
-    let mut chain = Vec::new();
-    let mut cur = from;
-    while cur != anchor {
-        let next = runner
-            .scalar(
-                Phase::FullPathRecovery,
-                FemOperator::Aux,
-                sql,
-                &[Value::Int(qid), Value::Int(cur)],
-            )?
-            .ok_or_else(|| {
-                SqlError::Eval(format!("qid {qid}: broken predecessor chain at node {cur}"))
-            })?;
-        if next == NO_NODE {
-            return Err(SqlError::Eval(format!(
-                "qid {qid}: node {cur} has no predecessor while walking to {anchor}"
-            )));
-        }
-        chain.push(next);
-        cur = next;
-        if chain.len() > limit {
-            return Err(SqlError::Eval(
-                "predecessor chain exceeds node count".into(),
-            ));
-        }
-    }
-    Ok(chain)
+    Ok(visited_deleted)
 }
 
 /// **BatchDJ** — batched single-directional Dijkstra: every query expands
@@ -641,6 +761,13 @@ mod tests {
                 assert_eq!(p.nodes.first(), Some(&pairs[i].0), "{} start", f.name());
                 assert_eq!(p.nodes.last(), Some(&pairs[i].1), "{} end", f.name());
             }
+            // Retirement deletes rows as queries finish; the stat must
+            // still report the visited set, not the (empty) final table.
+            assert!(
+                out.stats.visited_nodes > 0,
+                "{} visited_nodes must survive retirement",
+                f.name()
+            );
         }
     }
 

@@ -23,8 +23,83 @@ use crate::sqlgen::{
     FrontierPred, SqlGen,
 };
 use crate::stats::{FemOperator, Phase, SqlStyle};
-use fempath_sql::{Result, SqlError};
+use fempath_sql::{PreparedStmt, Result, SqlError};
 use fempath_storage::Value;
+
+/// Prepared handles for one direction's loop statements. Built once per
+/// search (cache hits across searches make this nearly free) and executed
+/// inside the iteration without any per-statement planning.
+struct DirStmts {
+    /// Listing 2(2) — SingleMin frontier only.
+    select_mid: Option<PreparedStmt>,
+    /// The policy-specific F-operator mark statement.
+    mark: PreparedStmt,
+    /// Fused E+M (MERGE mode).
+    expand_merge: Option<PreparedStmt>,
+    /// Split E (temp-table mode).
+    expand_into_exp: Option<PreparedStmt>,
+    /// Split M via MERGE.
+    merge_from_exp: Option<PreparedStmt>,
+    /// Split M, update half (no-MERGE dialect).
+    update_from_exp: Option<PreparedStmt>,
+    /// Split M, insert half (no-MERGE dialect).
+    insert_from_exp: Option<PreparedStmt>,
+    reset_frontier: PreparedStmt,
+    candidate_stats: PreparedStmt,
+    pred_of: PreparedStmt,
+}
+
+impl DirStmts {
+    fn prepare(
+        db: &mut fempath_sql::Database,
+        gen: &SqlGen,
+        spec: &BidiSpec,
+        use_temp_exp: bool,
+        merge_supported: bool,
+    ) -> Result<DirStmts> {
+        let mark_sql = match spec.frontier {
+            FrontierPolicy::SingleMin => gen.mark_by_nid(),
+            FrontierPolicy::AllMin => gen.mark_by_dist(),
+            FrontierPolicy::All => gen.mark_all(),
+            FrontierPolicy::Threshold { .. } => gen.mark_threshold(),
+        };
+        Ok(DirStmts {
+            select_mid: match spec.frontier {
+                FrontierPolicy::SingleMin => Some(db.prepare(&gen.select_mid())?),
+                _ => None,
+            },
+            mark: db.prepare(&mark_sql)?,
+            expand_merge: if use_temp_exp {
+                None
+            } else {
+                Some(db.prepare(&gen.expand_merge(FrontierPred::Marked))?)
+            },
+            expand_into_exp: if use_temp_exp {
+                Some(db.prepare(&gen.expand_into_exp(FrontierPred::Marked))?)
+            } else {
+                None
+            },
+            merge_from_exp: if use_temp_exp && merge_supported {
+                Some(db.prepare(&gen.merge_from_exp())?)
+            } else {
+                None
+            },
+            update_from_exp: if use_temp_exp && !merge_supported {
+                Some(db.prepare(&gen.update_from_exp())?)
+            } else {
+                None
+            },
+            insert_from_exp: if use_temp_exp && !merge_supported {
+                Some(db.prepare(&gen.insert_from_exp())?)
+            } else {
+                None
+            },
+            reset_frontier: db.prepare(&gen.reset_frontier())?,
+            candidate_stats: db.prepare(&gen.candidate_stats())?,
+            pred_of: db.prepare(&gen.pred_of())?,
+        })
+    }
+}
 
 /// How each iteration picks its frontier (the F-operator predicate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,17 +145,33 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
     let bgen = SqlGen::new(Dir::Bwd, spec.edges, spec.style);
     let max_iters = 8 * gdb.num_nodes() as u64 + 32;
 
+    // Prepare the whole statement set up front; the loop below executes
+    // handles only. After the first search these prepares are plan-cache
+    // hits (the TRUNCATE-based reset keeps the catalog version stable).
+    let merge_supported = gdb.merge_supported();
+    let init_fwd = gdb.db.prepare(&SqlGen::init(Dir::Fwd))?;
+    let init_bwd = gdb.db.prepare(&SqlGen::init(Dir::Bwd))?;
+    let fwd_stmts = DirStmts::prepare(&mut gdb.db, &fgen, &spec, use_temp_exp, merge_supported)?;
+    let bwd_stmts = DirStmts::prepare(&mut gdb.db, &bgen, &spec, use_temp_exp, merge_supported)?;
+    let truncate_exp_stmt = if use_temp_exp {
+        Some(gdb.db.prepare(truncate_exp())?)
+    } else {
+        None
+    };
+    let min_cost_stmt = gdb.db.prepare(min_cost_sql())?;
+    let meet_node_stmt = gdb.db.prepare(meet_node())?;
+
     let mut runner = Runner::new(gdb);
-    runner.exec(
+    runner.exec_prepared(
         Phase::PathExpansion,
         FemOperator::Aux,
-        &SqlGen::init(Dir::Fwd),
+        &init_fwd,
         &[Value::Int(s), Value::Int(s)],
     )?;
-    runner.exec(
+    runner.exec_prepared(
         Phase::PathExpansion,
         FemOperator::Aux,
-        &SqlGen::init(Dir::Bwd),
+        &init_bwd,
         &[Value::Int(t), Value::Int(t)],
     )?;
 
@@ -100,28 +191,28 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
         // Expand the direction with fewer pending candidates (Algorithm 2
         // line 7), skipping exhausted directions.
         let forward = nf > 0 && (nb <= 0 || nf <= nb);
-        let (gen, k, l_other) = if forward {
-            (&fgen, &mut kf, lb)
+        let (stmts, k, l_other) = if forward {
+            (&fwd_stmts, &mut kf, lb)
         } else {
-            (&bgen, &mut kb, lf)
+            (&bwd_stmts, &mut kb, lf)
         };
 
         // F-operator: mark the frontier.
         let marked = match spec.frontier {
             FrontierPolicy::SingleMin => {
-                match runner.scalar(
+                match runner.scalar_prepared(
                     Phase::StatsCollection,
                     FemOperator::Aux,
-                    &gen.select_mid(),
+                    stmts.select_mid.as_ref().expect("prepared for SingleMin"),
                     &[],
                 )? {
                     None => 0,
                     Some(mid) => {
                         runner
-                            .exec(
+                            .exec_prepared(
                                 Phase::PathExpansion,
                                 FemOperator::F,
-                                &gen.mark_by_nid(),
+                                &stmts.mark,
                                 &[Value::Int(mid)],
                             )?
                             .rows_affected
@@ -138,10 +229,10 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
                     0
                 } else {
                     runner
-                        .exec(
+                        .exec_prepared(
                             Phase::PathExpansion,
                             FemOperator::F,
-                            &gen.mark_by_dist(),
+                            &stmts.mark,
                             &[Value::Int(cur_l)],
                         )?
                         .rows_affected
@@ -149,15 +240,15 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
             }
             FrontierPolicy::All => {
                 runner
-                    .exec(Phase::PathExpansion, FemOperator::F, &gen.mark_all(), &[])?
+                    .exec_prepared(Phase::PathExpansion, FemOperator::F, &stmts.mark, &[])?
                     .rows_affected
             }
             FrontierPolicy::Threshold { lthd } => {
                 runner
-                    .exec(
+                    .exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::F,
-                        &gen.mark_threshold(),
+                        &stmts.mark,
                         &[Value::Int((*k).saturating_mul(lthd))],
                     )?
                     .rows_affected
@@ -179,48 +270,43 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
             (0, INF)
         };
         let params = expand_params(spec.style, FrontierPred::Marked, None, lo, mc);
-        if !use_temp_exp {
-            runner.exec(
-                Phase::PathExpansion,
-                FemOperator::E,
-                &gen.expand_merge(FrontierPred::Marked),
-                &params,
-            )?;
+        if let Some(expand) = &stmts.expand_merge {
+            runner.exec_prepared(Phase::PathExpansion, FemOperator::E, expand, &params)?;
         } else {
-            runner.exec(Phase::PathExpansion, FemOperator::Aux, truncate_exp(), &[])?;
-            runner.exec(
+            runner.exec_prepared(
+                Phase::PathExpansion,
+                FemOperator::Aux,
+                truncate_exp_stmt.as_ref().expect("prepared for temp-exp"),
+                &[],
+            )?;
+            runner.exec_prepared(
                 Phase::PathExpansion,
                 FemOperator::E,
-                &gen.expand_into_exp(FrontierPred::Marked),
+                stmts.expand_into_exp.as_ref().expect("temp-exp mode"),
                 &params,
             )?;
-            if runner.gdb.merge_supported() {
-                runner.exec(
-                    Phase::PathExpansion,
-                    FemOperator::M,
-                    &gen.merge_from_exp(),
-                    &[],
-                )?;
+            if let Some(merge) = &stmts.merge_from_exp {
+                runner.exec_prepared(Phase::PathExpansion, FemOperator::M, merge, &[])?;
             } else {
-                runner.exec(
+                runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::M,
-                    &gen.update_from_exp(),
+                    stmts.update_from_exp.as_ref().expect("no-MERGE mode"),
                     &[],
                 )?;
-                runner.exec(
+                runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::M,
-                    &gen.insert_from_exp(),
+                    stmts.insert_from_exp.as_ref().expect("no-MERGE mode"),
                     &[],
                 )?;
             }
         }
         // Flip the expanded frontier to settled (Listing 4(3)).
-        runner.exec(
+        runner.exec_prepared(
             Phase::PathExpansion,
             FemOperator::F,
-            &gen.reset_frontier(),
+            &stmts.reset_frontier,
             &[],
         )?;
         runner.stats.expansions += 1;
@@ -229,10 +315,10 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
         // Statistics collection: new l + candidate count (one fused scan,
         // Listing 4(4)), then minCost (Listing 4(5)).
         let stats_row = runner
-            .row(
+            .row_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                &gen.candidate_stats(),
+                &stmts.candidate_stats,
                 &[],
             )?
             .unwrap_or_default();
@@ -246,10 +332,10 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
             nb = cand;
         }
         let mc_now = runner
-            .scalar(
+            .scalar_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                min_cost_sql(),
+                &min_cost_stmt,
                 &[],
             )?
             .unwrap_or(i64::MAX);
@@ -267,14 +353,22 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
         return runner.finish(None);
     }
     let meet = runner
-        .scalar(
+        .scalar_prepared(
             Phase::FullPathRecovery,
             FemOperator::Aux,
-            meet_node(),
+            &meet_node_stmt,
             &[Value::Int(min_cost)],
         )?
         .ok_or_else(|| SqlError::Eval("no node realizes minCost".into()))?;
-    let path = recover_bidi_path(&mut runner, s, t, meet, min_cost)?;
+    let path = recover_bidi_path(
+        &mut runner,
+        s,
+        t,
+        meet,
+        min_cost,
+        &fwd_stmts.pred_of,
+        &bwd_stmts.pred_of,
+    )?;
     runner.finish(Some(path))
 }
 

@@ -37,68 +37,88 @@ impl ShortestPathFinder for DjFinder {
         let gen = SqlGen::new(Dir::Fwd, EdgeSource::Edges, self.style);
         let max_iters = 4 * gdb.num_nodes() as u64 + 16;
 
+        // Prepare the statement set once; the loop executes handles only.
+        let merge_supported = gdb.merge_supported();
+        let db = &mut gdb.db;
+        let init = db.prepare(&SqlGen::init(Dir::Fwd))?;
+        let select_mid = db.prepare(&gen.select_mid())?;
+        let expand = if use_merge {
+            db.prepare(&gen.expand_merge(FrontierPred::ByNid))?
+        } else {
+            db.prepare(&gen.expand_into_exp(FrontierPred::ByNid))?
+        };
+        let truncate = if use_merge {
+            None
+        } else {
+            Some(db.prepare(truncate_exp())?)
+        };
+        let merge_from = if !use_merge && merge_supported {
+            Some(db.prepare(&gen.merge_from_exp())?)
+        } else {
+            None
+        };
+        let (update_from, insert_from) = if !use_merge && !merge_supported {
+            (
+                Some(db.prepare(&gen.update_from_exp())?),
+                Some(db.prepare(&gen.insert_from_exp())?),
+            )
+        } else {
+            (None, None)
+        };
+        let settle = db.prepare(&gen.settle_by_nid())?;
+        let settled = db.prepare(&gen.settled())?;
+        let dist_of = db.prepare(&gen.dist_of())?;
+        let pred_of = db.prepare(&gen.pred_of())?;
+
         let mut runner = Runner::new(gdb);
-        runner.exec(
+        runner.exec_prepared(
             Phase::PathExpansion,
             FemOperator::Aux,
-            &SqlGen::init(Dir::Fwd),
+            &init,
             &[Value::Int(s), Value::Int(s)],
         )?;
 
         let mut found = false;
         // Listing 2(2) locates the node to finalize; no candidate left means
         // the target is unreachable.
-        while let Some(mid) = runner.scalar(
-            Phase::StatsCollection,
-            FemOperator::F,
-            &gen.select_mid(),
-            &[],
-        )? {
+        while let Some(mid) =
+            runner.scalar_prepared(Phase::StatsCollection, FemOperator::F, &select_mid, &[])?
+        {
             // E + M operators with `q.nid = mid` (Listing 2(3)/(4)).
             let params = expand_params(self.style, FrontierPred::ByNid, Some(mid), 0, INF);
             if use_merge {
-                runner.exec(
-                    Phase::PathExpansion,
-                    FemOperator::E,
-                    &gen.expand_merge(FrontierPred::ByNid),
-                    &params,
-                )?;
+                runner.exec_prepared(Phase::PathExpansion, FemOperator::E, &expand, &params)?;
             } else {
-                runner.exec(Phase::PathExpansion, FemOperator::Aux, truncate_exp(), &[])?;
-                runner.exec(
+                runner.exec_prepared(
                     Phase::PathExpansion,
-                    FemOperator::E,
-                    &gen.expand_into_exp(FrontierPred::ByNid),
-                    &params,
+                    FemOperator::Aux,
+                    truncate.as_ref().expect("temp-exp mode"),
+                    &[],
                 )?;
-                if runner.gdb.merge_supported() {
-                    runner.exec(
-                        Phase::PathExpansion,
-                        FemOperator::M,
-                        &gen.merge_from_exp(),
-                        &[],
-                    )?;
+                runner.exec_prepared(Phase::PathExpansion, FemOperator::E, &expand, &params)?;
+                if let Some(m) = &merge_from {
+                    runner.exec_prepared(Phase::PathExpansion, FemOperator::M, m, &[])?;
                 } else {
-                    runner.exec(
+                    runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        &gen.update_from_exp(),
+                        update_from.as_ref().expect("no-MERGE mode"),
                         &[],
                     )?;
-                    runner.exec(
+                    runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        &gen.insert_from_exp(),
+                        insert_from.as_ref().expect("no-MERGE mode"),
                         &[],
                     )?;
                 }
             }
             runner.stats.expansions += 1;
             // Listing 3(2): finalize `mid`.
-            runner.exec(
+            runner.exec_prepared(
                 Phase::PathExpansion,
                 FemOperator::Aux,
-                &gen.settle_by_nid(),
+                &settle,
                 &[Value::Int(mid)],
             )?;
             // Listing 3(1): has the target been finalized?
@@ -106,10 +126,10 @@ impl ShortestPathFinder for DjFinder {
                 found = true;
                 break;
             }
-            let probe = runner.exec(
+            let probe = runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                &gen.settled(),
+                &settled,
                 &[Value::Int(t)],
             )?;
             if probe.rows.map(|r| !r.is_empty()).unwrap_or(false) {
@@ -125,15 +145,15 @@ impl ShortestPathFinder for DjFinder {
 
         let path = if found {
             let length = runner
-                .scalar(
+                .scalar_prepared(
                     Phase::FullPathRecovery,
                     FemOperator::Aux,
-                    &gen.dist_of(),
+                    &dist_of,
                     &[Value::Int(t)],
                 )?
                 .expect("settled target must have a distance");
             let node_limit = runner.gdb.num_nodes() + 1;
-            let mut nodes = walk_links(&mut runner, &gen.pred_of(), t, s, node_limit)?;
+            let mut nodes = walk_links(&mut runner, &pred_of, None, t, s, node_limit)?;
             nodes.reverse();
             nodes.push(t);
             Some(Path { nodes, length })

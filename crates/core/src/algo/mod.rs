@@ -25,7 +25,7 @@ pub use dj::DjFinder;
 
 use crate::graphdb::{GraphDb, NO_NODE};
 use crate::stats::{FemOperator, Phase, QueryStats};
-use fempath_sql::{ExecOutcome, Result, SqlError};
+use fempath_sql::{ExecOutcome, PreparedStmt, Result, SqlError};
 use fempath_storage::Value;
 use std::time::Instant;
 
@@ -74,8 +74,9 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Executes one statement, attributing its time to `phase`/`op`.
-    pub fn exec(
+    /// Executes a one-shot literal statement (e.g. batch seeding) without
+    /// polluting the plan cache.
+    pub fn exec_once(
         &mut self,
         phase: Phase,
         op: FemOperator,
@@ -83,21 +84,40 @@ impl<'a> Runner<'a> {
         params: &[Value],
     ) -> Result<ExecOutcome> {
         let t = Instant::now();
-        let out = self.gdb.db.execute_params(sql, params)?;
+        let out = self.gdb.db.execute_unplanned(sql, params)?;
         self.stats.record(phase, op, t.elapsed());
         Ok(out)
     }
 
-    /// Executes a statement expected to return a single optional i64
-    /// scalar (MIN queries return NULL on empty input → `None`).
-    pub fn scalar(
+    /// Executes a prepared handle — the hot-loop path: no parse, no plan,
+    /// no binding, just parameter substitution and execution.
+    pub fn exec_prepared(
         &mut self,
         phase: Phase,
         op: FemOperator,
-        sql: &str,
+        stmt: &PreparedStmt,
+        params: &[Value],
+    ) -> Result<ExecOutcome> {
+        let t = Instant::now();
+        let out = self.gdb.db.execute_prepared(stmt, params)?;
+        self.stats.record(phase, op, t.elapsed());
+        Ok(out)
+    }
+
+    /// Executes a prepared handle expected to return a single optional
+    /// i64 scalar (MIN queries return NULL on empty input → `None`).
+    pub fn scalar_prepared(
+        &mut self,
+        phase: Phase,
+        op: FemOperator,
+        stmt: &PreparedStmt,
         params: &[Value],
     ) -> Result<Option<i64>> {
-        let out = self.exec(phase, op, sql, params)?;
+        let out = self.exec_prepared(phase, op, stmt, params)?;
+        Self::first_scalar(out)
+    }
+
+    fn first_scalar(out: ExecOutcome) -> Result<Option<i64>> {
         let rows = out
             .rows
             .ok_or_else(|| SqlError::Eval("expected a result set".into()))?;
@@ -108,15 +128,15 @@ impl<'a> Runner<'a> {
             .and_then(|v| v.as_i64()))
     }
 
-    /// Executes a statement and returns its first row, if any.
-    pub fn row(
+    /// Executes a prepared handle and returns its first row, if any.
+    pub fn row_prepared(
         &mut self,
         phase: Phase,
         op: FemOperator,
-        sql: &str,
+        stmt: &PreparedStmt,
         params: &[Value],
     ) -> Result<Option<Vec<Value>>> {
-        let out = self.exec(phase, op, sql, params)?;
+        let out = self.exec_prepared(phase, op, stmt, params)?;
         let rows = out
             .rows
             .ok_or_else(|| SqlError::Eval("expected a result set".into()))?;
@@ -140,30 +160,36 @@ impl<'a> Runner<'a> {
     }
 }
 
-/// Walks predecessor links from `from` back to `anchor` (Listing 3(3)).
-/// Returns the chain **excluding** `from` itself, ordered from the node
-/// nearest `from` to `anchor`.
+/// Walks predecessor links from `from` back to `anchor` (Listing 3(3))
+/// with a prepared lookup handle. `qid` selects one query of a batched
+/// search (the handle then expects `(qid, nid)` parameters); `None` is
+/// the single-query form. Returns the chain **excluding** `from` itself,
+/// ordered from the node nearest `from` to `anchor`.
 pub(crate) fn walk_links(
     runner: &mut Runner<'_>,
-    sql: &str,
+    pred_of: &PreparedStmt,
+    qid: Option<i64>,
     from: i64,
     anchor: i64,
     limit: usize,
 ) -> Result<Vec<i64>> {
+    let label = qid.map(|q| format!("qid {q}: ")).unwrap_or_default();
     let mut chain = Vec::new();
     let mut cur = from;
     while cur != anchor {
+        let mut params = Vec::with_capacity(2);
+        if let Some(q) = qid {
+            params.push(Value::Int(q));
+        }
+        params.push(Value::Int(cur));
         let next = runner
-            .scalar(
-                Phase::FullPathRecovery,
-                FemOperator::Aux,
-                sql,
-                &[Value::Int(cur)],
-            )?
-            .ok_or_else(|| SqlError::Eval(format!("broken predecessor chain at node {cur}")))?;
+            .scalar_prepared(Phase::FullPathRecovery, FemOperator::Aux, pred_of, &params)?
+            .ok_or_else(|| {
+                SqlError::Eval(format!("{label}broken predecessor chain at node {cur}"))
+            })?;
         if next == NO_NODE {
             return Err(SqlError::Eval(format!(
-                "node {cur} has no predecessor while walking to {anchor}"
+                "{label}node {cur} has no predecessor while walking to {anchor}"
             )));
         }
         chain.push(next);
@@ -178,31 +204,24 @@ pub(crate) fn walk_links(
 }
 
 /// Recovers the full path of a bidirectional search that met at `meet`
-/// with total length `min_cost` (Algorithm 2 lines 17–20).
+/// with total length `min_cost` (Algorithm 2 lines 17–20). `fwd_pred` /
+/// `bwd_pred` are prepared `pred_of` handles for the two directions.
 pub(crate) fn recover_bidi_path(
     runner: &mut Runner<'_>,
     s: i64,
     t: i64,
     meet: i64,
     min_cost: i64,
+    fwd_pred: &PreparedStmt,
+    bwd_pred: &PreparedStmt,
 ) -> Result<Path> {
     let n = runner.gdb.num_nodes();
-    let fwd = crate::sqlgen::SqlGen::new(
-        crate::sqlgen::Dir::Fwd,
-        crate::sqlgen::EdgeSource::Edges,
-        crate::stats::SqlStyle::New,
-    );
-    let bwd = crate::sqlgen::SqlGen::new(
-        crate::sqlgen::Dir::Bwd,
-        crate::sqlgen::EdgeSource::Edges,
-        crate::stats::SqlStyle::New,
-    );
     // s … meet via p2s links (walked backward, then reversed).
-    let mut nodes: Vec<i64> = walk_links(runner, &fwd.pred_of(), meet, s, n + 1)?;
+    let mut nodes: Vec<i64> = walk_links(runner, fwd_pred, None, meet, s, n + 1)?;
     nodes.reverse();
     nodes.push(meet);
     // meet … t via p2t links.
-    let tail = walk_links(runner, &bwd.pred_of(), meet, t, n + 1)?;
+    let tail = walk_links(runner, bwd_pred, None, meet, t, n + 1)?;
     nodes.extend(tail);
     debug_assert_eq!(nodes.first(), Some(&s));
     debug_assert_eq!(nodes.last(), Some(&t));

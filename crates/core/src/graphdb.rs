@@ -157,8 +157,16 @@ impl GraphDb {
 
     /// (Re)creates the `TVisited` working table with the configured index
     /// strategy. Called at the start of every path query.
+    ///
+    /// When the table already exists (any query after the first) it is
+    /// TRUNCATEd instead of dropped and re-created: TRUNCATE is not DDL,
+    /// so the catalog version — and with it every cached physical plan —
+    /// stays valid across queries (DESIGN.md §9).
     pub fn reset_visited(&mut self) -> Result<()> {
-        self.db.execute("DROP TABLE IF EXISTS TVisited")?;
+        if self.db.has_table("TVisited") {
+            self.db.execute("TRUNCATE TABLE TVisited")?;
+            return Ok(());
+        }
         self.db.execute(
             "CREATE TABLE TVisited (nid INT, d2s INT, p2s INT, f INT, d2t INT, p2t INT, b INT)",
         )?;
@@ -177,9 +185,13 @@ impl GraphDb {
     }
 
     /// (Re)creates the `TExp` temp table used by the TSQL / no-MERGE
-    /// expansion paths.
+    /// expansion paths (TRUNCATE when it already exists, like
+    /// [`GraphDb::reset_visited`]).
     pub fn reset_exp(&mut self) -> Result<()> {
-        self.db.execute("DROP TABLE IF EXISTS TExp")?;
+        if self.db.has_table("TExp") {
+            self.db.execute("TRUNCATE TABLE TExp")?;
+            return Ok(());
+        }
         self.db
             .execute("CREATE TABLE TExp (nid INT, p2s INT, cost INT)")?;
         Ok(())
@@ -190,7 +202,14 @@ impl GraphDb {
     /// a leading `qid` column; `TBounds` carries one row of client scalars
     /// (`lf`, `lb`, `nf`, `nb`, `minCost`, `done`) per in-flight query.
     /// Called at the start of every batch query.
+    /// Like [`GraphDb::reset_visited`], an existing pair of batch tables
+    /// is TRUNCATEd so cached plans survive across batches.
     pub fn reset_batch_tables(&mut self) -> Result<()> {
+        if self.db.has_table("TBVisited") && self.db.has_table("TBounds") {
+            self.db.execute("TRUNCATE TABLE TBVisited")?;
+            self.db.execute("TRUNCATE TABLE TBounds")?;
+            return Ok(());
+        }
         self.db.execute("DROP TABLE IF EXISTS TBVisited")?;
         self.db.execute("DROP TABLE IF EXISTS TBounds")?;
         self.db.execute(
@@ -221,7 +240,10 @@ impl GraphDb {
     /// (Re)creates the `TBExp` temp table used by the batched TSQL /
     /// no-MERGE expansion paths (the qid-carrying analogue of `TExp`).
     pub fn reset_batch_exp(&mut self) -> Result<()> {
-        self.db.execute("DROP TABLE IF EXISTS TBExp")?;
+        if self.db.has_table("TBExp") {
+            self.db.execute("TRUNCATE TABLE TBExp")?;
+            return Ok(());
+        }
         self.db
             .execute("CREATE TABLE TBExp (qid INT, nid INT, p2s INT, cost INT)")?;
         Ok(())

@@ -493,11 +493,21 @@ pub struct Catalog {
     views: HashMap<String, crate::ast::Select>,
     /// index name (lowercase) → table name (lowercase).
     index_owner: HashMap<String, String>,
+    /// Monotonic schema version, bumped by every DDL statement that changes
+    /// what a physical plan could depend on (tables, indexes, views).
+    /// Cached plans are validated against it and replanned when stale.
+    version: u64,
 }
 
 impl Catalog {
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// Current schema version. TRUNCATE and DML leave it unchanged; CREATE
+    /// and DROP of tables, indexes and views advance it.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     fn key(name: &str) -> String {
@@ -536,6 +546,7 @@ impl Catalog {
             self.index_owner.insert(idx_name, key.clone());
         }
         self.tables.insert(key, table);
+        self.version += 1;
         Ok(())
     }
 
@@ -553,6 +564,7 @@ impl Catalog {
                 // Covers both secondary indexes and the clustered index
                 // name (which lives in the storage, not the index list).
                 self.index_owner.retain(|_, owner| owner != &key);
+                self.version += 1;
                 Ok(())
             }
             None if if_exists => Ok(()),
@@ -566,13 +578,14 @@ impl Catalog {
             return Err(SqlError::Catalog(format!("name {name} already in use")));
         }
         self.views.insert(key, query);
+        self.version += 1;
         Ok(())
     }
 
     pub fn drop_view(&mut self, name: &str) -> Result<()> {
         self.views
             .remove(&Self::key(name))
-            .map(|_| ())
+            .map(|_| self.version += 1)
             .ok_or_else(|| SqlError::Catalog(format!("no such view {name}")))
     }
 
@@ -648,6 +661,7 @@ impl Catalog {
                 table.insert_row(pool, &row)?;
             }
             self.index_owner.insert(idx_key, Self::key(&stmt.table));
+            self.version += 1;
             return Ok(());
         }
 
@@ -680,6 +694,7 @@ impl Catalog {
         }
         table.indexes.push(index);
         self.index_owner.insert(idx_key, Self::key(&stmt.table));
+        self.version += 1;
         Ok(())
     }
 
@@ -697,6 +712,7 @@ impl Catalog {
             .ok_or_else(|| SqlError::Catalog(format!("no such index {name}")))?;
         let idx = table.indexes.remove(pos);
         idx.tree.destroy(pool)?;
+        self.version += 1;
         Ok(())
     }
 

@@ -2,10 +2,17 @@
 //!
 //! [`Database`] owns the buffer pool and catalog and exposes a JDBC-like
 //! surface: `execute` / `execute_params` run a statement and report affected
-//! rows (the paper's SQLCA), `query` returns a result set. Parsed ASTs are
-//! cached per SQL string, so driving the engine with the same parameterized
-//! statements each iteration — exactly what the FEM algorithms do — pays the
-//! parse cost once.
+//! rows (the paper's SQLCA), `query` returns a result set.
+//!
+//! Statements execute through **physical plans** ([`crate::plan`]):
+//! [`Database::prepare`] compiles a statement once — resolving tables,
+//! choosing access paths and join strategies, binding every expression to
+//! fixed column offsets — and returns a [`PreparedStmt`] handle whose
+//! executions skip all of that work. `execute_params` goes through the same
+//! machinery via a plan cache keyed by SQL string, so driving the engine
+//! with the same parameterized statements each iteration — exactly what the
+//! FEM algorithms do — pays the parse *and plan* cost once. DDL bumps the
+//! catalog version and stale plans are rebuilt transparently.
 
 use crate::ast::Stmt;
 use crate::catalog::Catalog;
@@ -14,8 +21,10 @@ use crate::error::{Result, SqlError};
 use crate::exec::eval::ExecCtx;
 use crate::exec::{dml, select};
 use crate::parser::parse_statement;
+use crate::plan::{self, PlanKind, PreparedPlan};
 use fempath_storage::{BufferPool, IoStats, Value};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
@@ -56,12 +65,52 @@ impl ResultSet {
     }
 }
 
+/// A compiled statement handle returned by [`Database::prepare`].
+///
+/// Cheap to clone (it shares the plan with the engine's cache). Executing
+/// a handle skips parsing, name resolution, access-path choice and
+/// expression binding; only `?` parameters and uncorrelated subqueries are
+/// evaluated per execution. Handles survive DDL: a stale handle is
+/// re-planned transparently on its next execution (and errors cleanly if
+/// the statement no longer compiles, e.g. after `DROP TABLE`).
+#[derive(Clone)]
+pub struct PreparedStmt {
+    plan: Rc<PreparedPlan>,
+}
+
+impl PreparedStmt {
+    /// The statement text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        self.plan.sql()
+    }
+
+    /// Number of `?` parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.plan.param_count()
+    }
+
+    /// The catalog version the plan was compiled against.
+    pub fn catalog_version(&self) -> u64 {
+        self.plan.catalog_version()
+    }
+
+    /// Human-readable plan shape, one line per operator.
+    pub fn describe(&self) -> Vec<String> {
+        self.plan.describe()
+    }
+}
+
+/// Plan-cache size bound: statements beyond this are still planned, but
+/// the cache is pruned (stale versions first) to stay bounded when callers
+/// execute unbounded families of literal SQL strings.
+const PLAN_CACHE_CAP: usize = 512;
+
 /// An embedded relational database instance.
 pub struct Database {
     pool: BufferPool,
     catalog: Catalog,
     dialect: Dialect,
-    ast_cache: HashMap<String, Stmt>,
+    plan_cache: HashMap<String, Rc<PreparedPlan>>,
     statements_executed: u64,
 }
 
@@ -83,7 +132,7 @@ impl Database {
             pool,
             catalog: Catalog::new(),
             dialect: Dialect::default(),
-            ast_cache: HashMap::new(),
+            plan_cache: HashMap::new(),
             statements_executed: 0,
         }
     }
@@ -110,13 +159,141 @@ impl Database {
     }
 
     /// Executes a statement with `?` parameters bound from `params`.
+    ///
+    /// This is the prepared path: the statement is compiled to a physical
+    /// plan on first sight (or after DDL invalidated it) and the cached
+    /// plan executes directly on every later call.
     pub fn execute_params(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
-        if !self.ast_cache.contains_key(sql) {
-            let stmt = parse_statement(sql)?;
-            self.ast_cache.insert(sql.to_string(), stmt);
-        }
-        let stmt = self.ast_cache.get(sql).expect("just inserted").clone();
+        let plan = self.prepare_plan(sql)?;
+        self.exec_plan(&plan, params)
+    }
+
+    /// Parses and executes a statement **without** touching the plan
+    /// cache — the unprepared door, used for one-shot literal statements
+    /// (e.g. batch seeding) and as the differential-test baseline.
+    pub fn execute_unplanned(&mut self, sql: &str, params: &[Value]) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
         self.run_stmt(&stmt, params)
+    }
+
+    /// Compiles a statement into a reusable [`PreparedStmt`] handle.
+    ///
+    /// Plans are cached per SQL string and stamped with the catalog
+    /// version; `prepare` on a cached, still-valid statement is a hash
+    /// lookup.
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedStmt> {
+        Ok(PreparedStmt {
+            plan: self.prepare_plan(sql)?,
+        })
+    }
+
+    /// Executes a prepared handle. A handle whose plan was invalidated by
+    /// DDL is re-planned transparently (the refreshed plan lands in the
+    /// cache, so only the first post-DDL execution pays for it).
+    pub fn execute_prepared(
+        &mut self,
+        stmt: &PreparedStmt,
+        params: &[Value],
+    ) -> Result<ExecOutcome> {
+        let plan = if stmt.plan.catalog_version() == self.catalog.version() {
+            stmt.plan.clone()
+        } else {
+            self.prepare_plan(stmt.plan.sql())?
+        };
+        self.exec_plan(&plan, params)
+    }
+
+    fn prepare_plan(&mut self, sql: &str) -> Result<Rc<PreparedPlan>> {
+        let version = self.catalog.version();
+        if let Some(p) = self.plan_cache.get(sql) {
+            if p.catalog_version() == version {
+                return Ok(p.clone());
+            }
+        }
+        let stmt = parse_statement(sql)?;
+        let n_params = plan::build::count_params(&stmt);
+        let kind = plan::build::build_plan(&self.catalog, &stmt)?;
+        let compiled = Rc::new(PreparedPlan {
+            sql: sql.to_string(),
+            catalog_version: version,
+            n_params,
+            kind,
+        });
+        if self.plan_cache.len() >= PLAN_CACHE_CAP && !self.plan_cache.contains_key(sql) {
+            // Prune stale plans first; if the cache is still full the
+            // workload is churning distinct statements — drop it wholesale.
+            self.plan_cache
+                .retain(|_, p| p.catalog_version() == version);
+            if self.plan_cache.len() >= PLAN_CACHE_CAP {
+                self.plan_cache.clear();
+            }
+        }
+        self.plan_cache.insert(sql.to_string(), compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Executes one compiled plan.
+    fn exec_plan(&mut self, plan: &PreparedPlan, params: &[Value]) -> Result<ExecOutcome> {
+        // The interpreter binds every expression (and so touches every `?`)
+        // eagerly per execution; mirror that by rejecting short parameter
+        // lists up front instead of only when a row happens to reach the
+        // parameterized expression.
+        if params.len() < plan.param_count() {
+            return Err(SqlError::ParamCount {
+                expected: plan.param_count(),
+                got: params.len(),
+            });
+        }
+        self.statements_executed += 1;
+        let no_rows = |n: u64| ExecOutcome {
+            rows_affected: n,
+            rows: None,
+        };
+        match &plan.kind {
+            PlanKind::Select(sp) => {
+                let rows = plan::exec::run_select_rows(&mut self.pool, &self.catalog, params, sp)?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    rows: Some(ResultSet {
+                        columns: sp.out_names.clone(),
+                        rows,
+                    }),
+                })
+            }
+            PlanKind::Insert(ip) => Ok(no_rows(plan::exec::run_insert(
+                &mut self.pool,
+                &mut self.catalog,
+                params,
+                ip,
+            )?)),
+            PlanKind::Update(up) => Ok(no_rows(plan::exec::run_update(
+                &mut self.pool,
+                &mut self.catalog,
+                params,
+                up,
+            )?)),
+            PlanKind::Delete(dp) => Ok(no_rows(plan::exec::run_delete(
+                &mut self.pool,
+                &mut self.catalog,
+                params,
+                dp,
+            )?)),
+            PlanKind::Merge(mp) => {
+                if !self.dialect.supports_merge {
+                    return Err(SqlError::UnsupportedByDialect {
+                        feature: "MERGE statement".into(),
+                        dialect: self.dialect.name.to_string(),
+                    });
+                }
+                Ok(no_rows(plan::exec::run_merge(
+                    &mut self.pool,
+                    &mut self.catalog,
+                    params,
+                    mp,
+                )?))
+            }
+            PlanKind::Fallback(stmt) => self.dispatch_stmt(stmt, params),
+        }
     }
 
     /// Runs a semicolon-separated script, returning the last outcome.
@@ -144,9 +321,15 @@ impl Database {
             .ok_or_else(|| SqlError::Eval("statement did not return rows".into()))
     }
 
-    /// Executes one parsed statement.
+    /// Executes one parsed statement through the interpreter (no physical
+    /// plan). This is the fallback path for DDL and the baseline for
+    /// differential tests.
     pub fn run_stmt(&mut self, stmt: &Stmt, params: &[Value]) -> Result<ExecOutcome> {
         self.statements_executed += 1;
+        self.dispatch_stmt(stmt, params)
+    }
+
+    fn dispatch_stmt(&mut self, stmt: &Stmt, params: &[Value]) -> Result<ExecOutcome> {
         let no_rows = |n: u64| ExecOutcome {
             rows_affected: n,
             rows: None,
@@ -275,6 +458,17 @@ impl Database {
     /// Total statements executed since creation.
     pub fn statements_executed(&self) -> u64 {
         self.statements_executed
+    }
+
+    /// Current catalog (schema) version — advanced by DDL, used to
+    /// validate cached plans.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Resizes the buffer pool (pages) — the paper's buffer-size sweeps.

@@ -13,7 +13,7 @@ use fempath_storage::Value;
 use std::collections::HashMap;
 
 /// Running state of one aggregate over one group.
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     SumInt {
         acc: i64,
@@ -30,7 +30,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::SumInt {
@@ -46,7 +46,7 @@ impl AggState {
     }
 
     /// Feeds one input value. `None` means `COUNT(*)` (count the row).
-    fn update(&mut self, v: Option<Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, v: Option<Value>) -> Result<()> {
         match self {
             AggState::Count(n) => {
                 match v {
@@ -108,7 +108,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
             AggState::SumInt {
@@ -138,7 +138,7 @@ impl AggState {
 }
 
 /// Collects the distinct aggregate calls appearing in an expression.
-fn collect_aggs(expr: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
+pub(crate) fn collect_aggs(expr: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
     match expr {
         Expr::Aggregate { func, arg } => {
             let spec = (*func, arg.as_deref().cloned());
@@ -158,7 +158,11 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
 
 /// Rewrites an expression over the post-aggregation schema: group
 /// expressions become `#agg.g{i}`, aggregate calls become `#agg.a{j}`.
-fn rewrite(expr: &Expr, group_by: &[Expr], aggs: &[(AggFunc, Option<Expr>)]) -> Result<Expr> {
+pub(crate) fn rewrite(
+    expr: &Expr,
+    group_by: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+) -> Result<Expr> {
     if let Some(i) = group_by.iter().position(|g| g == expr) {
         return Ok(Expr::Column {
             table: Some("#agg".into()),

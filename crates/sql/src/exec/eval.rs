@@ -386,7 +386,8 @@ pub fn eval(e: &BExpr, row: &[Value]) -> Result<Value> {
     })
 }
 
-fn arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+/// Arithmetic on two evaluated operands (shared with the plan executor).
+pub(crate) fn arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }

@@ -103,16 +103,16 @@ fn resolve_source(ctx: &mut ExecCtx<'_>, tref: &TableRef) -> Result<Source> {
 }
 
 /// Index-usable equality: `col = <row-independent expr>` over one binding.
-struct EqPred {
-    col: usize,
-    value_expr: Expr,
+pub(crate) struct EqPred {
+    pub(crate) col: usize,
+    pub(crate) value_expr: Expr,
     /// Position in the conjunct list (for consumption).
-    conjunct_idx: usize,
+    pub(crate) conjunct_idx: usize,
 }
 
 /// Finds equalities `schema-col = constant-ish` among conjuncts that bind
 /// entirely in `schema`.
-fn find_const_equalities(schema: &Schema, conjuncts: &[Expr]) -> Vec<EqPred> {
+pub(crate) fn find_const_equalities(schema: &Schema, conjuncts: &[Expr]) -> Vec<EqPred> {
     let mut out = Vec::new();
     for (i, c) in conjuncts.iter().enumerate() {
         let Expr::Binary {
@@ -145,7 +145,10 @@ fn find_const_equalities(schema: &Schema, conjuncts: &[Expr]) -> Vec<EqPred> {
 /// Returns (table column positions, matching `EqPred` indices). Schema
 /// positions equal table column positions because the schema came straight
 /// from the table definition.
-fn choose_access_path(table: &Table, eqs: &[EqPred]) -> Option<(Vec<usize>, Vec<usize>)> {
+pub(crate) fn choose_access_path(
+    table: &Table,
+    eqs: &[EqPred],
+) -> Option<(Vec<usize>, Vec<usize>)> {
     let mut best: Option<(Vec<usize>, Vec<usize>)> = None;
     let mut consider = |path_cols: &[usize]| {
         let mut cols = Vec::new();
@@ -326,14 +329,14 @@ fn base_relation(
 }
 
 /// An equi-join pair: left-side expression = right-side column.
-struct JoinPair {
-    left_expr: Expr,
-    right_col: usize,
-    conjunct_idx: usize,
+pub(crate) struct JoinPair {
+    pub(crate) left_expr: Expr,
+    pub(crate) right_col: usize,
+    pub(crate) conjunct_idx: usize,
 }
 
 /// Finds `left-expr = right-col` equalities across the two schemas.
-fn find_join_pairs(left: &Schema, right: &Schema, conjuncts: &[Expr]) -> Vec<JoinPair> {
+pub(crate) fn find_join_pairs(left: &Schema, right: &Schema, conjuncts: &[Expr]) -> Vec<JoinPair> {
     let mut out = Vec::new();
     for (i, c) in conjuncts.iter().enumerate() {
         let Expr::Binary {

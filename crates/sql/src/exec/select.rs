@@ -16,7 +16,7 @@ pub struct OutItem {
 }
 
 /// Expands `*` / `t.*` and derives output column names.
-fn expand_items(sel: &Select, schema: &Schema) -> Result<Vec<OutItem>> {
+pub(crate) fn expand_items(sel: &Select, schema: &Schema) -> Result<Vec<OutItem>> {
     let mut out = Vec::new();
     for item in &sel.items {
         match item {

@@ -14,13 +14,13 @@ use fempath_storage::Value;
 
 /// One distinct window specification found in the projection.
 #[derive(PartialEq, Clone, Debug)]
-struct WinSpec {
-    func: WindowFunc,
-    partition_by: Vec<Expr>,
-    order_by: Vec<crate::ast::OrderKey>,
+pub(crate) struct WinSpec {
+    pub(crate) func: WindowFunc,
+    pub(crate) partition_by: Vec<Expr>,
+    pub(crate) order_by: Vec<crate::ast::OrderKey>,
 }
 
-fn collect_windows(expr: &Expr, out: &mut Vec<WinSpec>) {
+pub(crate) fn collect_windows(expr: &Expr, out: &mut Vec<WinSpec>) {
     match expr {
         Expr::Window {
             func,
@@ -46,7 +46,7 @@ fn collect_windows(expr: &Expr, out: &mut Vec<WinSpec>) {
     }
 }
 
-fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
+pub(crate) fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
     match expr {
         Expr::Window {
             func,
@@ -81,6 +81,80 @@ fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
     }
 }
 
+/// Computes one window function's per-row values from pre-evaluated
+/// `(partition values, order values, original row index)` triples.
+/// Shared by the interpreter and the physical-plan executor so the two
+/// paths cannot drift: partitions compare value-wise with a type tag
+/// before the value (Int(1) and Float(1.0) stay distinct, matching
+/// GROUP BY), `dirs` gives each order key's direction.
+pub(crate) fn window_values(
+    mut keyed: Vec<(Vec<Value>, Vec<Value>, usize)>,
+    dirs: &[bool],
+    func: WindowFunc,
+) -> Vec<Value> {
+    fn type_rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Text(_) => 3,
+        }
+    }
+    let cmp_part = |a: &[Value], b: &[Value]| {
+        for (x, y) in a.iter().zip(b) {
+            let ord = type_rank(x).cmp(&type_rank(y)).then_with(|| x.total_cmp(y));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    keyed.sort_by(|a, b| {
+        cmp_part(&a.0, &b.0).then_with(|| {
+            for (i, asc) in dirs.iter().enumerate() {
+                let ord = a.1[i].total_cmp(&b.1[i]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        })
+    });
+
+    let mut values = vec![Value::Null; keyed.len()];
+    let mut prev_part: Option<&[Value]> = None;
+    let mut row_num = 0i64;
+    let mut rank = 0i64;
+    let mut prev_order: Option<&[Value]> = None;
+    for (pkey, ovals, idx) in &keyed {
+        let same = prev_part.is_some_and(|pp| cmp_part(pp, pkey).is_eq());
+        if !same {
+            row_num = 0;
+            rank = 0;
+            prev_order = None;
+            prev_part = Some(pkey.as_slice());
+        }
+        row_num += 1;
+        let tied = prev_order.is_some_and(|po| {
+            po.len() == ovals.len()
+                && po
+                    .iter()
+                    .zip(ovals.iter())
+                    .all(|(a, b)| a.total_cmp(b).is_eq())
+        });
+        if !tied {
+            rank = row_num;
+        }
+        prev_order = Some(ovals.as_slice());
+        values[*idx] = Value::Int(match func {
+            WindowFunc::RowNumber => row_num,
+            WindowFunc::Rank => rank,
+        });
+    }
+    values
+}
+
 /// Computes every window column, appends them to the relation under the
 /// `#win` binding, and rewrites the projection items to reference them.
 pub fn run_windows(
@@ -106,11 +180,8 @@ pub fn run_windows(
             .map(|k| Ok((bind_expr(ctx, &rel.schema, &k.expr)?, k.asc)))
             .collect::<Result<_>>()?;
 
-        // (partition values, order values, original index). Partitions are
-        // compared value-wise, type tag before value — the same identity the
-        // order-preserving key encoding gives (Int(1) and Float(1.0) stay in
-        // distinct partitions, matching GROUP BY) without an allocation per
-        // row.
+        // (partition values, order values, original index), computed here;
+        // the sorting/numbering itself is shared with the plan executor.
         let mut keyed: Vec<(Vec<Value>, Vec<Value>, usize)> = Vec::with_capacity(n);
         for (i, row) in rel.rows.iter().enumerate() {
             let mut pvals = Vec::with_capacity(part.len());
@@ -123,66 +194,8 @@ pub fn run_windows(
             }
             keyed.push((pvals, ovals, i));
         }
-        fn type_rank(v: &Value) -> u8 {
-            match v {
-                Value::Null => 0,
-                Value::Int(_) => 1,
-                Value::Float(_) => 2,
-                Value::Text(_) => 3,
-            }
-        }
-        let cmp_part = |a: &[Value], b: &[Value]| {
-            for (x, y) in a.iter().zip(b) {
-                let ord = type_rank(x).cmp(&type_rank(y)).then_with(|| x.total_cmp(y));
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        };
-        keyed.sort_by(|a, b| {
-            cmp_part(&a.0, &b.0).then_with(|| {
-                for (i, (_, asc)) in order.iter().enumerate() {
-                    let ord = a.1[i].total_cmp(&b.1[i]);
-                    let ord = if *asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            })
-        });
-
-        let mut values = vec![Value::Null; n];
-        let mut prev_part: Option<&[Value]> = None;
-        let mut row_num = 0i64;
-        let mut rank = 0i64;
-        let mut prev_order: Option<&[Value]> = None;
-        for (pkey, ovals, idx) in &keyed {
-            let same = prev_part.is_some_and(|pp| cmp_part(pp, pkey).is_eq());
-            if !same {
-                row_num = 0;
-                rank = 0;
-                prev_order = None;
-                prev_part = Some(pkey.as_slice());
-            }
-            row_num += 1;
-            let tied = prev_order.is_some_and(|po| {
-                po.len() == ovals.len()
-                    && po
-                        .iter()
-                        .zip(ovals.iter())
-                        .all(|(a, b)| a.total_cmp(b).is_eq())
-            });
-            if !tied {
-                rank = row_num;
-            }
-            prev_order = Some(ovals.as_slice());
-            values[*idx] = Value::Int(match spec.func {
-                WindowFunc::RowNumber => row_num,
-                WindowFunc::Rank => rank,
-            });
-        }
+        let dirs: Vec<bool> = order.iter().map(|(_, asc)| *asc).collect();
+        let values = window_values(keyed, &dirs, spec.func);
 
         rel.schema.cols.push(SchemaCol {
             binding: Some("#win".into()),

@@ -14,8 +14,10 @@
 //!   `OVER (PARTITION BY … ORDER BY …)`) — the SQL:2003 feature of §2.2;
 //! * **`MERGE`** — the SQL:2008 feature of §2.2 — plus `UPDATE … FROM` as
 //!   the traditional-SQL fallback;
-//! * `?` positional parameters with AST caching (JDBC-style prepared
-//!   statements);
+//! * **prepared statements with cached physical plans**: `?` positional
+//!   parameters, [`Database::prepare`](engine::Database::prepare) /
+//!   [`PreparedStmt`] handles, a plan cache keyed by (SQL, catalog
+//!   version), and a streaming executor (see [`plan`]);
 //! * two [`Dialect`]s mirroring the paper's DBMS-x and PostgreSQL 9.0.
 //!
 //! ```
@@ -40,9 +42,10 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 
 pub use catalog::{Catalog, RowLoc, Table, TableSchema};
 pub use dialect::Dialect;
-pub use engine::{Database, ExecOutcome, ResultSet};
+pub use engine::{Database, ExecOutcome, PreparedStmt, ResultSet};
 pub use error::{Result, SqlError};
 pub use parser::{parse_statement, parse_statements};

@@ -1,0 +1,494 @@
+//! Physical plans: compile-once / execute-many statement representations.
+//!
+//! [`crate::engine::Database::prepare`] turns a parsed statement into a
+//! [`PreparedPlan`]: tables are resolved, an access path is chosen per table
+//! reference (heap scan, secondary-index point/prefix lookup, or clustered
+//! range scan), join strategies are fixed with pre-bound key expressions,
+//! and every predicate/projection/assignment is bound to fixed column
+//! offsets (`PExpr`). Executing a plan (`plan::exec`) therefore does *no*
+//! name resolution, no access-path search and no AST traversal — exactly
+//! the per-statement work the paper's FEM loops repeat hundreds of times.
+//!
+//! Two kinds of work stay runtime-bound by design:
+//!
+//! * `?` parameters are `PExpr::Param` slots read from the execution's
+//!   parameter list (a prepared statement is executed many times with
+//!   different parameters);
+//! * uncorrelated subqueries are compiled into `SubPlan`s and re-run at
+//!   the start of every execution (their result depends on table *data*,
+//!   which changes between executions), preserving the interpreter's
+//!   evaluate-once-per-statement semantics.
+//!
+//! Plans are cached per SQL string and stamped with the
+//! [`crate::catalog::Catalog::version`] they were built against; any DDL
+//! bumps the version and stale plans are transparently rebuilt (see
+//! DESIGN.md §9).
+
+pub(crate) mod build;
+pub(crate) mod exec;
+
+use crate::ast::{AggFunc, BinaryOp, Stmt, UnaryOp, WindowFunc};
+use crate::exec::eval::Schema;
+use fempath_storage::Value;
+use std::rc::Rc;
+
+/// A fully planned statement, stamped with the catalog version it was
+/// compiled against.
+pub struct PreparedPlan {
+    /// Original statement text (used for transparent replanning).
+    pub(crate) sql: String,
+    /// Catalog version at plan time; mismatch ⇒ the plan is stale.
+    pub(crate) catalog_version: u64,
+    /// Number of `?` parameters the statement expects.
+    pub(crate) n_params: usize,
+    pub(crate) kind: PlanKind,
+}
+
+impl PreparedPlan {
+    /// The statement text this plan was compiled from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The catalog version the plan was compiled against.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// Number of `?` parameters the statement expects.
+    pub fn param_count(&self) -> usize {
+        self.n_params
+    }
+
+    /// Human-readable plan shape, one line per operator — used by the
+    /// plan-shape regression tests and diagnostics.
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        match &self.kind {
+            PlanKind::Select(sp) => describe_select(sp, 0, &mut out),
+            PlanKind::Update(up) => {
+                match &up.kind {
+                    UpdateKind::Plain { .. } => out.push(format!("UPDATE {} (scan)", up.table)),
+                    UpdateKind::From {
+                        source, probe_cols, ..
+                    } => {
+                        out.push(format!(
+                            "UPDATE {} probing columns {probe_cols:?}",
+                            up.table
+                        ));
+                        describe_source(source, 1, &mut out);
+                    }
+                }
+                describe_subplans(&up.subplans, 1, &mut out);
+            }
+            PlanKind::Delete(dp) => {
+                out.push(format!("DELETE {} (scan)", dp.table));
+                describe_subplans(&dp.subplans, 1, &mut out);
+            }
+            PlanKind::Insert(ip) => {
+                match &ip.source {
+                    InsertSourcePlan::Values(rows) => out.push(format!(
+                        "INSERT {} ({} literal row(s))",
+                        ip.table,
+                        rows.len()
+                    )),
+                    InsertSourcePlan::Query(q) => {
+                        out.push(format!("INSERT {} from query", ip.table));
+                        describe_select(q, 1, &mut out);
+                    }
+                }
+                describe_subplans(&ip.subplans, 1, &mut out);
+            }
+            PlanKind::Merge(mp) => {
+                out.push(format!(
+                    "MERGE INTO {} probing columns {:?}",
+                    mp.target, mp.probe_cols
+                ));
+                describe_source(&mp.source, 1, &mut out);
+                describe_subplans(&mp.subplans, 1, &mut out);
+            }
+            PlanKind::Fallback(stmt) => out.push(format!(
+                "FALLBACK (interpreted {})",
+                match stmt {
+                    Stmt::CreateTable(_) => "CREATE TABLE",
+                    Stmt::CreateIndex(_) => "CREATE INDEX",
+                    Stmt::CreateView { .. } => "CREATE VIEW",
+                    Stmt::DropTable { .. } => "DROP TABLE",
+                    Stmt::DropIndex { .. } => "DROP INDEX",
+                    Stmt::DropView { .. } => "DROP VIEW",
+                    Stmt::Truncate { .. } => "TRUNCATE",
+                    Stmt::Explain(_) => "EXPLAIN",
+                    _ => "statement",
+                }
+            )),
+        }
+        out
+    }
+}
+
+/// Statement-kind dispatch of a [`PreparedPlan`].
+pub(crate) enum PlanKind {
+    Select(SelectPlan),
+    Update(UpdatePlan),
+    Delete(DeletePlan),
+    Insert(InsertPlan),
+    Merge(MergePlan),
+    /// Statements the physical planner does not cover (DDL, TRUNCATE,
+    /// EXPLAIN) — executed by the interpreter from the cached AST, with no
+    /// per-execution clone.
+    Fallback(Stmt),
+}
+
+/// A bound expression over fixed column offsets, with parameters and
+/// subqueries left as runtime slots.
+#[derive(Debug, Clone)]
+pub(crate) enum PExpr {
+    Const(Value),
+    /// `?` parameter, bound per execution.
+    Param(usize),
+    Col(usize),
+    Unary {
+        op: UnaryOp,
+        e: Box<PExpr>,
+    },
+    Binary {
+        l: Box<PExpr>,
+        op: BinaryOp,
+        r: Box<PExpr>,
+    },
+    IsNull {
+        e: Box<PExpr>,
+        negated: bool,
+    },
+    /// Scalar subquery slot (re-evaluated at the start of each execution).
+    Sub(usize),
+    /// `expr [NOT] IN (subquery slot)`.
+    InSub {
+        e: Box<PExpr>,
+        sub: usize,
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery slot)`.
+    ExistsSub {
+        sub: usize,
+        negated: bool,
+    },
+}
+
+/// Largest row offset a bound plan expression reads, or `None` when it is
+/// row-independent (the plan-side analogue of
+/// [`crate::exec::eval::max_bound_col`]).
+pub(crate) fn max_pexpr_col(e: &PExpr) -> Option<usize> {
+    match e {
+        PExpr::Const(_) | PExpr::Param(_) | PExpr::Sub(_) | PExpr::ExistsSub { .. } => None,
+        PExpr::Col(i) => Some(*i),
+        PExpr::Unary { e, .. } | PExpr::IsNull { e, .. } | PExpr::InSub { e, .. } => {
+            max_pexpr_col(e)
+        }
+        PExpr::Binary { l, r, .. } => match (max_pexpr_col(l), max_pexpr_col(r)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        },
+    }
+}
+
+/// How a subquery's result is consumed.
+pub(crate) enum SubPlan {
+    /// Scalar subquery: ≤ 1 row, exactly 1 column.
+    Scalar(SelectPlan),
+    /// `IN (…)` list: 1 column, sorted + deduplicated.
+    List(SelectPlan),
+    /// `EXISTS (…)`: row-presence flag.
+    Exists(SelectPlan),
+}
+
+/// A compiled SELECT: a streaming FROM/WHERE pipeline plus the
+/// materializing post-stages the statement actually needs.
+pub(crate) struct SelectPlan {
+    pub(crate) from: FromPlan,
+    /// GROUP BY / scalar aggregation (streams into accumulators).
+    pub(crate) agg: Option<AggPlan>,
+    /// Window columns appended to the pipeline output (forces
+    /// materialization, mutually exclusive with `agg`).
+    pub(crate) windows: Vec<WindowPlan>,
+    /// Post-aggregation (or plain) row filter.
+    pub(crate) having: Option<PExpr>,
+    /// Sort keys (forces materialization).
+    pub(crate) order_by: Vec<(PExpr, bool)>,
+    /// Projection over the post-stage schema.
+    pub(crate) items: Vec<PExpr>,
+    /// Output column names.
+    pub(crate) out_names: Vec<String>,
+    pub(crate) distinct: bool,
+    /// `TOP` / `LIMIT` row cap (min of both when given).
+    pub(crate) cap: Option<u64>,
+    /// Uncorrelated subqueries, re-run once per execution.
+    pub(crate) subplans: Vec<SubPlan>,
+}
+
+impl SelectPlan {
+    /// Output schema under `binding` (for derived tables and views).
+    pub(crate) fn out_schema(&self, binding: &str) -> Schema {
+        let b = Some(binding.to_ascii_lowercase());
+        Schema {
+            cols: self
+                .out_names
+                .iter()
+                .map(|n| crate::exec::eval::SchemaCol {
+                    binding: b.clone(),
+                    name: n.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The streaming FROM/WHERE pipeline: one source, zero or more join
+/// stages, and a final residual filter.
+pub(crate) struct FromPlan {
+    pub(crate) source: SourcePlan,
+    pub(crate) joins: Vec<JoinPlan>,
+    /// Conjuncts not consumed by any access path or join stage.
+    pub(crate) residual: Vec<PExpr>,
+}
+
+/// A row source with its pushed-down single-relation filters.
+pub(crate) struct SourcePlan {
+    pub(crate) input: InputPlan,
+    pub(crate) filter: Vec<PExpr>,
+}
+
+/// Where base rows come from.
+pub(crate) enum InputPlan {
+    /// `SELECT` without FROM: a single empty row.
+    Nothing,
+    /// Full table scan (heap order or clustered-key order).
+    Scan { table: String, binding: String },
+    /// Index point/prefix lookup with pre-bound, row-independent keys.
+    Lookup {
+        table: String,
+        binding: String,
+        cols: Vec<usize>,
+        keys: Vec<PExpr>,
+    },
+    /// Materialized subquery (derived table or view).
+    Derived(Box<SelectPlan>),
+}
+
+/// The probe (right) side of a hash or nested-loop join stage.
+pub(crate) enum RightPlan {
+    /// Full scan of a base table, materialized as the build side.
+    Table { name: String },
+    /// Materialized subquery.
+    Derived(Box<SelectPlan>),
+}
+
+/// One join stage of the pipeline. `left_width` is the row width flowing
+/// in; the stage appends the right side's columns and truncates back
+/// after each probe (the reused row buffer).
+pub(crate) enum JoinPlan {
+    /// Index nested loop: per input row, probe the inner table's index
+    /// with pre-bound key expressions.
+    IndexLoop {
+        table: String,
+        binding: String,
+        path_cols: Vec<usize>,
+        keys: Vec<PExpr>,
+        residual: Vec<PExpr>,
+        left_width: usize,
+    },
+    /// Hash join: the right side is materialized and hashed once per
+    /// execution; input rows probe it.
+    Hash {
+        right: RightPlan,
+        left_keys: Vec<PExpr>,
+        right_cols: Vec<usize>,
+        residual: Vec<PExpr>,
+        left_width: usize,
+    },
+    /// Nested-loop cross product with a residual filter (last resort).
+    Loop {
+        right: RightPlan,
+        residual: Vec<PExpr>,
+        left_width: usize,
+    },
+}
+
+/// Grouping/aggregation stage: rows stream into per-group accumulators;
+/// the output row is `[group keys…, aggregate results…]`.
+pub(crate) struct AggPlan {
+    pub(crate) group: Vec<PExpr>,
+    pub(crate) aggs: Vec<(AggFunc, Option<PExpr>)>,
+}
+
+/// One window function over the materialized pipeline output.
+pub(crate) struct WindowPlan {
+    pub(crate) func: WindowFunc,
+    pub(crate) partition: Vec<PExpr>,
+    pub(crate) order: Vec<(PExpr, bool)>,
+}
+
+/// A compiled UPDATE.
+pub(crate) struct UpdatePlan {
+    pub(crate) table: String,
+    pub(crate) assign_cols: Vec<usize>,
+    pub(crate) kind: UpdateKind,
+    pub(crate) subplans: Vec<SubPlan>,
+}
+
+/// Plain scan-and-update vs `UPDATE … FROM` probe.
+pub(crate) enum UpdateKind {
+    Plain {
+        pred: Option<PExpr>,
+        assigns: Vec<PExpr>,
+    },
+    From {
+        source: SourcePlan,
+        probe_cols: Vec<usize>,
+        /// Probe key expressions over the source row.
+        probe_keys: Vec<PExpr>,
+        /// Residuals reading only the target row prefix.
+        target_residual: Vec<PExpr>,
+        /// Residuals over the combined target+source row.
+        mixed_residual: Vec<PExpr>,
+        /// Assignments over the combined row.
+        assigns: Vec<PExpr>,
+    },
+}
+
+/// A compiled DELETE.
+pub(crate) struct DeletePlan {
+    pub(crate) table: String,
+    pub(crate) pred: Option<PExpr>,
+    pub(crate) subplans: Vec<SubPlan>,
+}
+
+/// A compiled INSERT.
+pub(crate) struct InsertPlan {
+    pub(crate) table: String,
+    pub(crate) col_positions: Option<Vec<usize>>,
+    pub(crate) source: InsertSourcePlan,
+    pub(crate) subplans: Vec<SubPlan>,
+}
+
+/// Literal rows or a compiled source query.
+pub(crate) enum InsertSourcePlan {
+    Values(Vec<Vec<PExpr>>),
+    Query(Box<SelectPlan>),
+}
+
+/// A compiled MERGE.
+pub(crate) struct MergePlan {
+    pub(crate) target: String,
+    pub(crate) source: SourcePlan,
+    pub(crate) probe_cols: Vec<usize>,
+    pub(crate) probe_keys: Vec<PExpr>,
+    /// ON-clause residual over the combined target+source row.
+    pub(crate) residual: Vec<PExpr>,
+    /// WHEN MATCHED: (condition, assigned columns, value expressions) over
+    /// the combined row.
+    pub(crate) matched: Option<(Option<PExpr>, Vec<usize>, Vec<PExpr>)>,
+    /// WHEN NOT MATCHED: (columns, value expressions) over the source row.
+    pub(crate) not_matched: Option<(Vec<usize>, Vec<PExpr>)>,
+    pub(crate) subplans: Vec<SubPlan>,
+}
+
+/// A shared handle to a prepared plan (cheap to clone; the engine keeps
+/// the canonical copy in its plan cache).
+pub type PlanHandle = Rc<PreparedPlan>;
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth)
+}
+
+fn describe_source(sp: &SourcePlan, depth: usize, out: &mut Vec<String>) {
+    let pad = indent(depth);
+    match &sp.input {
+        InputPlan::Nothing => out.push(format!("{pad}CONST ROW")),
+        InputPlan::Scan { table, binding } => out.push(format!(
+            "{pad}SCAN {table} ({binding}) full scan, {} pushed filter(s)",
+            sp.filter.len()
+        )),
+        InputPlan::Lookup {
+            table,
+            binding,
+            cols,
+            ..
+        } => out.push(format!(
+            "{pad}SCAN {table} ({binding}) via index lookup on columns {cols:?}"
+        )),
+        InputPlan::Derived(sub) => {
+            out.push(format!(
+                "{pad}DERIVED (materialized, {} filter(s))",
+                sp.filter.len()
+            ));
+            describe_select(sub, depth + 1, out);
+        }
+    }
+}
+
+fn describe_select(sp: &SelectPlan, depth: usize, out: &mut Vec<String>) {
+    let pad = indent(depth);
+    describe_source(&sp.from.source, depth, out);
+    for j in &sp.from.joins {
+        match j {
+            JoinPlan::IndexLoop {
+                table,
+                binding,
+                path_cols,
+                ..
+            } => out.push(format!(
+                "{pad}INDEX NESTED LOOP JOIN {table} ({binding}) probing index columns {path_cols:?}"
+            )),
+            JoinPlan::Hash {
+                right, left_keys, ..
+            } => {
+                out.push(format!(
+                    "{pad}HASH JOIN on {} column(s)",
+                    left_keys.len()
+                ));
+                if let RightPlan::Derived(sub) = right {
+                    describe_select(sub, depth + 1, out);
+                }
+            }
+            JoinPlan::Loop { right, .. } => {
+                out.push(format!("{pad}NESTED LOOP JOIN"));
+                if let RightPlan::Derived(sub) = right {
+                    describe_select(sub, depth + 1, out);
+                }
+            }
+        }
+    }
+    if let Some(agg) = &sp.agg {
+        out.push(format!(
+            "{pad}AGGREGATE ({} group key(s), {} aggregate(s))",
+            agg.group.len(),
+            agg.aggs.len()
+        ));
+    }
+    if !sp.windows.is_empty() {
+        out.push(format!("{pad}WINDOW ({} function(s))", sp.windows.len()));
+    }
+    if !sp.order_by.is_empty() {
+        out.push(format!("{pad}SORT ({} key(s))", sp.order_by.len()));
+    }
+    if sp.distinct {
+        out.push(format!("{pad}DISTINCT"));
+    }
+    if let Some(cap) = sp.cap {
+        out.push(format!("{pad}LIMIT {cap}"));
+    }
+    describe_subplans(&sp.subplans, depth + 1, out);
+}
+
+fn describe_subplans(subs: &[SubPlan], depth: usize, out: &mut Vec<String>) {
+    for (i, s) in subs.iter().enumerate() {
+        let (kind, plan) = match s {
+            SubPlan::Scalar(p) => ("scalar", p),
+            SubPlan::List(p) => ("IN-list", p),
+            SubPlan::Exists(p) => ("EXISTS", p),
+        };
+        out.push(format!("{}SUBQUERY #{i} ({kind})", indent(depth)));
+        describe_select(plan, depth + 1, out);
+    }
+}

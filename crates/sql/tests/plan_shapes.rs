@@ -1,0 +1,227 @@
+//! Plan-shape regression tests: which access path and join strategy a
+//! prepared plan chose (via `PreparedStmt::describe`), plus the
+//! catalog-version invalidation rules — prepare → DDL → re-execute must
+//! transparently replan (picking up new indexes, erroring cleanly on
+//! dropped tables), while TRUNCATE must NOT invalidate anything.
+
+use fempath_sql::{Database, SqlError};
+use fempath_storage::Value;
+
+fn db() -> Database {
+    let mut d = Database::in_memory(256);
+    d.execute("CREATE TABLE TVisited (nid INT, d2s INT, f INT, PRIMARY KEY(nid))")
+        .unwrap();
+    d.execute("CREATE TABLE TEdges (fid INT, tid INT, cost INT)")
+        .unwrap();
+    d.execute("CREATE CLUSTERED INDEX ix_e ON TEdges(fid)")
+        .unwrap();
+    d.execute("CREATE TABLE bare (x INT, y INT)").unwrap();
+    for i in 0..20i64 {
+        d.execute_params(
+            "INSERT INTO TVisited VALUES (?, ?, 0)",
+            &[Value::Int(i), Value::Int(i % 5)],
+        )
+        .unwrap();
+        d.execute_params(
+            "INSERT INTO TEdges VALUES (?, ?, 1)",
+            &[Value::Int(i), Value::Int((i + 1) % 20)],
+        )
+        .unwrap();
+        d.execute_params(
+            "INSERT INTO bare VALUES (?, ?)",
+            &[Value::Int(i % 4), Value::Int(i)],
+        )
+        .unwrap();
+    }
+    d
+}
+
+fn describe(d: &mut Database, sql: &str) -> String {
+    d.prepare(sql).unwrap().describe().join("\n")
+}
+
+#[test]
+fn point_lookup_uses_unique_index() {
+    let mut d = db();
+    let plan = describe(&mut d, "SELECT d2s FROM TVisited WHERE nid = 7");
+    assert!(
+        plan.contains("via index lookup on columns [0]"),
+        "expected index lookup, got:\n{plan}"
+    );
+}
+
+#[test]
+fn clustered_prefix_lookup() {
+    let mut d = db();
+    let plan = describe(&mut d, "SELECT tid FROM TEdges WHERE fid = ?");
+    assert!(
+        plan.contains("SCAN TEdges (TEdges) via index lookup on columns [0]"),
+        "expected clustered prefix lookup, got:\n{plan}"
+    );
+}
+
+#[test]
+fn unindexed_predicate_full_scans() {
+    let mut d = db();
+    let plan = describe(&mut d, "SELECT y FROM bare WHERE x = 1");
+    assert!(
+        plan.contains("full scan, 1 pushed filter(s)"),
+        "expected filtered full scan, got:\n{plan}"
+    );
+}
+
+#[test]
+fn join_with_inner_index_is_index_nested_loop() {
+    let mut d = db();
+    let plan = describe(
+        &mut d,
+        "SELECT q.nid, e.tid FROM TVisited q, TEdges e WHERE q.nid = e.fid",
+    );
+    assert!(
+        plan.contains("INDEX NESTED LOOP JOIN TEdges (e) probing index columns [0]"),
+        "expected index nested loop, got:\n{plan}"
+    );
+}
+
+#[test]
+fn join_without_index_is_hash_join() {
+    let mut d = db();
+    let plan = describe(
+        &mut d,
+        "SELECT a.y, b.y FROM bare a, bare b WHERE a.x = b.x",
+    );
+    assert!(
+        plan.contains("HASH JOIN on 1 column(s)"),
+        "expected hash join, got:\n{plan}"
+    );
+}
+
+#[test]
+fn join_without_equalities_is_nested_loop() {
+    let mut d = db();
+    let plan = describe(
+        &mut d,
+        "SELECT a.y, b.y FROM bare a, bare b WHERE a.x < b.x",
+    );
+    assert!(
+        plan.contains("NESTED LOOP JOIN"),
+        "expected nested loop, got:\n{plan}"
+    );
+}
+
+#[test]
+fn aggregate_and_limit_stages_appear() {
+    let mut d = db();
+    let plan = describe(
+        &mut d,
+        "SELECT TOP 3 x, COUNT(*) FROM bare GROUP BY x ORDER BY x",
+    );
+    assert!(
+        plan.contains("AGGREGATE (1 group key(s), 1 aggregate(s))"),
+        "{plan}"
+    );
+    assert!(plan.contains("SORT"), "{plan}");
+    assert!(plan.contains("LIMIT 3"), "{plan}");
+}
+
+#[test]
+fn update_from_probes_target_index() {
+    let mut d = db();
+    let plan = describe(
+        &mut d,
+        "UPDATE TVisited SET d2s = e.cost FROM TEdges e \
+         WHERE TVisited.nid = e.tid AND TVisited.d2s > e.cost",
+    );
+    assert!(
+        plan.contains("UPDATE TVisited probing columns [0]"),
+        "expected probe on nid, got:\n{plan}"
+    );
+}
+
+#[test]
+fn prepared_select_picks_up_new_index_after_create() {
+    let mut d = db();
+    let sql = "SELECT y FROM bare WHERE x = 2";
+    let stmt = d.prepare(sql).unwrap();
+    assert!(stmt.describe().join("\n").contains("full scan"));
+    let before = d.execute_prepared(&stmt, &[]).unwrap();
+
+    d.execute("CREATE INDEX ix_bare_x ON bare(x)").unwrap();
+    // The old handle is stale but still executes (transparent replan) and
+    // returns the same rows.
+    let after = d.execute_prepared(&stmt, &[]).unwrap();
+    assert_eq!(before.rows.unwrap().rows, after.rows.unwrap().rows);
+    // A fresh prepare of the same SQL now chooses the index.
+    let replanned = d.prepare(sql).unwrap();
+    assert!(
+        replanned
+            .describe()
+            .join("\n")
+            .contains("via index lookup on columns [0]"),
+        "replanned:\n{}",
+        replanned.describe().join("\n")
+    );
+    assert!(replanned.catalog_version() > stmt.catalog_version());
+}
+
+#[test]
+fn dropped_table_fails_cleanly_not_stale() {
+    let mut d = db();
+    let stmt = d.prepare("SELECT y FROM bare WHERE x = 2").unwrap();
+    d.execute_prepared(&stmt, &[]).unwrap();
+    d.execute("DROP TABLE bare").unwrap();
+    let err = d.execute_prepared(&stmt, &[]);
+    assert!(
+        matches!(err, Err(SqlError::Catalog(_))),
+        "expected catalog error after DROP TABLE, got {err:?}"
+    );
+}
+
+#[test]
+fn truncate_does_not_invalidate_plans() {
+    let mut d = db();
+    let stmt = d.prepare("SELECT COUNT(*) FROM bare").unwrap();
+    let v = d.catalog_version();
+    assert_eq!(
+        d.execute_prepared(&stmt, &[]).unwrap().rows.unwrap().rows,
+        vec![vec![Value::Int(20)]]
+    );
+    d.execute("TRUNCATE TABLE bare").unwrap();
+    assert_eq!(d.catalog_version(), v, "TRUNCATE must not bump the version");
+    assert_eq!(
+        d.execute_prepared(&stmt, &[]).unwrap().rows.unwrap().rows,
+        vec![vec![Value::Int(0)]]
+    );
+}
+
+#[test]
+fn plan_cache_hits_across_executions() {
+    let mut d = db();
+    let sql = "SELECT d2s FROM TVisited WHERE nid = ?";
+    for i in 0..10i64 {
+        d.execute_params(sql, &[Value::Int(i)]).unwrap();
+    }
+    let cached = d.cached_plans();
+    for i in 0..10i64 {
+        d.execute_params(sql, &[Value::Int(i)]).unwrap();
+    }
+    assert_eq!(d.cached_plans(), cached, "re-execution must not re-plan");
+}
+
+#[test]
+fn prepared_handle_metadata() {
+    let mut d = db();
+    let stmt = d
+        .prepare("SELECT d2s FROM TVisited WHERE nid = ? AND d2s < ?")
+        .unwrap();
+    assert_eq!(stmt.param_count(), 2);
+    assert_eq!(
+        stmt.sql(),
+        "SELECT d2s FROM TVisited WHERE nid = ? AND d2s < ?"
+    );
+    // Executing with too few parameters errors cleanly.
+    assert!(matches!(
+        d.execute_prepared(&stmt, &[Value::Int(1)]),
+        Err(SqlError::ParamCount { .. })
+    ));
+}
