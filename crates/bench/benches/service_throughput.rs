@@ -1,0 +1,50 @@
+//! Criterion microbenches for the concurrent [`PathService`]
+//! (DESIGN.md §10): per-query latency through the service at different
+//! worker counts, and the batched entry point, on a fixed power-law
+//! graph. The paperbench `service-throughput` experiment measures the
+//! saturated-throughput curve; this group tracks the per-call overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fempath_bench::harness::query_pairs;
+use fempath_core::PathService;
+use fempath_graph::generate;
+use std::hint::black_box;
+
+const N: usize = 1000;
+
+fn bench_service(c: &mut Criterion) {
+    let g = generate::power_law(N, 3, 1..=100, 42);
+    let pairs = query_pairs(N, 16, 42);
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+
+    for workers in [1usize, 4] {
+        let svc = PathService::new(&g, workers).unwrap();
+        // Warm the shared plan cache so the measurement is steady-state.
+        svc.query(pairs[0].0, pairs[0].1).unwrap();
+        let mut i = 0usize;
+        group.bench_function(&format!("query_w{workers}"), |b| {
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                let out = svc.query(s, t).unwrap();
+                black_box(out.path.is_some());
+            });
+        });
+    }
+
+    let svc = PathService::new(&g, 4).unwrap();
+    svc.query(pairs[0].0, pairs[0].1).unwrap();
+    group.bench_function("query_batch_16_w4", |b| {
+        b.iter(|| {
+            let paths = svc.query_batch(&pairs).unwrap();
+            black_box(paths.len());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod service;
 pub mod table2;
 pub mod table3;
 
@@ -39,6 +40,7 @@ pub const ALL: &[&str] = &[
     "fig9h",
     "ablation-prune",
     "batch-throughput",
+    "service-throughput",
 ];
 
 /// Runs one experiment by id. With `cfg.json` set, the experiment's
@@ -83,6 +85,7 @@ fn dispatch(id: &str, cfg: &BenchConfig) -> Result<()> {
         "fig9h" => fig9::fig9h(cfg),
         "ablation-prune" => ablation::prune(cfg),
         "batch-throughput" => batch::throughput(cfg),
+        "service-throughput" => service::throughput(cfg),
         other => Err(fempath_sql::SqlError::Eval(format!(
             "unknown experiment {other}; known: {}",
             ALL.join(", ")

@@ -6,7 +6,7 @@
 
 use crate::segtable::SegTableStats;
 use fempath_graph::{load_graph, Graph, IndexKind, LoadOptions};
-use fempath_sql::{Database, Dialect, Result, SqlError};
+use fempath_sql::{Database, DbSnapshot, Dialect, Result, SqlError};
 
 /// The "infinity" distance constant (the paper's `Max` in Listing 4(2)).
 /// Large enough that `INF + any path length` never overflows `i64`.
@@ -253,7 +253,97 @@ impl GraphDb {
     pub fn merge_supported(&self) -> bool {
         self.db.dialect().supports_merge
     }
+
+    /// Freezes this database into an immutable [`GraphSnapshot`] that many
+    /// worker sessions can share (DESIGN.md §10).
+    ///
+    /// Every working table ([`GraphDb::reset_visited`] and friends) is
+    /// created *before* the freeze, so sessions never issue DDL: the
+    /// catalog version is identical across sessions and one shared plan
+    /// cache serves all of them. Build optional static structures — the
+    /// SegTable, landmark tables — before calling this so they land in
+    /// the shared read-only image.
+    pub fn freeze(mut self) -> Result<GraphSnapshot> {
+        self.reset_visited()?;
+        self.reset_exp()?;
+        self.reset_batch_tables()?;
+        self.reset_batch_exp()?;
+        Ok(GraphSnapshot {
+            num_nodes: self.num_nodes,
+            num_arcs: self.num_arcs,
+            min_weight: self.min_weight,
+            visited_index: self.visited_index,
+            edges_index: self.edges_index,
+            segtable: self.segtable,
+            snap: self.db.freeze()?,
+        })
+    }
 }
+
+/// An immutable, `Arc`-shareable image of a [`GraphDb`]: the frozen page
+/// image holding `TNodes`/`TEdges` (and any SegTable / landmark tables),
+/// the catalog template, and a plan cache shared by every session.
+///
+/// [`GraphSnapshot::session`] stamps out independent [`GraphDb`] sessions:
+/// reads hit the shared pages, writes (the per-query working tables
+/// `TVisited`/`TExp`/`TBVisited`/`TBounds`/`TBExp`) land in each session's
+/// private copy-on-write overlay. `Send + Sync`, so sessions can be
+/// created from any thread — [`crate::PathService`] builds its worker
+/// pool on exactly this.
+pub struct GraphSnapshot {
+    snap: DbSnapshot,
+    num_nodes: usize,
+    num_arcs: usize,
+    min_weight: u32,
+    visited_index: IndexKind,
+    edges_index: IndexKind,
+    segtable: Option<SegTableInfo>,
+}
+
+impl GraphSnapshot {
+    /// A new private session over the shared graph image.
+    pub fn session(&self) -> GraphDb {
+        GraphDb {
+            db: self.snap.session(),
+            num_nodes: self.num_nodes,
+            num_arcs: self.num_arcs,
+            min_weight: self.min_weight,
+            visited_index: self.visited_index,
+            edges_index: self.edges_index,
+            segtable: self.segtable,
+        }
+    }
+
+    /// Number of nodes in the frozen graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed arcs in the frozen graph.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Pages in the shared read-only image.
+    pub fn base_pages(&self) -> u64 {
+        self.snap.base_pages()
+    }
+
+    /// The SegTable frozen into the image, if one was built.
+    pub fn segtable(&self) -> Option<SegTableInfo> {
+        self.segtable
+    }
+
+    /// Plans currently in the cross-session shared cache (diagnostics).
+    pub fn shared_plan_count(&self) -> usize {
+        self.snap.shared_plan_count()
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphSnapshot>();
+};
 
 #[cfg(test)]
 mod tests {

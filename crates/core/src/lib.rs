@@ -11,6 +11,8 @@
 //! * [`algo`] — DJ, BDJ, BSDJ, BBFS and BSEG (§3.4, §4), plus the batched
 //!   BatchDJ / BatchBDJ finders answering many (s, t) pairs per iteration,
 //! * [`segtable`] — SegTable construction (§4.2),
+//! * [`service`] — the concurrent [`PathService`] over `Arc`-shared
+//!   read-only graph snapshots (DESIGN.md §10),
 //! * [`prim`] — Prim's MST via FEM (the §3.1 extension),
 //! * [`stats`] — per-phase / per-operator measurement.
 //!
@@ -34,6 +36,7 @@ pub mod pattern;
 pub mod prim;
 pub mod reach;
 pub mod segtable;
+pub mod service;
 pub mod sqlgen;
 pub mod sssp;
 pub mod stats;
@@ -44,12 +47,13 @@ pub use algo::{
     ShortestPathFinder,
 };
 pub use fem::{run_batch_fem, run_fem, BatchFemSearch, FemSearch};
-pub use graphdb::{GraphDb, GraphDbOptions, SegTableInfo, INF, NO_NODE};
+pub use graphdb::{GraphDb, GraphDbOptions, GraphSnapshot, SegTableInfo, INF, NO_NODE};
 pub use landmarks::{build_landmarks, estimate_distance, DistanceBounds};
 pub use pattern::{match_label_path, set_labels};
 pub use prim::{prim_mst, MstResult};
 pub use reach::{component_size, reachable};
 pub use segtable::{build_segtable, build_segtable_with, SegTableStats};
+pub use service::{PathService, PathServiceOptions, ServiceAlgorithm};
 pub use sssp::{single_source, SsspEntry, SsspResult};
 pub use stats::{FemOperator, Phase, QueryStats, SqlStyle};
 

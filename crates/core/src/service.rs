@@ -1,0 +1,323 @@
+//! [`PathService`]: a concurrent shortest-path query service.
+//!
+//! The paper's FEM framework already splits state into a large immutable
+//! edge relation and small per-query working tables; this module turns
+//! that split into a serving architecture (DESIGN.md §10). The graph is
+//! loaded once, frozen into an [`GraphSnapshot`] (an `Arc`-shared
+//! read-only page image plus a cross-session plan cache), and a pool of
+//! worker threads each owns a private session — its own buffer pool,
+//! copy-on-write overlay for the working tables, and prepared-statement
+//! set. Queries are dispatched over a channel and answered in parallel;
+//! batched queries are tiled across the pool and advanced by the batched
+//! FEM finders.
+//!
+//! ```
+//! use fempath_core::PathService;
+//! use fempath_graph::generate;
+//!
+//! let g = generate::grid(6, 6, 1..=10, 7);
+//! let svc = PathService::new(&g, 4).unwrap();
+//! let out = svc.query(0, 35).unwrap();
+//! assert!(out.path.is_some(), "grid is connected");
+//! let paths = svc.query_batch(&[(0, 35), (5, 30), (7, 7)]).unwrap();
+//! assert_eq!(paths.len(), 3);
+//! ```
+
+use crate::algo::{
+    BatchBdjFinder, BatchShortestPathFinder, BbfsFinder, BdjFinder, BsdjFinder, DjFinder, Path,
+    PathOutcome, ShortestPathFinder,
+};
+use crate::graphdb::{GraphDb, GraphDbOptions, GraphSnapshot};
+use fempath_graph::Graph;
+use fempath_sql::{Result, SqlError};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Which relational finder answers single-pair queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ServiceAlgorithm {
+    /// Single-directional Dijkstra (Algorithm 1) — mostly for comparison.
+    Dj,
+    /// Bidirectional Dijkstra — the service default.
+    #[default]
+    Bdj,
+    /// Bidirectional set Dijkstra (the paper's strongest raw-edge finder).
+    Bsdj,
+    /// Bidirectional BFS-style relaxation.
+    Bbfs,
+}
+
+impl ServiceAlgorithm {
+    fn finder(self) -> Box<dyn ShortestPathFinder + Send> {
+        match self {
+            ServiceAlgorithm::Dj => Box::new(DjFinder::default()),
+            ServiceAlgorithm::Bdj => Box::new(BdjFinder::default()),
+            ServiceAlgorithm::Bsdj => Box::new(BsdjFinder::default()),
+            ServiceAlgorithm::Bbfs => Box::new(BbfsFinder::default()),
+        }
+    }
+}
+
+/// Configuration for a [`PathService`].
+#[derive(Debug, Clone)]
+pub struct PathServiceOptions {
+    /// Worker threads (and concurrent sessions). 0 is clamped to 1.
+    pub workers: usize,
+    /// Database build options (buffer budget, dialect, index strategies).
+    pub graphdb: GraphDbOptions,
+    /// Finder answering single-pair queries; batches always run the
+    /// batched bidirectional finder.
+    pub algorithm: ServiceAlgorithm,
+}
+
+impl Default for PathServiceOptions {
+    fn default() -> Self {
+        PathServiceOptions {
+            workers: 4,
+            graphdb: GraphDbOptions::default(),
+            algorithm: ServiceAlgorithm::default(),
+        }
+    }
+}
+
+/// One unit of work dispatched to the pool.
+enum Job {
+    Single {
+        s: i64,
+        t: i64,
+        reply: Sender<Result<PathOutcome>>,
+    },
+    Batch {
+        pairs: Vec<(i64, i64)>,
+        /// Index of `pairs[0]` in the caller's slice.
+        offset: usize,
+        reply: Sender<(usize, Result<Vec<Option<Path>>>)>,
+    },
+}
+
+/// A concurrent shortest-path service over one frozen graph.
+///
+/// Construction loads and freezes the graph, then spawns the worker pool;
+/// [`PathService::query`] and [`PathService::query_batch`] may be called
+/// from any number of threads concurrently (`&self`, `Send + Sync`).
+/// Dropping the service shuts the pool down.
+pub struct PathService {
+    snapshot: Arc<GraphSnapshot>,
+    queue: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PathService {
+    /// Loads `graph` and serves it with `workers` threads and default
+    /// options.
+    pub fn new(graph: &Graph, workers: usize) -> Result<PathService> {
+        PathService::with_options(
+            graph,
+            &PathServiceOptions {
+                workers,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Loads `graph` with explicit options.
+    pub fn with_options(graph: &Graph, opts: &PathServiceOptions) -> Result<PathService> {
+        let gdb = GraphDb::new(graph, &opts.graphdb)?;
+        Ok(PathService::from_snapshot(
+            Arc::new(gdb.freeze()?),
+            opts.workers,
+            opts.algorithm,
+        ))
+    }
+
+    /// Serves an existing snapshot — use this to pre-build the SegTable
+    /// or landmark tables into the shared image first
+    /// ([`GraphDb::freeze`]), or to run several services over one image.
+    pub fn from_snapshot(
+        snapshot: Arc<GraphSnapshot>,
+        workers: usize,
+        algorithm: ServiceAlgorithm,
+    ) -> PathService {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let snapshot = snapshot.clone();
+                std::thread::spawn(move || worker_loop(&snapshot, &rx, algorithm))
+            })
+            .collect();
+        PathService {
+            snapshot,
+            queue: tx,
+            workers: handles,
+        }
+    }
+
+    /// Shortest path from `s` to `t`, answered by the next free worker.
+    pub fn query(&self, s: i64, t: i64) -> Result<PathOutcome> {
+        let (reply, result) = channel();
+        self.queue
+            .send(Job::Single { s, t, reply })
+            .map_err(|_| worker_pool_down())?;
+        result.recv().map_err(|_| worker_pool_down())?
+    }
+
+    /// Answers many (s, t) pairs, tiling them across the worker pool;
+    /// `paths[i]` answers `pairs[i]`. Each tile runs the batched
+    /// bidirectional FEM finder (DESIGN.md §8) in one worker session.
+    pub fn query_batch(&self, pairs: &[(i64, i64)]) -> Result<Vec<Option<Path>>> {
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk = pairs.len().div_ceil(self.workers.len()).max(1);
+        let (reply, results) = channel();
+        let mut outstanding = 0usize;
+        for (i, tile) in pairs.chunks(chunk).enumerate() {
+            self.queue
+                .send(Job::Batch {
+                    pairs: tile.to_vec(),
+                    offset: i * chunk,
+                    reply: reply.clone(),
+                })
+                .map_err(|_| worker_pool_down())?;
+            outstanding += 1;
+        }
+        // Drop our own sender clone: if a worker dies without replying,
+        // the channel closes and recv() errors instead of hanging forever.
+        drop(reply);
+        let mut out: Vec<Option<Path>> = vec![None; pairs.len()];
+        let mut first_err: Option<SqlError> = None;
+        for _ in 0..outstanding {
+            let (offset, res) = results.recv().map_err(|_| worker_pool_down())?;
+            match res {
+                Ok(paths) => {
+                    for (i, p) in paths.into_iter().enumerate() {
+                        out[offset + i] = p;
+                    }
+                }
+                Err(e) => first_err = Some(first_err.unwrap_or(e)),
+            }
+        }
+        match first_err {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared snapshot backing the pool.
+    pub fn snapshot(&self) -> &Arc<GraphSnapshot> {
+        &self.snapshot
+    }
+}
+
+impl Drop for PathService {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop.
+        let (dead, _) = channel();
+        self.queue = dead;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PathService>();
+};
+
+fn worker_pool_down() -> SqlError {
+    SqlError::Eval("path service worker pool is shut down".into())
+}
+
+/// One worker: a private session over the shared snapshot, draining the
+/// job queue until the service drops the sender side.
+fn worker_loop(
+    snapshot: &GraphSnapshot,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    algorithm: ServiceAlgorithm,
+) {
+    let mut session = snapshot.session();
+    let finder = algorithm.finder();
+    let batch_finder = BatchBdjFinder::default();
+    loop {
+        // Hold the lock only to dequeue, never while executing.
+        let job = match rx.lock() {
+            Ok(q) => q.recv(),
+            Err(_) => return, // poisoned: a sibling worker panicked
+        };
+        match job {
+            Err(_) => return, // queue closed: service dropped
+            Ok(Job::Single { s, t, reply }) => {
+                let _ = reply.send(finder.find_path(&mut session, s, t));
+            }
+            Ok(Job::Batch {
+                pairs,
+                offset,
+                reply,
+            }) => {
+                let res = batch_finder
+                    .find_paths(&mut session, &pairs)
+                    .map(|out| out.paths);
+                let _ = reply.send((offset, res));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fempath_graph::generate;
+
+    #[test]
+    fn serves_single_queries() {
+        let g = generate::grid(5, 5, 1..=10, 3);
+        let svc = PathService::new(&g, 2).unwrap();
+        let out = svc.query(0, 24).unwrap();
+        let p = out.path.expect("grid is connected");
+        assert_eq!(p.nodes.first(), Some(&0));
+        assert_eq!(p.nodes.last(), Some(&24));
+        // Trivial and invalid queries behave like the direct finders.
+        assert_eq!(svc.query(3, 3).unwrap().path.unwrap().length, 0);
+        assert!(svc.query(0, 999).is_err());
+    }
+
+    #[test]
+    fn serves_batches_in_caller_order() {
+        let g = generate::grid(4, 4, 1..=10, 9);
+        let svc = PathService::new(&g, 3).unwrap();
+        let pairs = vec![(0, 15), (1, 1), (15, 0), (2, 13), (0, 5)];
+        let paths = svc.query_batch(&pairs).unwrap();
+        assert_eq!(paths.len(), pairs.len());
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let p = paths[i].as_ref().expect("grid is connected");
+            assert_eq!(p.nodes.first(), Some(&s));
+            assert_eq!(p.nodes.last(), Some(&t));
+        }
+        // Forward and reverse of the same pair agree on length.
+        assert_eq!(
+            paths[0].as_ref().unwrap().length,
+            paths[2].as_ref().unwrap().length
+        );
+    }
+
+    #[test]
+    fn sessions_share_plans_after_warmup() {
+        let g = generate::grid(4, 4, 1..=10, 5);
+        let svc = PathService::new(&g, 2).unwrap();
+        svc.query(0, 15).unwrap();
+        assert!(
+            svc.snapshot().shared_plan_count() > 0,
+            "first query should publish its plans to the shared cache"
+        );
+    }
+}

@@ -45,6 +45,10 @@ impl RowLoc {
 }
 
 /// Physical storage of a table.
+///
+/// `Clone` duplicates only the in-memory handles (heap metadata / tree
+/// root); see [`Catalog`]'s `Clone` note for when that is sound.
+#[derive(Clone)]
 pub enum TableStorage {
     Heap(HeapFile),
     Clustered {
@@ -59,6 +63,7 @@ pub enum TableStorage {
 }
 
 /// A secondary index.
+#[derive(Clone)]
 pub struct SecondaryIndex {
     pub name: String,
     pub cols: Vec<usize>,
@@ -83,6 +88,7 @@ impl TableSchema {
 }
 
 /// A table: schema + storage + indexes.
+#[derive(Clone)]
 pub struct Table {
     pub schema: TableSchema,
     pub storage: TableStorage,
@@ -487,7 +493,14 @@ fn format_key(row: &[Value], cols: &[usize]) -> String {
 }
 
 /// The database catalog.
-#[derive(Default)]
+///
+/// `Clone` duplicates the schema plus every table's in-memory storage
+/// handles, **not** the pages they address. It exists for the snapshot
+/// architecture (DESIGN.md §10): a frozen database's catalog is the
+/// template cloned into each copy-on-write session, where page writes
+/// land in the session's private overlay. Cloning a catalog while the
+/// original keeps mutating the same buffer pool is not supported.
+#[derive(Default, Clone)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
     views: HashMap<String, crate::ast::Select>,

@@ -22,9 +22,11 @@ use crate::exec::eval::ExecCtx;
 use crate::exec::{dml, select};
 use crate::parser::parse_statement;
 use crate::plan::{self, PlanKind, PreparedPlan};
-use fempath_storage::{BufferPool, IoStats, Value};
+use fempath_storage::{BufferPool, IoStats, SnapshotPages, Value};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
@@ -75,7 +77,7 @@ impl ResultSet {
 /// the statement no longer compiles, e.g. after `DROP TABLE`).
 #[derive(Clone)]
 pub struct PreparedStmt {
-    plan: Rc<PreparedPlan>,
+    plan: Arc<PreparedPlan>,
 }
 
 impl PreparedStmt {
@@ -101,18 +103,225 @@ impl PreparedStmt {
 }
 
 /// Plan-cache size bound: statements beyond this are still planned, but
-/// the cache is pruned (stale versions first) to stay bounded when callers
-/// execute unbounded families of literal SQL strings.
+/// the cache evicts (stale versions first, then true LRU) to stay bounded
+/// when callers execute unbounded families of literal SQL strings.
 const PLAN_CACHE_CAP: usize = 512;
+
+/// A session-local plan cache: per-SQL-string entries stamped with the
+/// catalog version they were compiled against, bounded by
+/// [`PLAN_CACHE_CAP`] with LRU eviction.
+///
+/// Entries from superseded catalog versions are dropped eagerly the first
+/// time the cache is consulted after DDL bumps the version — they can
+/// never be returned again, and before this eager sweep a long-lived
+/// session that kept issuing *new* statement texts after DDL would retain
+/// every stale plan until the cap was hit (the plan-cache leak fixed in
+/// this revision).
+struct PlanCache {
+    entries: HashMap<String, (Arc<PreparedPlan>, u64)>,
+    /// Monotonic access counter backing LRU eviction.
+    tick: u64,
+    /// Catalog version the last stale sweep ran against.
+    swept_version: u64,
+}
+
+impl PlanCache {
+    fn new() -> PlanCache {
+        PlanCache {
+            entries: HashMap::new(),
+            tick: 0,
+            swept_version: 0,
+        }
+    }
+
+    /// Drops every entry compiled against a superseded catalog version.
+    /// Cheap no-op while the version is unchanged.
+    fn sweep_stale(&mut self, version: u64) {
+        if self.swept_version == version {
+            return;
+        }
+        self.entries
+            .retain(|_, (p, _)| p.catalog_version() == version);
+        self.swept_version = version;
+    }
+
+    fn get(&mut self, sql: &str, version: u64) -> Option<Arc<PreparedPlan>> {
+        let (plan, last_used) = self.entries.get_mut(sql)?;
+        if plan.catalog_version() != version {
+            return None;
+        }
+        self.tick += 1;
+        *last_used = self.tick;
+        Some(plan.clone())
+    }
+
+    fn insert(&mut self, plan: Arc<PreparedPlan>) {
+        if self.entries.len() >= PLAN_CACHE_CAP && !self.entries.contains_key(plan.sql()) {
+            // Evict the least-recently-used entry; stale entries were
+            // already swept, so this only fires when the workload truly
+            // churns distinct current-version statements.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(sql, _)| sql.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.entries
+            .insert(plan.sql().to_string(), (plan, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Shards in a [`SharedPlanCache`] — bounds write-lock contention when
+/// many sessions compile statements concurrently.
+const SHARED_PLAN_SHARDS: usize = 8;
+/// Per-shard entry bound for the shared cache.
+const SHARED_PLAN_SHARD_CAP: usize = 256;
+
+/// A plan cache shared by every session of one [`DbSnapshot`]: a sharded
+/// `RwLock` map from SQL text to compiled plan. Snapshot sessions never
+/// run DDL (the working tables are created before freezing), so their
+/// catalog versions all stay at the freeze version and one compiled plan
+/// serves every worker; entries whose stamp mismatches a reader's version
+/// are simply ignored (and overwritten by the next publisher).
+pub struct SharedPlanCache {
+    shards: Vec<RwLock<HashMap<String, Arc<PreparedPlan>>>>,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new()
+    }
+}
+
+impl SharedPlanCache {
+    /// An empty shared cache.
+    pub fn new() -> SharedPlanCache {
+        SharedPlanCache {
+            shards: (0..SHARED_PLAN_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, sql: &str) -> &RwLock<HashMap<String, Arc<PreparedPlan>>> {
+        let mut h = DefaultHasher::new();
+        sql.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, sql: &str, version: u64) -> Option<Arc<PreparedPlan>> {
+        let shard = self.shard(sql).read().ok()?;
+        shard
+            .get(sql)
+            .filter(|p| p.catalog_version() == version)
+            .cloned()
+    }
+
+    fn insert(&self, plan: &Arc<PreparedPlan>) {
+        let Ok(mut shard) = self.shard(plan.sql()).write() else {
+            return; // poisoned shard: skip publishing, sessions keep local copies
+        };
+        if shard.len() >= SHARED_PLAN_SHARD_CAP && !shard.contains_key(plan.sql()) {
+            let version = plan.catalog_version();
+            shard.retain(|_, p| p.catalog_version() == version);
+            if shard.len() >= SHARED_PLAN_SHARD_CAP {
+                shard.clear();
+            }
+        }
+        shard.insert(plan.sql().to_string(), plan.clone());
+    }
+
+    /// Total cached plans across all shards (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().map(|m| m.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A frozen, immutable image of a [`Database`]: the flushed page image
+/// behind an `Arc`, the catalog as a cloneable template, and a
+/// [`SharedPlanCache`]. [`DbSnapshot::session`] stamps out independent
+/// [`Database`] sessions whose reads share the frozen pages and whose
+/// writes (working tables, indexes) go to private copy-on-write overlays —
+/// the shared-snapshot / per-session-state architecture of DESIGN.md §10.
+pub struct DbSnapshot {
+    pages: SnapshotPages,
+    catalog: Catalog,
+    dialect: Dialect,
+    buffer_pages: usize,
+    shared_plans: Arc<SharedPlanCache>,
+}
+
+impl DbSnapshot {
+    /// A new session over the snapshot (buffer capacity inherited from the
+    /// frozen database).
+    pub fn session(&self) -> Database {
+        self.session_with_buffer(self.buffer_pages)
+    }
+
+    /// A new session with an explicit buffer-pool capacity in pages.
+    pub fn session_with_buffer(&self, buffer_pages: usize) -> Database {
+        let mut db = Database::with_pool(BufferPool::on_snapshot(self.pages.clone(), buffer_pages));
+        db.catalog = self.catalog.clone();
+        db.dialect = self.dialect;
+        db.shared_plans = Some(self.shared_plans.clone());
+        db
+    }
+
+    /// Number of pages in the shared base image.
+    pub fn base_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Catalog version sessions start from.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
+    }
+
+    /// Plans currently in the shared cache (diagnostics).
+    pub fn shared_plan_count(&self) -> usize {
+        self.shared_plans.len()
+    }
+}
 
 /// An embedded relational database instance.
 pub struct Database {
     pool: BufferPool,
     catalog: Catalog,
     dialect: Dialect,
-    plan_cache: HashMap<String, Rc<PreparedPlan>>,
+    plan_cache: PlanCache,
+    /// Present on snapshot sessions: the cache shared with every sibling
+    /// session of the same [`DbSnapshot`].
+    shared_plans: Option<Arc<SharedPlanCache>>,
     statements_executed: u64,
 }
+
+// A session (and its prepared handles) must be movable to a worker
+// thread, and a snapshot must be shareable between spawners.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Database>();
+    assert_send::<PreparedStmt>();
+    assert_sync::<PreparedStmt>();
+    assert_send::<DbSnapshot>();
+    assert_sync::<DbSnapshot>();
+};
 
 impl Database {
     /// A database whose pages live in memory (tests, small examples).
@@ -132,9 +341,29 @@ impl Database {
             pool,
             catalog: Catalog::new(),
             dialect: Dialect::default(),
-            plan_cache: HashMap::new(),
+            plan_cache: PlanCache::new(),
+            shared_plans: None,
             statements_executed: 0,
         }
+    }
+
+    /// Freezes the database into an immutable, shareable [`DbSnapshot`].
+    ///
+    /// Flushes every dirty page and copies the disk image behind an
+    /// `Arc`; the catalog becomes the template each
+    /// [`DbSnapshot::session`] clones. Create every table the sessions
+    /// will use (including working tables) *before* freezing so sessions
+    /// never need DDL — their catalog versions then all match and the
+    /// snapshot's [`SharedPlanCache`] serves every worker.
+    pub fn freeze(mut self) -> Result<DbSnapshot> {
+        let pages = self.pool.snapshot_pages()?;
+        Ok(DbSnapshot {
+            pages,
+            buffer_pages: self.pool.capacity(),
+            catalog: self.catalog,
+            dialect: self.dialect,
+            shared_plans: Arc::new(SharedPlanCache::new()),
+        })
     }
 
     /// Sets the SQL dialect (builder style).
@@ -203,32 +432,34 @@ impl Database {
         self.exec_plan(&plan, params)
     }
 
-    fn prepare_plan(&mut self, sql: &str) -> Result<Rc<PreparedPlan>> {
+    fn prepare_plan(&mut self, sql: &str) -> Result<Arc<PreparedPlan>> {
         let version = self.catalog.version();
-        if let Some(p) = self.plan_cache.get(sql) {
-            if p.catalog_version() == version {
-                return Ok(p.clone());
+        // Eagerly drop plans from superseded catalog versions (they can
+        // never be served again) so long-lived sessions don't leak them.
+        self.plan_cache.sweep_stale(version);
+        if let Some(p) = self.plan_cache.get(sql, version) {
+            return Ok(p);
+        }
+        // Snapshot sessions: a sibling may have compiled it already.
+        if let Some(shared) = &self.shared_plans {
+            if let Some(p) = shared.get(sql, version) {
+                self.plan_cache.insert(p.clone());
+                return Ok(p);
             }
         }
         let stmt = parse_statement(sql)?;
         let n_params = plan::build::count_params(&stmt);
         let kind = plan::build::build_plan(&self.catalog, &stmt)?;
-        let compiled = Rc::new(PreparedPlan {
+        let compiled = Arc::new(PreparedPlan {
             sql: sql.to_string(),
             catalog_version: version,
             n_params,
             kind,
         });
-        if self.plan_cache.len() >= PLAN_CACHE_CAP && !self.plan_cache.contains_key(sql) {
-            // Prune stale plans first; if the cache is still full the
-            // workload is churning distinct statements — drop it wholesale.
-            self.plan_cache
-                .retain(|_, p| p.catalog_version() == version);
-            if self.plan_cache.len() >= PLAN_CACHE_CAP {
-                self.plan_cache.clear();
-            }
+        if let Some(shared) = &self.shared_plans {
+            shared.insert(&compiled);
         }
-        self.plan_cache.insert(sql.to_string(), compiled.clone());
+        self.plan_cache.insert(compiled.clone());
         Ok(compiled)
     }
 

@@ -107,9 +107,12 @@ pub enum BExpr {
         negated: bool,
     },
     /// `expr [NOT] IN (…)` against a pre-evaluated, sorted value list.
+    /// NULLs are stripped from the list into `has_null`, which drives the
+    /// three-valued result: `x NOT IN (…, NULL)` is never true.
     InList {
         e: Box<BExpr>,
         list: Rc<Vec<Value>>,
+        has_null: bool,
         negated: bool,
     },
 }
@@ -251,11 +254,18 @@ pub fn bind_expr(ctx: &mut ExecCtx<'_>, schema: &Schema, expr: &Expr) -> Result<
                     Ok(r.pop().unwrap())
                 })
                 .collect::<Result<_>>()?;
+            // SQL three-valued logic: NULLs in the list never *match*, but
+            // their presence means a non-matching probe compares UNKNOWN —
+            // strip them into a flag instead of sorting them as values.
+            let n = list.len();
+            list.retain(|v| !v.is_null());
+            let has_null = list.len() != n;
             list.sort_by(|a, b| a.total_cmp(b));
             list.dedup();
             BExpr::InList {
                 e: Box::new(bind_expr(ctx, schema, expr)?),
                 list: Rc::new(list),
+                has_null,
                 negated: *negated,
             }
         }
@@ -375,15 +385,43 @@ pub fn eval(e: &BExpr, row: &[Value]) -> Result<Value> {
             let v = eval(e, row)?;
             Value::Int(i64::from(v.is_null() != *negated))
         }
-        BExpr::InList { e, list, negated } => {
+        BExpr::InList {
+            e,
+            list,
+            has_null,
+            negated,
+        } => {
             let v = eval(e, row)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            let found = list.binary_search_by(|x| x.total_cmp(&v)).is_ok();
-            Value::Int(i64::from(found != *negated))
+            in_list_result(&v, list, *has_null, *negated)
         }
     })
+}
+
+/// `[NOT] IN` result under SQL three-valued logic, shared by the
+/// interpreter and the plan executor. `list` is sorted, deduplicated and
+/// NULL-free; `has_null` records whether the subquery produced any NULL.
+///
+/// * empty list (no rows at all): `IN` is false / `NOT IN` is true, even
+///   for a NULL probe;
+/// * NULL probe over a non-empty list: UNKNOWN;
+/// * probe found: `IN` true / `NOT IN` false;
+/// * probe not found but the list had a NULL: UNKNOWN — in particular
+///   `x NOT IN (…, NULL)` is never true;
+/// * otherwise: `IN` false / `NOT IN` true.
+pub(crate) fn in_list_result(v: &Value, list: &[Value], has_null: bool, negated: bool) -> Value {
+    if list.is_empty() && !has_null {
+        return Value::Int(i64::from(negated));
+    }
+    if v.is_null() {
+        return Value::Null;
+    }
+    if list.binary_search_by(|x| x.total_cmp(v)).is_ok() {
+        Value::Int(i64::from(!negated))
+    } else if has_null {
+        Value::Null
+    } else {
+        Value::Int(i64::from(negated))
+    }
 }
 
 /// Arithmetic on two evaluated operands (shared with the plan executor).

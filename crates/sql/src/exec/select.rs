@@ -144,6 +144,20 @@ pub fn execute_select(ctx: &mut ExecCtx<'_>, sel: &Select) -> Result<Relation> {
         rel.rows = keyed.into_iter().map(|(_, r)| r).collect();
     }
 
+    // TOP / LIMIT cap (applied after projection, but a zero cap
+    // short-circuits *before* it: no row the cap excludes should have its
+    // projection evaluated — `SELECT TOP 0 1/0 …` returns empty instead
+    // of erroring, matching the streaming executor's early exit).
+    let cap = match (sel.top, sel.limit) {
+        (Some(t), Some(l)) => Some(t.min(l)),
+        (Some(t), None) => Some(t),
+        (None, Some(l)) => Some(l),
+        (None, None) => None,
+    };
+    if cap == Some(0) {
+        rel.rows.clear();
+    }
+
     // Projection.
     let proj: Vec<BExpr> = items
         .iter()
@@ -165,12 +179,6 @@ pub fn execute_select(ctx: &mut ExecCtx<'_>, sel: &Select) -> Result<Relation> {
     }
 
     // TOP / LIMIT.
-    let cap = match (sel.top, sel.limit) {
-        (Some(t), Some(l)) => Some(t.min(l)),
-        (Some(t), None) => Some(t),
-        (None, Some(l)) => Some(l),
-        (None, None) => None,
-    };
     if let Some(cap) = cap {
         rows.truncate(cap as usize);
     }

@@ -46,6 +46,6 @@ pub mod plan;
 
 pub use catalog::{Catalog, RowLoc, Table, TableSchema};
 pub use dialect::Dialect;
-pub use engine::{Database, ExecOutcome, PreparedStmt, ResultSet};
+pub use engine::{Database, DbSnapshot, ExecOutcome, PreparedStmt, ResultSet, SharedPlanCache};
 pub use error::{Result, SqlError};
 pub use parser::{parse_statement, parse_statements};

@@ -35,7 +35,10 @@ pub(crate) struct Env<'a> {
 /// Result of one subquery slot for the current execution.
 enum SubResult {
     Scalar(Value),
-    List(Rc<Vec<Value>>),
+    /// Sorted, deduplicated, NULL-free list + "the subquery produced a
+    /// NULL" flag (three-valued `[NOT] IN`, see
+    /// [`crate::exec::eval::in_list_result`]).
+    List(Rc<Vec<Value>>, bool),
     Exists(bool),
 }
 
@@ -136,14 +139,10 @@ fn eval_px(e: &PExpr, row: &[Value], env: &Env<'_>) -> Result<Value> {
         },
         PExpr::InSub { e, sub, negated } => {
             let v = eval_px(e, row, env)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            let SubResult::List(list) = &env.subs[*sub] else {
+            let SubResult::List(list, has_null) = &env.subs[*sub] else {
                 unreachable!("slot kind fixed at plan time")
             };
-            let found = list.binary_search_by(|x| x.total_cmp(&v)).is_ok();
-            Value::Int(i64::from(found != *negated))
+            crate::exec::eval::in_list_result(&v, list, *has_null, *negated)
         }
         PExpr::ExistsSub { sub, negated } => {
             let SubResult::Exists(exists) = &env.subs[*sub] else {
@@ -207,9 +206,12 @@ fn build_env<'a>(
                         Ok(r.pop().unwrap())
                     })
                     .collect::<Result<_>>()?;
+                let n = list.len();
+                list.retain(|v| !v.is_null());
+                let has_null = list.len() != n;
                 list.sort_by(|a, b| a.total_cmp(b));
                 list.dedup();
-                SubResult::List(Rc::new(list))
+                SubResult::List(Rc::new(list), has_null)
             }
             SubPlan::Exists(p) => {
                 SubResult::Exists(!run_select_rows(pool, catalog, params, p)?.is_empty())
@@ -575,6 +577,13 @@ fn post_process(
             std::cmp::Ordering::Equal
         });
         rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    // A zero cap excludes every row *before* projection: no excluded
+    // row's output expressions may be evaluated (`… ORDER BY x LIMIT 0`
+    // with `1/0` in the select list returns empty instead of erroring),
+    // matching the interpreter and the fully-streaming branch.
+    if plan.cap == Some(0) {
+        rows.clear();
     }
     let mut out = Vec::with_capacity(rows.len());
     for row in &rows {

@@ -30,7 +30,7 @@ pub(crate) mod exec;
 use crate::ast::{AggFunc, BinaryOp, Stmt, UnaryOp, WindowFunc};
 use crate::exec::eval::Schema;
 use fempath_storage::Value;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A fully planned statement, stamped with the catalog version it was
 /// compiled against.
@@ -394,8 +394,10 @@ pub(crate) struct MergePlan {
 }
 
 /// A shared handle to a prepared plan (cheap to clone; the engine keeps
-/// the canonical copy in its plan cache).
-pub type PlanHandle = Rc<PreparedPlan>;
+/// the canonical copy in its plan cache). `Arc` — plans are immutable
+/// after compilation and `Send + Sync`, so handles and cache entries can
+/// be shared across worker sessions (DESIGN.md §10).
+pub type PlanHandle = Arc<PreparedPlan>;
 
 fn indent(depth: usize) -> String {
     "  ".repeat(depth)

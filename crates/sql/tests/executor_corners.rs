@@ -469,3 +469,203 @@ fn between_binds_tighter_than_and() {
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::Int(5));
 }
+
+// --- Three-valued [NOT] IN semantics (both executors, both dialects) ---
+
+/// Runs `sql` through the prepared path and the interpreter on twin
+/// databases prepared by `setup`, asserting identical result rows, under
+/// both dialects.
+fn both_paths_both_dialects(setup: &dyn Fn(&mut Database), sql: &str) -> Vec<Vec<Value>> {
+    use fempath_sql::Dialect;
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for dialect in [Dialect::DBMS_X, Dialect::POSTGRES] {
+        let mut planned = Database::in_memory(256).with_dialect(dialect);
+        let mut interp = Database::in_memory(256).with_dialect(dialect);
+        setup(&mut planned);
+        setup(&mut interp);
+        let a = planned
+            .execute_params(sql, &[])
+            .unwrap()
+            .rows
+            .map(|r| r.rows)
+            .unwrap_or_default();
+        let b = interp
+            .execute_unplanned(sql, &[])
+            .unwrap()
+            .rows
+            .map(|r| r.rows)
+            .unwrap_or_default();
+        assert_eq!(
+            a, b,
+            "prepared vs interpreted diverge on {sql} ({})",
+            dialect.name
+        );
+        match &reference {
+            None => reference = Some(a),
+            Some(r) => assert_eq!(&a, r, "dialects diverge on {sql}"),
+        }
+    }
+    reference.unwrap()
+}
+
+fn null_tables(d: &mut Database) {
+    d.execute("CREATE TABLE t (x INT)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2), (3), (NULL)")
+        .unwrap();
+    d.execute("CREATE TABLE sub (y INT)").unwrap();
+    d.execute("INSERT INTO sub VALUES (2), (NULL)").unwrap();
+    d.execute("CREATE TABLE nonull (y INT)").unwrap();
+    d.execute("INSERT INTO nonull VALUES (2)").unwrap();
+    d.execute("CREATE TABLE empty (y INT)").unwrap();
+    d.execute("CREATE TABLE onlynull (y INT)").unwrap();
+    d.execute("INSERT INTO onlynull VALUES (NULL)").unwrap();
+}
+
+#[test]
+fn not_in_subquery_with_null_is_never_true() {
+    // x NOT IN (2, NULL): for x=1 the comparison against NULL is UNKNOWN,
+    // so no row qualifies — the pre-fix behaviour returned 1 and 3.
+    let rows = both_paths_both_dialects(
+        &null_tables,
+        "SELECT x FROM t WHERE x NOT IN (SELECT y FROM sub) ORDER BY x",
+    );
+    assert_eq!(rows, Vec::<Vec<Value>>::new());
+}
+
+#[test]
+fn not_in_subquery_without_null_is_complement() {
+    let rows = both_paths_both_dialects(
+        &null_tables,
+        "SELECT x FROM t WHERE x NOT IN (SELECT y FROM nonull) ORDER BY x",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+}
+
+#[test]
+fn in_subquery_with_null_still_matches_present_values() {
+    let rows = both_paths_both_dialects(
+        &null_tables,
+        "SELECT x FROM t WHERE x IN (SELECT y FROM sub) ORDER BY x",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn not_in_empty_subquery_keeps_all_rows_even_null_probe() {
+    // NOT IN over zero rows is TRUE for every probe, including NULL.
+    let rows = both_paths_both_dialects(
+        &null_tables,
+        "SELECT COUNT(*) FROM t WHERE x NOT IN (SELECT y FROM empty)",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(4)]]);
+}
+
+#[test]
+fn not_in_all_null_subquery_is_unknown_for_all() {
+    let rows = both_paths_both_dialects(
+        &null_tables,
+        "SELECT x FROM t WHERE x NOT IN (SELECT y FROM onlynull)",
+    );
+    assert_eq!(rows, Vec::<Vec<Value>>::new());
+}
+
+#[test]
+fn not_in_null_in_projection_yields_null() {
+    // As a value (not a filter), x NOT IN (…, NULL) for a non-matching x
+    // is NULL, a match is 0/false.
+    let rows = both_paths_both_dialects(
+        &null_tables,
+        "SELECT x, x NOT IN (SELECT y FROM sub) FROM t WHERE x IS NOT NULL ORDER BY x",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Int(0)],
+            vec![Value::Int(3), Value::Null],
+        ]
+    );
+}
+
+// --- Error-path parity between the streaming executor and interpreter ---
+
+/// Both paths must agree on success/error for `sql`, and on the result.
+fn parity(setup: &dyn Fn(&mut Database), sql: &str) -> Result<Vec<Vec<Value>>, String> {
+    let mut planned = Database::in_memory(256);
+    let mut interp = Database::in_memory(256);
+    setup(&mut planned);
+    setup(&mut interp);
+    let a = planned
+        .execute_params(sql, &[])
+        .map(|o| o.rows.map(|r| r.rows).unwrap_or_default());
+    let b = interp
+        .execute_unplanned(sql, &[])
+        .map(|o| o.rows.map(|r| r.rows).unwrap_or_default());
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x, y, "row mismatch on {sql}");
+            Ok(x)
+        }
+        (Err(x), Err(y)) => {
+            assert_eq!(x.to_string(), y.to_string(), "error mismatch on {sql}");
+            Err(x.to_string())
+        }
+        (a, b) => panic!("outcome mismatch on {sql}: prepared={a:?} interpreted={b:?}"),
+    }
+}
+
+#[test]
+fn zero_row_scalar_subquery_is_null_not_a_panic() {
+    let r = parity(&null_tables, "SELECT (SELECT y FROM empty)");
+    assert_eq!(r, Ok(vec![vec![Value::Null]]));
+    // And NULL propagates through arithmetic instead of erroring.
+    let r = parity(&null_tables, "SELECT 10 / (SELECT MAX(y) FROM empty)");
+    assert_eq!(r, Ok(vec![vec![Value::Null]]));
+}
+
+#[test]
+fn division_by_zero_is_a_clean_error_on_both_paths() {
+    for sql in [
+        "SELECT 10 / (SELECT COUNT(*) FROM empty)",
+        "SELECT x, 10 / (x - 2) FROM t WHERE x IS NOT NULL",
+        "UPDATE t SET x = 10 / (x - 2)",
+        "DELETE FROM t WHERE 10 / (x - 2) > 0",
+    ] {
+        let r = parity(&null_tables, sql);
+        assert!(
+            r.is_err() && r.unwrap_err().contains("division by zero"),
+            "{sql} must fail with a division-by-zero error on both paths"
+        );
+    }
+}
+
+#[test]
+fn top_zero_never_evaluates_excluded_rows() {
+    // TOP 0 / LIMIT 0 exclude every row, so row expressions must not run:
+    // no division-by-zero error, just an empty result — on both paths.
+    for sql in [
+        "SELECT TOP 0 1/0 FROM t",
+        "SELECT 10 / (x - x) FROM t LIMIT 0",
+        // Materialized branches (sort / aggregate) must short-circuit too.
+        "SELECT 1/0 FROM t ORDER BY x LIMIT 0",
+        "SELECT 10 / (SUM(x) - SUM(x)) FROM t LIMIT 0",
+    ] {
+        let r = parity(&null_tables, sql);
+        assert_eq!(r, Ok(Vec::new()), "{sql} must return empty, not error");
+    }
+    // The cap excludes rows from projection, not from earlier stages: a
+    // division by zero in the ORDER BY key itself still errors.
+    let r = parity(&null_tables, "SELECT x FROM t ORDER BY 1/0 LIMIT 0");
+    assert!(r.is_err());
+    // TOP 1 does evaluate the first row.
+    let r = parity(&null_tables, "SELECT TOP 1 1/0 FROM t");
+    assert!(r.is_err());
+}
+
+#[test]
+fn oversized_scalar_subquery_errors_on_both_paths() {
+    let r = parity(&null_tables, "SELECT (SELECT x FROM t)");
+    assert!(r.unwrap_err().contains("more than one row"));
+    let r = parity(&null_tables, "SELECT (SELECT x, x FROM t WHERE x = 1)");
+    assert!(r.unwrap_err().contains("exactly one column"));
+}

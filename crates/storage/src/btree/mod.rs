@@ -25,6 +25,12 @@ use node::MAX_CELL_PAYLOAD;
 use std::ops::Bound;
 
 /// A B+tree keyed by order-preserving byte strings (see [`crate::value`]).
+///
+/// `Clone` copies only the handle (root page id + cached length); both
+/// clones address the same pages, so cloning is only sound when at most
+/// one clone keeps writing — e.g. catalog templates cloned into
+/// copy-on-write snapshot sessions (DESIGN.md §10).
+#[derive(Clone)]
 pub struct BTree {
     root: PageId,
     len: u64,

@@ -11,11 +11,12 @@
 //! ([`BufferPool::set_capacity`]) so experiments can sweep buffer sizes the
 //! way the paper sweeps its RDB buffer (Fig 8(b), Fig 9(g)).
 
-use crate::disk::{DiskBackend, FileDisk, MemDisk};
+use crate::disk::{DiskBackend, FileDisk, MemDisk, SnapshotDisk, SnapshotPages};
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const NIL: usize = usize::MAX;
 
@@ -67,6 +68,31 @@ impl BufferPool {
     /// A pool over an anonymous temporary file (unlinked immediately).
     pub fn temp_file(capacity: usize) -> Result<Self> {
         Ok(BufferPool::new(Box::new(FileDisk::temp()?), capacity))
+    }
+
+    /// A pool over a copy-on-write view of a frozen page image
+    /// ([`SnapshotDisk`]): reads hit the shared snapshot, writes and new
+    /// allocations stay private to this pool's session.
+    pub fn on_snapshot(base: SnapshotPages, capacity: usize) -> Self {
+        BufferPool::new(Box::new(SnapshotDisk::new(base)), capacity)
+    }
+
+    /// Flushes everything and copies the entire disk image into an
+    /// immutable, `Arc`-shared page vector. The pool keeps working
+    /// afterwards; the snapshot is a point-in-time image that
+    /// [`BufferPool::on_snapshot`] pools can share read-only across
+    /// threads (DESIGN.md §10).
+    pub fn snapshot_pages(&mut self) -> Result<SnapshotPages> {
+        self.flush_all()?;
+        let n = self.disk.num_pages();
+        let mut pages: Vec<Box<[u8; PAGE_SIZE]>> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut buf: Box<[u8; PAGE_SIZE]> =
+                vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap();
+            self.disk.read_page(PageId(i), &mut buf)?;
+            pages.push(buf);
+        }
+        Ok(Arc::new(pages))
     }
 
     /// Current frame capacity in pages.

@@ -1,17 +1,23 @@
 //! Disk backends: where pages physically live.
 //!
-//! Two implementations are provided: [`FileDisk`] (a single file, page
-//! `i` at byte offset `i * PAGE_SIZE`) for realistic disk-resident runs, and
-//! [`MemDisk`] for tests and for modelling a fully-cached database.
+//! Three implementations are provided: [`FileDisk`] (a single file, page
+//! `i` at byte offset `i * PAGE_SIZE`) for realistic disk-resident runs,
+//! [`MemDisk`] for tests and for modelling a fully-cached database, and
+//! [`SnapshotDisk`] — a copy-on-write view over an `Arc`-shared frozen
+//! page image, the storage half of the shared-snapshot / per-session
+//! architecture (DESIGN.md §10).
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PAGE_SIZE};
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-/// Abstraction over the physical medium holding pages.
-pub trait DiskBackend {
+/// Abstraction over the physical medium holding pages. `Send` so a
+/// database session owning a backend can move to a worker thread.
+pub trait DiskBackend: Send {
     /// Reads page `pid` into `buf`.
     fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()>;
 
@@ -164,6 +170,96 @@ impl DiskBackend for MemDisk {
     }
 }
 
+/// An immutable page image shared between sessions. Produced by
+/// [`crate::buffer::BufferPool::snapshot_pages`]; consumed by
+/// [`SnapshotDisk`].
+pub type SnapshotPages = Arc<Vec<Box<[u8; PAGE_SIZE]>>>;
+
+/// A copy-on-write disk over a shared read-only page image.
+///
+/// Reads of base pages come straight from the shared snapshot (no copy
+/// beyond the buffer-pool frame fill); the first write to any page —
+/// base or fresh — lands in a private overlay owned by this backend.
+/// Page ids are stable across the base/overlay split, so heap files and
+/// B+trees frozen into the snapshot keep working unchanged, and pages a
+/// session allocates (its private working tables) start past the end of
+/// the base image. Many sessions can therefore share one graph image
+/// while each mutates its own working state.
+pub struct SnapshotDisk {
+    base: SnapshotPages,
+    overlay: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    num_pages: u64,
+}
+
+impl SnapshotDisk {
+    /// A copy-on-write view over `base`.
+    pub fn new(base: SnapshotPages) -> Self {
+        let num_pages = base.len() as u64;
+        SnapshotDisk {
+            base,
+            overlay: HashMap::new(),
+            num_pages,
+        }
+    }
+
+    /// Number of pages in the shared base image.
+    pub fn base_pages(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Number of pages this session has privately overlaid or allocated.
+    pub fn private_pages(&self) -> usize {
+        self.overlay.len()
+    }
+}
+
+impl DiskBackend for SnapshotDisk {
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        if !pid.is_valid() || pid.0 >= self.num_pages {
+            return Err(StorageError::InvalidPageId(pid.0));
+        }
+        if let Some(p) = self.overlay.get(&pid.0) {
+            buf.copy_from_slice(&p[..]);
+        } else {
+            buf.copy_from_slice(&self.base[pid.0 as usize][..]);
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        if !pid.is_valid() || pid.0 >= self.num_pages {
+            return Err(StorageError::InvalidPageId(pid.0));
+        }
+        match self.overlay.entry(pid.0) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().copy_from_slice(buf);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Box::new(*buf));
+            }
+        }
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let pid = PageId(self.num_pages);
+        self.num_pages += 1;
+        self.overlay.insert(
+            pid.0,
+            vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        );
+        Ok(pid)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +297,50 @@ mod tests {
     #[test]
     fn filedisk_basics() {
         exercise(&mut FileDisk::temp().unwrap());
+    }
+
+    #[test]
+    fn snapshot_disk_shares_base_and_overlays_writes() {
+        // Build a 2-page base image.
+        let mut base: Vec<Box<[u8; PAGE_SIZE]>> = Vec::new();
+        for fill in [0x11u8, 0x22] {
+            base.push(vec![fill; PAGE_SIZE].into_boxed_slice().try_into().unwrap());
+        }
+        let base: SnapshotPages = Arc::new(base);
+
+        let mut a = SnapshotDisk::new(base.clone());
+        let mut b = SnapshotDisk::new(base.clone());
+        let mut buf = [0u8; PAGE_SIZE];
+
+        // Both sessions see the base content.
+        a.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x11);
+        b.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x22);
+
+        // A write in session `a` is private: `b` and the base stay intact.
+        buf.fill(0xAA);
+        a.write_page(PageId(0), &buf).unwrap();
+        a.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAA);
+        b.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x11);
+        assert_eq!(base[0][0], 0x11);
+
+        // Fresh allocations start past the base image, per session.
+        let pa = a.allocate_page().unwrap();
+        let pb = b.allocate_page().unwrap();
+        assert_eq!(pa, PageId(2));
+        assert_eq!(pb, PageId(2));
+        buf.fill(0x77);
+        a.write_page(pa, &buf).unwrap();
+        a.read_page(pa, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x77);
+        // Session b's page 2 is its own zeroed page.
+        b.read_page(pb, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+        assert_eq!(a.base_pages(), 2);
+        assert_eq!(a.private_pages(), 2);
     }
 
     #[test]

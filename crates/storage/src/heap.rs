@@ -49,6 +49,12 @@ impl RecordId {
 }
 
 /// An unordered record file over the buffer pool.
+///
+/// `Clone` duplicates only the in-memory metadata (page list, free-space
+/// hints, row count) — both clones address the same pages, so cloning is
+/// only sound when at most one clone keeps writing (e.g. catalog templates
+/// cloned into copy-on-write snapshot sessions, DESIGN.md §10).
+#[derive(Clone)]
 pub struct HeapFile {
     pages: Vec<PageId>,
     /// Usable free bytes per page (contiguous + dead), kept in memory.

@@ -15,9 +15,13 @@
 //! * a [`BTree`] used both as an index-organized ("clustered") table and as
 //!   a secondary index — the `CluIndex` / `Index` configurations of Fig 8(c).
 //!
-//! Everything is single-writer by design: the paper's workload is one client
-//! connection driving SQL statements, so the engine favours simplicity and
-//! deterministic accounting over concurrency.
+//! Everything is single-writer *per session* by design: the paper's
+//! workload is one client connection driving SQL statements, so the engine
+//! favours simplicity and deterministic accounting over locking.
+//! Concurrency comes from isolation instead: [`BufferPool::snapshot_pages`]
+//! freezes a database into an `Arc`-shared read-only page image, and
+//! [`SnapshotDisk`] gives each session a private copy-on-write view over
+//! it (DESIGN.md §10).
 
 pub mod buffer;
 pub mod disk;
@@ -32,7 +36,7 @@ pub mod btree;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
-pub use disk::{DiskBackend, FileDisk, MemDisk};
+pub use disk::{DiskBackend, FileDisk, MemDisk, SnapshotDisk, SnapshotPages};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};

@@ -13,7 +13,8 @@
 //! * [`inmem`] — in-memory baselines (MDJ/MBDJ),
 //! * [`core`] — the FEM framework, the five relational shortest-path
 //!   algorithms (DJ, BDJ, BSDJ, BBFS, BSEG), the batched multi-pair
-//!   finders (BatchDJ, BatchBDJ — DESIGN.md §8) and the SegTable index.
+//!   finders (BatchDJ, BatchBDJ — DESIGN.md §8), the SegTable index, and
+//!   the concurrent [`PathService`](core::PathService) (DESIGN.md §10).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,23 @@
 //! let pairs = vec![(0, 250), (7, 431), (123, 123), (250, 0)];
 //! let out = BatchBdjFinder::default().find_paths(&mut db, &pairs).unwrap();
 //! assert_eq!(out.paths.len(), pairs.len()); // paths[i] answers pairs[i]
+//! ```
+//!
+//! ## Concurrent serving
+//!
+//! [`PathService`](core::PathService) freezes the graph into an
+//! `Arc`-shared read-only snapshot and answers queries from a pool of
+//! worker sessions, each with private working tables (DESIGN.md §10):
+//!
+//! ```
+//! use fempath::core::PathService;
+//! use fempath::graph::generate;
+//!
+//! let g = generate::power_law(500, 3, 1..=100, 42);
+//! let svc = PathService::new(&g, 4).unwrap();
+//! let out = svc.query(0, 250).unwrap();           // callable from any thread
+//! let paths = svc.query_batch(&[(0, 250), (7, 431)]).unwrap();
+//! assert_eq!(paths.len(), 2);
 //! ```
 
 pub use fempath_core as core;
