@@ -47,6 +47,7 @@ pub use algo::{
     ShortestPathFinder,
 };
 pub use fem::{run_batch_fem, run_fem, BatchFemSearch, FemSearch};
+pub use fempath_sql::ExecMode;
 pub use graphdb::{GraphDb, GraphDbOptions, GraphSnapshot, SegTableInfo, INF, NO_NODE};
 pub use landmarks::{build_landmarks, estimate_distance, DistanceBounds};
 pub use pattern::{match_label_path, set_labels};

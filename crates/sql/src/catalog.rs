@@ -10,9 +10,10 @@
 use crate::ast::ColumnDef;
 use crate::error::{Result, SqlError};
 use fempath_storage::{
-    decode_row, encode_key, encode_row, BTree, BufferPool, DataType, HeapFile, RecordId, Value,
+    decode_row, encode_key, encode_row, encode_row_from_chunk, BTree, BTreeScanCursor, BufferPool,
+    Chunk, Column, DataType, HeapFile, HeapScanCursor, RecordId, Value,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 
 /// Where a row physically lives.
@@ -85,6 +86,31 @@ impl TableSchema {
             .iter()
             .position(|c| c.name.eq_ignore_ascii_case(name))
     }
+}
+
+/// Resolved access path for an equality probe (see
+/// [`Table::lookup_eq`] / [`Table::lookup_eq_chunk`]).
+enum EqAccessPath {
+    /// Prefix scan of the clustered tree with this encoded key prefix.
+    ClusteredPrefix(Vec<u8>),
+    /// Row locators collected from a secondary index.
+    Secondary(Vec<RowLoc>),
+    /// No usable index — scan and filter.
+    Scan,
+}
+
+/// Scan-fallback equality predicate (NULLs never match).
+fn eq_match(row: &[Value], cols: &[usize], key_vals: &[Value]) -> bool {
+    cols.iter()
+        .zip(key_vals)
+        .all(|(&c, v)| !row[c].is_null() && row[c].total_cmp(v).is_eq())
+}
+
+/// A resumable batched-scan position over a table's storage
+/// (see [`Table::batch_cursor`] / [`Table::next_batch`]).
+pub enum TableBatchCursor {
+    Heap(HeapScanCursor),
+    Clustered(BTreeScanCursor),
 }
 
 /// A table: schema + storage + indexes.
@@ -380,11 +406,11 @@ impl Table {
         key_vals: &[Value],
         mut f: impl FnMut(RowLoc, Vec<Value>) -> bool,
     ) -> Result<bool> {
-        debug_assert_eq!(cols.len(), key_vals.len());
-        // 1. Clustered prefix.
-        if let TableStorage::Clustered { tree, key_cols, .. } = &self.storage {
-            if cols.len() <= key_cols.len() && cols == &key_cols[..cols.len()] {
-                let prefix = encode_key(key_vals)?;
+        match self.resolve_eq_path(pool, cols, key_vals)? {
+            EqAccessPath::ClusteredPrefix(prefix) => {
+                let TableStorage::Clustered { tree, .. } = &self.storage else {
+                    unreachable!("clustered path implies clustered storage");
+                };
                 let mut decode_err = None;
                 tree.scan_prefix(pool, &prefix, |k, v| match decode_row(v) {
                     Ok(row) => f(RowLoc::Clustered(k.to_vec()), row),
@@ -396,10 +422,120 @@ impl Table {
                 if let Some(e) = decode_err {
                     return Err(e.into());
                 }
-                return Ok(true);
+                Ok(true)
+            }
+            EqAccessPath::Secondary(locs) => {
+                for loc in locs {
+                    let row = self.fetch(pool, &loc)?;
+                    if !f(loc, row) {
+                        break;
+                    }
+                }
+                Ok(true)
+            }
+            EqAccessPath::Scan => {
+                self.scan(pool, |loc, row| {
+                    if eq_match(&row, cols, key_vals) {
+                        f(loc, row)
+                    } else {
+                        true
+                    }
+                })?;
+                Ok(false)
             }
         }
-        // 2. Secondary index with matching leading columns.
+    }
+
+    /// Like [`Table::lookup_eq`], but decodes every match straight into
+    /// the columns of `chunk` (appending) — the batched probe the
+    /// vectorized join stages use, avoiding one row materialization and
+    /// value clone per match. Shares `Table::resolve_eq_path` with
+    /// `lookup_eq`, so the two executors cannot drift in access-path
+    /// choice.
+    pub fn lookup_eq_chunk(
+        &self,
+        pool: &mut BufferPool,
+        cols: &[usize],
+        key_vals: &[Value],
+        chunk: &mut Chunk,
+    ) -> Result<bool> {
+        match self.resolve_eq_path(pool, cols, key_vals)? {
+            EqAccessPath::ClusteredPrefix(prefix) => {
+                let TableStorage::Clustered { tree, .. } = &self.storage else {
+                    unreachable!("clustered path implies clustered storage");
+                };
+                let mut decode_err = None;
+                tree.scan_prefix(
+                    pool,
+                    &prefix,
+                    |_, v| match fempath_storage::decode_row_into_chunk(v, chunk) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            decode_err = Some(e);
+                            false
+                        }
+                    },
+                )?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+                Ok(true)
+            }
+            EqAccessPath::Secondary(locs) => {
+                for loc in locs {
+                    match (&self.storage, &loc) {
+                        (TableStorage::Heap(h), RowLoc::Heap(rid)) => {
+                            let bytes = h.get(pool, *rid)?;
+                            fempath_storage::decode_row_into_chunk(&bytes, chunk)?;
+                        }
+                        (TableStorage::Clustered { tree, .. }, RowLoc::Clustered(k)) => {
+                            let bytes = tree.get(pool, k)?.ok_or_else(|| {
+                                SqlError::Eval("dangling clustered locator".into())
+                            })?;
+                            fempath_storage::decode_row_into_chunk(&bytes, chunk)?;
+                        }
+                        _ => {
+                            return Err(SqlError::Eval(
+                                "row locator does not match table storage".into(),
+                            ))
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            EqAccessPath::Scan => {
+                // Needs the decoded row for the comparison anyway.
+                self.scan(pool, |_, row| {
+                    if eq_match(&row, cols, key_vals) {
+                        chunk.push_row(&row);
+                    }
+                    true
+                })?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Access-path selection shared by [`Table::lookup_eq`] and
+    /// [`Table::lookup_eq_chunk`]:
+    ///
+    /// 1. clustered tree prefix when `cols` is a prefix of the clustering
+    ///    key,
+    /// 2. secondary index (unique → point lookup, else prefix scan),
+    ///    resolved to row locators,
+    /// 3. full-scan fallback.
+    fn resolve_eq_path(
+        &self,
+        pool: &mut BufferPool,
+        cols: &[usize],
+        key_vals: &[Value],
+    ) -> Result<EqAccessPath> {
+        debug_assert_eq!(cols.len(), key_vals.len());
+        if let TableStorage::Clustered { key_cols, .. } = &self.storage {
+            if cols.len() <= key_cols.len() && cols == &key_cols[..cols.len()] {
+                return Ok(EqAccessPath::ClusteredPrefix(encode_key(key_vals)?));
+            }
+        }
         let clustered = self.is_clustered();
         if let Some(idx) = self
             .indexes
@@ -427,27 +563,366 @@ impl Table {
                     true
                 })?;
             }
-            for loc in locs {
-                let row = self.fetch(pool, &loc)?;
-                if !f(loc, row) {
-                    break;
+            return Ok(EqAccessPath::Secondary(locs));
+        }
+        Ok(EqAccessPath::Scan)
+    }
+
+    /// A batched-scan cursor over the table's storage (heap or clustered
+    /// tree), positioned at the first row. The table must not be mutated
+    /// while the cursor is in use.
+    pub fn batch_cursor(&self, pool: &mut BufferPool) -> Result<TableBatchCursor> {
+        Ok(match &self.storage {
+            TableStorage::Heap(_) => TableBatchCursor::Heap(HeapScanCursor::default()),
+            TableStorage::Clustered { tree, .. } => {
+                TableBatchCursor::Clustered(tree.batch_cursor(pool)?)
+            }
+        })
+    }
+
+    /// Decodes up to `max` further rows into `chunk` (appending), also
+    /// recording their locators into `locs` when given. Returns `false`
+    /// once the table is exhausted. Rows arrive in the same storage order
+    /// as [`Table::scan`].
+    pub fn next_batch(
+        &self,
+        pool: &mut BufferPool,
+        cursor: &mut TableBatchCursor,
+        chunk: &mut Chunk,
+        locs: Option<&mut Vec<RowLoc>>,
+        max: usize,
+    ) -> Result<bool> {
+        match (&self.storage, cursor) {
+            (TableStorage::Heap(h), TableBatchCursor::Heap(c)) => match locs {
+                Some(locs) => {
+                    let mut rids = Vec::new();
+                    let more = c.next_batch(h, pool, chunk, Some(&mut rids), max)?;
+                    locs.extend(rids.into_iter().map(RowLoc::Heap));
+                    Ok(more)
+                }
+                None => Ok(c.next_batch(h, pool, chunk, None, max)?),
+            },
+            (TableStorage::Clustered { .. }, TableBatchCursor::Clustered(c)) => match locs {
+                Some(locs) => {
+                    let mut keys = Vec::new();
+                    let more = c.next_batch(pool, chunk, Some(&mut keys), max)?;
+                    locs.extend(keys.into_iter().map(RowLoc::Clustered));
+                    Ok(more)
+                }
+                None => Ok(c.next_batch(pool, chunk, None, max)?),
+            },
+            _ => Err(SqlError::Eval("cursor does not match table storage".into())),
+        }
+    }
+
+    /// Coerces every column of `chunk` to the schema's declared types —
+    /// the column-wise analogue of [`Table::coerce_row`]. An integer
+    /// column feeding an INT schema column passes through with a plain
+    /// clone of the typed vectors (the FEM steady state).
+    pub(crate) fn coerce_chunk(&self, chunk: &Chunk) -> Result<Chunk> {
+        if chunk.width() != self.schema.columns.len() {
+            return Err(SqlError::Eval(format!(
+                "table {} expects {} columns, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                chunk.width()
+            )));
+        }
+        let mut cols = Vec::with_capacity(chunk.width());
+        for (col, spec) in chunk.columns().iter().zip(&self.schema.columns) {
+            let out = match (spec.dtype, col) {
+                (DataType::Int, Column::Int { .. }) => col.clone(),
+                _ => {
+                    let mut out = Column::new_int();
+                    for r in 0..chunk.len() {
+                        let v = col.get(r);
+                        let coerced = match (spec.dtype, v) {
+                            (_, Value::Null) => Value::Null,
+                            (DataType::Int, Value::Int(i)) => Value::Int(i),
+                            (DataType::Int, Value::Float(f)) => Value::Int(f as i64),
+                            (DataType::Float, Value::Int(i)) => Value::Float(i as f64),
+                            (DataType::Float, Value::Float(f)) => Value::Float(f),
+                            (DataType::Text, Value::Text(s)) => Value::Text(s),
+                            (want, got) => {
+                                return Err(SqlError::Eval(format!(
+                                    "column {}.{} expects {want}, got {got:?}",
+                                    self.schema.name, spec.name
+                                )))
+                            }
+                        };
+                        out.push(coerced);
+                    }
+                    out
+                }
+            };
+            cols.push(out);
+        }
+        Ok(Chunk::from_columns(cols, chunk.len()))
+    }
+
+    /// Encoded key of `cols` at row `r` of `chunk`.
+    fn chunk_key(chunk: &Chunk, cols: &[usize], r: usize) -> Result<Vec<u8>> {
+        let vals: Vec<Value> = cols.iter().map(|&c| chunk.get(c, r)).collect();
+        Ok(encode_key(&vals)?)
+    }
+
+    /// Inserts every row of `chunk`, maintaining all indexes, with
+    /// batch-level storage calls: one duplicate pre-scan, one page-packing
+    /// heap write batch, and sorted per-index insert batches — instead of
+    /// one full round trip per row. Behaviour under a duplicate key
+    /// matches repeated [`Table::insert_row`]: rows before the offender
+    /// are inserted and stay, the statement errors.
+    pub fn insert_chunk(&mut self, pool: &mut BufferPool, chunk: &Chunk) -> Result<u64> {
+        if chunk.is_empty() {
+            return Ok(0);
+        }
+        let chunk = self.coerce_chunk(chunk)?;
+        self.insert_chunk_precoerced(pool, &chunk)
+    }
+
+    /// [`Table::insert_chunk`] for a chunk the caller already passed
+    /// through [`Table::coerce_chunk`] (or built from coerced rows) — the
+    /// batched DML write phases use this to avoid coercing, and therefore
+    /// cloning, the whole data set twice.
+    pub(crate) fn insert_chunk_precoerced(
+        &mut self,
+        pool: &mut BufferPool,
+        chunk: &Chunk,
+    ) -> Result<u64> {
+        if chunk.is_empty() {
+            return Ok(0);
+        }
+        let n = chunk.len();
+        if self.is_clustered() {
+            // Clustered storage inserts are per-key tree descents anyway;
+            // keep the row path (it also handles the key uniquifier).
+            for r in 0..n {
+                let row = chunk.row(r);
+                self.insert_row(pool, &row)?;
+            }
+            return Ok(n as u64);
+        }
+        // Unique-index pre-scan: find the first offending row (including
+        // duplicates *within* the batch), in row order.
+        let mut limit = n;
+        let mut dup: Option<SqlError> = None;
+        {
+            let unique: Vec<&SecondaryIndex> = self.indexes.iter().filter(|i| i.unique).collect();
+            let mut seen: Vec<HashSet<Vec<u8>>> = unique.iter().map(|_| HashSet::new()).collect();
+            'rows: for r in 0..n {
+                for (ui, idx) in unique.iter().enumerate() {
+                    let key = Self::chunk_key(chunk, &idx.cols, r)?;
+                    if idx.tree.contains(pool, &key)? || !seen[ui].insert(key) {
+                        limit = r;
+                        let row = chunk.row(r);
+                        dup = Some(SqlError::DuplicateKey {
+                            table: self.schema.name.clone(),
+                            key: format_key(&row, &idx.cols),
+                        });
+                        break 'rows;
+                    }
                 }
             }
-            return Ok(true);
         }
-        // 3. Fallback: scan + filter.
-        self.scan(pool, |loc, row| {
-            let matched = cols
-                .iter()
-                .zip(key_vals)
-                .all(|(&c, v)| !row[c].is_null() && row[c].total_cmp(v).is_eq());
-            if matched {
-                f(loc, row)
-            } else {
-                true
+        // Base rows: one page-packing batch insert.
+        let mut encoded = Vec::with_capacity(limit);
+        let mut buf = Vec::new();
+        for r in 0..limit {
+            encode_row_from_chunk(&mut buf, chunk, r);
+            encoded.push(buf.clone());
+        }
+        let rids = match &mut self.storage {
+            TableStorage::Heap(h) => h.insert_batch(pool, &encoded)?,
+            TableStorage::Clustered { .. } => unreachable!("handled above"),
+        };
+        // Index maintenance: sorted batches per index.
+        for idx in &mut self.indexes {
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(limit);
+            for (r, rid) in rids.iter().enumerate() {
+                let mut key = Self::chunk_key(chunk, &idx.cols, r)?;
+                let loc = RowLoc::Heap(*rid).to_bytes();
+                if idx.unique {
+                    entries.push((key, loc));
+                } else {
+                    key.extend_from_slice(&loc);
+                    entries.push((key, Vec::new()));
+                }
             }
-        })?;
-        Ok(false)
+            idx.tree.insert_batch(pool, entries)?;
+        }
+        match dup {
+            Some(e) => Err(e),
+            None => Ok(n as u64),
+        }
+    }
+
+    /// Applies a batch of updates (locator, old row, new row — rows
+    /// already coerced), with page-grouped heap writes for the in-place
+    /// case and index fix-ups only where key columns actually changed.
+    pub fn update_rows(
+        &mut self,
+        pool: &mut BufferPool,
+        pending: &[(RowLoc, Vec<Value>, Vec<Value>)],
+    ) -> Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        if self.is_clustered() {
+            for (loc, old, new) in pending {
+                self.update_row(pool, loc, old, new)?;
+            }
+            return Ok(());
+        }
+        // Pre-encode every *changed* index key. Encoding is the only
+        // fix-up step that can fail on valid input (NUL bytes in a text
+        // key), and the row path stops at the offending row — rows before
+        // it fully applied, the offender heap-written but unindexed, rows
+        // after untouched. Encoding up front lets the batch truncate at
+        // exactly that point instead of heap-writing everything first.
+        // (Unchanged key values were already encoded when the row was
+        // inserted, so deferring those cannot fail.)
+        type RowFixups = Vec<(usize, Vec<u8>, Vec<u8>)>; // (index, old key, new key)
+        let mut fixups: Vec<RowFixups> = Vec::with_capacity(pending.len());
+        let mut enc_err: Option<(SqlError, usize)> = None; // (error, failing index)
+        let mut partial: RowFixups = Vec::new();
+        'rows: for (_, old_row, new_row) in pending {
+            let mut row_fix = Vec::new();
+            for (ii, idx) in self.indexes.iter().enumerate() {
+                let old_vals: Vec<Value> = idx.cols.iter().map(|&c| old_row[c].clone()).collect();
+                let new_vals: Vec<Value> = idx.cols.iter().map(|&c| new_row[c].clone()).collect();
+                if old_vals == new_vals {
+                    continue;
+                }
+                match (encode_key(&old_vals), encode_key(&new_vals)) {
+                    (Ok(o), Ok(n)) => row_fix.push((ii, o, n)),
+                    (Err(e), _) | (_, Err(e)) => {
+                        enc_err = Some((e.into(), ii));
+                        partial = row_fix;
+                        break 'rows;
+                    }
+                }
+            }
+            fixups.push(row_fix);
+        }
+        // The row whose key failed to encode still gets its heap write
+        // (the row path encodes after heap.update), plus the fix-ups of
+        // the indexes before the failing one.
+        let heap_limit = if enc_err.is_some() {
+            fixups.len() + 1
+        } else {
+            fixups.len()
+        };
+        let items: Vec<(RecordId, Vec<u8>)> = pending[..heap_limit]
+            .iter()
+            .map(|(loc, _, new)| match loc {
+                RowLoc::Heap(rid) => Ok((*rid, encode_row(new))),
+                RowLoc::Clustered(_) => Err(SqlError::Eval(
+                    "row locator does not match table storage".into(),
+                )),
+            })
+            .collect::<Result<_>>()?;
+        let new_rids = match &mut self.storage {
+            TableStorage::Heap(h) => h.update_batch(pool, &items)?,
+            TableStorage::Clustered { .. } => unreachable!("handled above"),
+        };
+        if enc_err.is_some() {
+            fixups.push(partial);
+        }
+        for (r, ((loc, old_row, _), (new_rid, row_fix))) in
+            pending.iter().zip(new_rids.iter().zip(&fixups)).enumerate()
+        {
+            // On the offending row, only the indexes *before* the failing
+            // one get their fix-ups, exactly as the row path's per-index
+            // loop would have.
+            let index_cap = match &enc_err {
+                Some((_, fail_ii)) if r + 1 == fixups.len() => *fail_ii,
+                _ => self.indexes.len(),
+            };
+            let new_loc = RowLoc::Heap(*new_rid);
+            for (ii, old_key, new_key) in row_fix {
+                debug_assert!(*ii < index_cap, "partial fix-ups stop at the failure");
+                let idx = &mut self.indexes[*ii];
+                let mut old_key = old_key.clone();
+                let mut new_key = new_key.clone();
+                if idx.unique {
+                    idx.tree.delete(pool, &old_key)?;
+                    idx.tree.insert(pool, &new_key, &new_loc.to_bytes())?;
+                } else {
+                    old_key.extend_from_slice(&loc.to_bytes());
+                    new_key.extend_from_slice(&new_loc.to_bytes());
+                    idx.tree.delete(pool, &old_key)?;
+                    idx.tree.insert(pool, &new_key, &[])?;
+                }
+            }
+            if new_loc != *loc {
+                // The record moved pages: even indexes whose key values
+                // did not change must re-point their entries (those
+                // values were indexed before, so encoding cannot fail).
+                for (ii, idx) in self.indexes.iter_mut().enumerate().take(index_cap) {
+                    if row_fix.iter().any(|(fi, _, _)| fi == &ii) {
+                        continue; // already re-keyed above
+                    }
+                    let vals: Vec<Value> = idx.cols.iter().map(|&c| old_row[c].clone()).collect();
+                    let base = encode_key(&vals)?;
+                    if idx.unique {
+                        idx.tree.delete(pool, &base)?;
+                        idx.tree.insert(pool, &base, &new_loc.to_bytes())?;
+                    } else {
+                        let mut old_key = base.clone();
+                        let mut new_key = base;
+                        old_key.extend_from_slice(&loc.to_bytes());
+                        new_key.extend_from_slice(&new_loc.to_bytes());
+                        idx.tree.delete(pool, &old_key)?;
+                        idx.tree.insert(pool, &new_key, &[])?;
+                    }
+                }
+            }
+        }
+        match enc_err {
+            Some((e, _)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Deletes a batch of rows with page-grouped heap writes.
+    pub fn delete_rows(
+        &mut self,
+        pool: &mut BufferPool,
+        rows: &[(RowLoc, Vec<Value>)],
+    ) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        if self.is_clustered() {
+            for (loc, row) in rows {
+                self.delete_row(pool, loc, row)?;
+            }
+            return Ok(());
+        }
+        let rids: Vec<RecordId> = rows
+            .iter()
+            .map(|(loc, _)| match loc {
+                RowLoc::Heap(rid) => Ok(*rid),
+                RowLoc::Clustered(_) => Err(SqlError::Eval(
+                    "row locator does not match table storage".into(),
+                )),
+            })
+            .collect::<Result<_>>()?;
+        match &mut self.storage {
+            TableStorage::Heap(h) => h.delete_batch(pool, &rids)?,
+            TableStorage::Clustered { .. } => unreachable!("handled above"),
+        }
+        for (loc, row) in rows {
+            for idx in &mut self.indexes {
+                let mut key =
+                    encode_key(&idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>())?;
+                if !idx.unique {
+                    key.extend_from_slice(&loc.to_bytes());
+                }
+                idx.tree.delete(pool, &key)?;
+            }
+        }
+        Ok(())
     }
 
     /// True when the table has an access path (clustered or secondary) whose

@@ -102,6 +102,22 @@ impl PreparedStmt {
     }
 }
 
+/// Which executor runs compiled physical plans.
+///
+/// Both executors share the planner, the plan cache and all semantics;
+/// [`ExecMode::Vectorized`] (the default) moves typed column batches
+/// through the operators (DESIGN.md §11), [`ExecMode::RowAtATime`] is the
+/// PR-3 tuple-at-a-time pipeline, kept as the benchmark baseline and a
+/// second differential-testing target next to the AST interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One `Vec<Value>` row at a time through the plan operators.
+    RowAtATime,
+    /// Typed columnar batches (~1024 rows) with selection vectors.
+    #[default]
+    Vectorized,
+}
+
 /// Plan-cache size bound: statements beyond this are still planned, but
 /// the cache evicts (stale versions first, then true LRU) to stay bounded
 /// when callers execute unbounded families of literal SQL strings.
@@ -304,6 +320,7 @@ pub struct Database {
     pool: BufferPool,
     catalog: Catalog,
     dialect: Dialect,
+    exec_mode: ExecMode,
     plan_cache: PlanCache,
     /// Present on snapshot sessions: the cache shared with every sibling
     /// session of the same [`DbSnapshot`].
@@ -341,6 +358,7 @@ impl Database {
             pool,
             catalog: Catalog::new(),
             dialect: Dialect::default(),
+            exec_mode: ExecMode::default(),
             plan_cache: PlanCache::new(),
             shared_plans: None,
             statements_executed: 0,
@@ -375,6 +393,18 @@ impl Database {
     /// The active dialect.
     pub fn dialect(&self) -> Dialect {
         self.dialect
+    }
+
+    /// The executor running compiled plans (vectorized by default).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Switches between the vectorized and the row-at-a-time plan
+    /// executor — used by benchmarks (before/after) and differential
+    /// tests. Plans are executor-agnostic, so cached plans stay valid.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
     }
 
     /// Changes the dialect in place.
@@ -480,9 +510,14 @@ impl Database {
             rows_affected: n,
             rows: None,
         };
+        let vec = self.exec_mode == ExecMode::Vectorized;
         match &plan.kind {
             PlanKind::Select(sp) => {
-                let rows = plan::exec::run_select_rows(&mut self.pool, &self.catalog, params, sp)?;
+                let rows = if vec {
+                    plan::vexec::run_select_rows(&mut self.pool, &self.catalog, params, sp)?
+                } else {
+                    plan::exec::run_select_rows(&mut self.pool, &self.catalog, params, sp)?
+                };
                 Ok(ExecOutcome {
                     rows_affected: 0,
                     rows: Some(ResultSet {
@@ -491,24 +526,21 @@ impl Database {
                     }),
                 })
             }
-            PlanKind::Insert(ip) => Ok(no_rows(plan::exec::run_insert(
-                &mut self.pool,
-                &mut self.catalog,
-                params,
-                ip,
-            )?)),
-            PlanKind::Update(up) => Ok(no_rows(plan::exec::run_update(
-                &mut self.pool,
-                &mut self.catalog,
-                params,
-                up,
-            )?)),
-            PlanKind::Delete(dp) => Ok(no_rows(plan::exec::run_delete(
-                &mut self.pool,
-                &mut self.catalog,
-                params,
-                dp,
-            )?)),
+            PlanKind::Insert(ip) => Ok(no_rows(if vec {
+                plan::vexec::run_insert(&mut self.pool, &mut self.catalog, params, ip)?
+            } else {
+                plan::exec::run_insert(&mut self.pool, &mut self.catalog, params, ip)?
+            })),
+            PlanKind::Update(up) => Ok(no_rows(if vec {
+                plan::vexec::run_update(&mut self.pool, &mut self.catalog, params, up)?
+            } else {
+                plan::exec::run_update(&mut self.pool, &mut self.catalog, params, up)?
+            })),
+            PlanKind::Delete(dp) => Ok(no_rows(if vec {
+                plan::vexec::run_delete(&mut self.pool, &mut self.catalog, params, dp)?
+            } else {
+                plan::exec::run_delete(&mut self.pool, &mut self.catalog, params, dp)?
+            })),
             PlanKind::Merge(mp) => {
                 if !self.dialect.supports_merge {
                     return Err(SqlError::UnsupportedByDialect {
@@ -516,12 +548,11 @@ impl Database {
                         dialect: self.dialect.name.to_string(),
                     });
                 }
-                Ok(no_rows(plan::exec::run_merge(
-                    &mut self.pool,
-                    &mut self.catalog,
-                    params,
-                    mp,
-                )?))
+                Ok(no_rows(if vec {
+                    plan::vexec::run_merge(&mut self.pool, &mut self.catalog, params, mp)?
+                } else {
+                    plan::exec::run_merge(&mut self.pool, &mut self.catalog, params, mp)?
+                }))
             }
             PlanKind::Fallback(stmt) => self.dispatch_stmt(stmt, params),
         }

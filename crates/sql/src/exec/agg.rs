@@ -108,6 +108,15 @@ impl AggState {
         Ok(())
     }
 
+    /// Feeds `n` argument-less rows at once — the `COUNT(*)` batch path
+    /// (equivalent to `n` calls of `update(None)`, which only the Count
+    /// state reacts to).
+    pub(crate) fn update_star(&mut self, n: i64) {
+        if let AggState::Count(c) = self {
+            *c += n;
+        }
+    }
+
     pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),

@@ -44,8 +44,10 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use catalog::{Catalog, RowLoc, Table, TableSchema};
+pub use catalog::{Catalog, RowLoc, Table, TableBatchCursor, TableSchema};
 pub use dialect::Dialect;
-pub use engine::{Database, DbSnapshot, ExecOutcome, PreparedStmt, ResultSet, SharedPlanCache};
+pub use engine::{
+    Database, DbSnapshot, ExecMode, ExecOutcome, PreparedStmt, ResultSet, SharedPlanCache,
+};
 pub use error::{Result, SqlError};
 pub use parser::{parse_statement, parse_statements};

@@ -28,12 +28,12 @@ use std::rc::Rc;
 /// Per-execution context: the parameter list and the evaluated subquery
 /// slots.
 pub(crate) struct Env<'a> {
-    params: &'a [Value],
-    subs: Vec<SubResult>,
+    pub(crate) params: &'a [Value],
+    pub(crate) subs: Vec<SubResult>,
 }
 
 /// Result of one subquery slot for the current execution.
-enum SubResult {
+pub(crate) enum SubResult {
     Scalar(Value),
     /// Sorted, deduplicated, NULL-free list + "the subquery produced a
     /// NULL" flag (three-valued `[NOT] IN`, see
@@ -43,7 +43,7 @@ enum SubResult {
 }
 
 /// Evaluates a plan expression against a row.
-fn eval_px(e: &PExpr, row: &[Value], env: &Env<'_>) -> Result<Value> {
+pub(crate) fn eval_px(e: &PExpr, row: &[Value], env: &Env<'_>) -> Result<Value> {
     Ok(match e {
         PExpr::Const(v) => v.clone(),
         PExpr::Param(i) => env.params.get(*i).cloned().ok_or(SqlError::ParamCount {
@@ -154,7 +154,7 @@ fn eval_px(e: &PExpr, row: &[Value], env: &Env<'_>) -> Result<Value> {
 }
 
 /// True when every predicate holds for the row.
-fn passes(preds: &[PExpr], row: &[Value], env: &Env<'_>) -> Result<bool> {
+pub(crate) fn passes(preds: &[PExpr], row: &[Value], env: &Env<'_>) -> Result<bool> {
     for p in preds {
         if !truthy(&eval_px(p, row, env)?) {
             return Ok(false);
@@ -389,7 +389,7 @@ fn build_stage_rts<'a>(
 }
 
 /// Safety valve against runaway cross joins (mirrors the interpreter).
-const LOOP_JOIN_ROW_CAP: u64 = 50_000_000;
+pub(crate) const LOOP_JOIN_ROW_CAP: u64 = 50_000_000;
 
 /// Pushes the row in `buf` through the remaining join stages into the
 /// sink. Returns `false` when the pipeline should stop.
@@ -543,7 +543,7 @@ fn run_from(
 
 /// Shared post-pipeline stages over materialized rows:
 /// HAVING → ORDER BY → projection → DISTINCT → TOP/LIMIT.
-fn post_process(
+pub(crate) fn post_process(
     mut rows: Vec<Vec<Value>>,
     plan: &SelectPlan,
     env: &Env<'_>,

@@ -26,6 +26,7 @@
 
 pub(crate) mod build;
 pub(crate) mod exec;
+pub(crate) mod vexec;
 
 use crate::ast::{AggFunc, BinaryOp, Stmt, UnaryOp, WindowFunc};
 use crate::exec::eval::Schema;

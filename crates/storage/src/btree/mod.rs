@@ -115,6 +115,25 @@ impl BTree {
         }
     }
 
+    /// Inserts a batch of entries, sorting them first so consecutive
+    /// descents share their path's pages in the buffer pool (one batch →
+    /// mostly-sequential leaf touches instead of random ones). Returns
+    /// the number of *new* keys (replacements don't count).
+    pub fn insert_batch(
+        &mut self,
+        pool: &mut BufferPool,
+        mut entries: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<u64> {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut fresh = 0u64;
+        for (k, v) in &entries {
+            if self.insert(pool, k, v)?.is_none() {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
     /// Inserts or replaces; returns the previous value if any.
     pub fn insert(
         &mut self,
@@ -152,35 +171,86 @@ impl BTree {
     }
 
     /// Removes `key`; returns its previous value if present.
+    ///
+    /// A leaf emptied by the removal is reclaimed immediately: it is
+    /// unlinked from the leaf chain, its parent entry is dropped, and the
+    /// page is returned to the pool — so long batched-retirement delete
+    /// runs do not leave scans walking chains of dead leaves (the
+    /// DESIGN.md §5 caveat, retired in §11). A parent whose *only* child
+    /// is the emptied leaf keeps it (the tree always has a root-to-leaf
+    /// spine); such stragglers are rare and bounded by the tree height.
     pub fn delete(&mut self, pool: &mut BufferPool, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut path: Vec<(PageId, usize)> = Vec::new();
         let mut pid = self.root;
         loop {
             let next = pool.read_page(pid, |b| {
                 if node::is_leaf(b) {
                     None
                 } else {
-                    Some(node::child_for(b, key))
+                    Some(node::child_for_idx(b, key))
                 }
             })?;
             match next {
-                Some(c) => pid = PageId(c),
+                Some((c, pos)) => {
+                    path.push((pid, pos));
+                    pid = PageId(c);
+                }
                 None => break,
             }
         }
-        let old = pool.write_page(pid, |b| {
+        let (old, emptied) = pool.write_page(pid, |b| {
             let (idx, found) = node::lower_bound(b, key);
             if found {
                 let v = node::leaf_val_at(b, idx).to_vec();
                 node::remove_at(b, idx);
-                Some(v)
+                (Some(v), node::num_cells(b) == 0)
             } else {
-                None
+                (None, false)
             }
         })?;
         if old.is_some() {
             self.len -= 1;
+            if emptied && pid != self.root {
+                self.unlink_empty_leaf(pool, pid, &path)?;
+            }
         }
         Ok(old)
+    }
+
+    /// Detaches the empty leaf `leaf` (whose root-to-parent path is
+    /// `path`) from the tree and the leaf chain, then frees its page.
+    fn unlink_empty_leaf(
+        &mut self,
+        pool: &mut BufferPool,
+        leaf: PageId,
+        path: &[(PageId, usize)],
+    ) -> Result<()> {
+        let &(parent, pos) = path.last().expect("non-root leaf has a parent");
+        // A parent without separator cells has this leaf as its only
+        // child; removing it would leave the parent childless, so the
+        // empty leaf stays (scans skip it).
+        if pool.read_page(parent, node::num_cells)? == 0 {
+            return Ok(());
+        }
+        // Leaf chain: the predecessor (if any) must skip the victim.
+        let next = pool.read_page(leaf, node::next_leaf)?;
+        if let Some(pred) = predecessor_leaf(pool, path)? {
+            pool.write_page(pred, |b| node::set_next_leaf(b, next))?;
+        }
+        // Drop the parent's entry. Removing cell `pos-1` (or promoting
+        // cell 0's child to leftmost) merges the victim's — empty — key
+        // range into its left neighbour, which keeps routing consistent.
+        pool.write_page(parent, |b| {
+            if pos == 0 {
+                let new_leftmost = node::interior_cell_child(b, 0);
+                node::set_leftmost_child(b, new_leftmost);
+                node::remove_at(b, 0);
+            } else {
+                node::remove_at(b, pos - 1);
+            }
+        })?;
+        pool.free_page(leaf);
+        Ok(())
     }
 
     /// In-order scan of `[lo, hi]`; `f` returns `false` to stop early.
@@ -307,6 +377,60 @@ impl BTree {
         Ok(())
     }
 
+    /// Number of pages reachable from the root (tests and diagnostics —
+    /// the empty-leaf-reclamation regression asserts this shrinks).
+    pub fn reachable_pages(&self, pool: &mut BufferPool) -> Result<usize> {
+        Ok(self.collect_pages(pool)?.len())
+    }
+
+    /// Number of leaves on the leaf chain, walked exactly like a full
+    /// scan does (tests and diagnostics).
+    pub fn chain_leaves(&self, pool: &mut BufferPool) -> Result<usize> {
+        let mut pid = self.root;
+        loop {
+            let next = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    None
+                } else {
+                    Some(node::child_at(b, 0))
+                }
+            })?;
+            match next {
+                Some(c) => pid = PageId(c),
+                None => break,
+            }
+        }
+        let mut n = 1usize;
+        loop {
+            let next = pool.read_page(pid, node::next_leaf)?;
+            if next == u64::MAX {
+                return Ok(n);
+            }
+            pid = PageId(next);
+            n += 1;
+        }
+    }
+
+    /// A batched-scan cursor positioned at the first entry. The tree must
+    /// not be mutated while the cursor is in use.
+    pub fn batch_cursor(&self, pool: &mut BufferPool) -> Result<BTreeScanCursor> {
+        let mut pid = self.root;
+        loop {
+            let next = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    None
+                } else {
+                    Some(node::child_at(b, 0))
+                }
+            })?;
+            match next {
+                Some(c) => pid = PageId(c),
+                None => break,
+            }
+        }
+        Ok(BTreeScanCursor { pid: pid.0, idx: 0 })
+    }
+
     /// Tree height (1 = root is a leaf); used by tests and diagnostics.
     pub fn height(&self, pool: &mut BufferPool) -> Result<usize> {
         let mut h = 1;
@@ -327,6 +451,86 @@ impl BTree {
                 None => return Ok(h),
             }
         }
+    }
+}
+
+/// Rightmost leaf of the subtree immediately left of the path's leaf, or
+/// `None` when the leaf is the globally leftmost one (the leaf chain has
+/// no stored head — scans find their first leaf by descending, so a
+/// headless victim needs no chain fix-up).
+fn predecessor_leaf(pool: &mut BufferPool, path: &[(PageId, usize)]) -> Result<Option<PageId>> {
+    for &(anc, pos) in path.iter().rev() {
+        if pos == 0 {
+            continue;
+        }
+        let mut pid = PageId(pool.read_page(anc, |b| node::child_at(b, pos - 1))?);
+        loop {
+            let next = pool.read_page(pid, |b| {
+                if node::is_leaf(b) {
+                    None
+                } else {
+                    Some(node::child_at(b, node::num_cells(b)))
+                }
+            })?;
+            match next {
+                Some(c) => pid = PageId(c),
+                None => return Ok(Some(pid)),
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Resumable batched scan over a [`BTree`]'s leaf chain
+/// (see [`BTree::batch_cursor`]). Leaf values are decoded as rows.
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeScanCursor {
+    pid: u64,
+    idx: usize,
+}
+
+impl BTreeScanCursor {
+    /// Decodes up to `max` further entries' values into `chunk`
+    /// (appending), also recording their keys into `keys` when given.
+    /// Returns `false` once the tree is exhausted.
+    pub fn next_batch(
+        &mut self,
+        pool: &mut BufferPool,
+        chunk: &mut crate::chunk::Chunk,
+        mut keys: Option<&mut Vec<Vec<u8>>>,
+        max: usize,
+    ) -> Result<bool> {
+        let mut added = 0usize;
+        while self.pid != u64::MAX {
+            if added >= max {
+                return Ok(true);
+            }
+            let start = self.idx;
+            let keys_ref = &mut keys;
+            let (next_idx, next_pid, leaf_done) = pool.read_page(PageId(self.pid), |b| {
+                let n = node::num_cells(b);
+                let mut i = start;
+                while i < n {
+                    if added >= max {
+                        return Ok::<_, StorageError>((i, 0, false));
+                    }
+                    crate::row::decode_row_into_chunk(node::leaf_val_at(b, i), chunk)?;
+                    if let Some(keys) = keys_ref.as_deref_mut() {
+                        keys.push(node::key_at(b, i).to_vec());
+                    }
+                    i += 1;
+                    added += 1;
+                }
+                Ok((0, node::next_leaf(b), true))
+            })??;
+            if leaf_done {
+                self.pid = next_pid;
+                self.idx = 0;
+            } else {
+                self.idx = next_idx;
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -694,6 +898,139 @@ mod tests {
         let mut t = BTree::create(&mut p).unwrap();
         let err = t.insert(&mut p, b"k", &vec![0u8; PAGE_SIZE]);
         assert!(matches!(err, Err(StorageError::RecordTooLarge { .. })));
+    }
+
+    #[test]
+    fn fully_deleted_range_releases_leaves() {
+        let mut p = BufferPool::in_memory(256);
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..5000u64 {
+            t.insert(&mut p, &k(i), &[7u8; 40]).unwrap();
+        }
+        let pages_before = t.reachable_pages(&mut p).unwrap();
+        let leaves_before = t.chain_leaves(&mut p).unwrap();
+        assert!(leaves_before > 20, "need many leaves for the test");
+        // Retire a large contiguous range completely (the batched-FEM
+        // retirement pattern), then everything.
+        for i in 1000..4000u64 {
+            assert!(t.delete(&mut p, &k(i)).unwrap().is_some());
+        }
+        let leaves_mid = t.chain_leaves(&mut p).unwrap();
+        assert!(
+            leaves_mid < leaves_before / 2,
+            "empty leaves must leave the chain ({leaves_before} -> {leaves_mid})"
+        );
+        // Remaining keys intact and in order.
+        let mut seen = Vec::new();
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |key, _| {
+            seen.push(u64::from_be_bytes(key.try_into().unwrap()));
+            true
+        })
+        .unwrap();
+        let expect: Vec<u64> = (0..1000).chain(4000..5000).collect();
+        assert_eq!(seen, expect);
+        // Point lookups still route correctly across the collapsed range.
+        assert!(t.get(&mut p, &k(999)).unwrap().is_some());
+        assert!(t.get(&mut p, &k(2500)).unwrap().is_none());
+        assert!(t.get(&mut p, &k(4000)).unwrap().is_some());
+        for i in 0..5000u64 {
+            t.delete(&mut p, &k(i)).unwrap();
+        }
+        assert!(t.is_empty());
+        let pages_after = t.reachable_pages(&mut p).unwrap();
+        assert!(
+            pages_after < pages_before / 4,
+            "a fully-deleted tree must shed its pages ({pages_before} -> {pages_after})"
+        );
+        let leaves_after = t.chain_leaves(&mut p).unwrap();
+        assert!(
+            leaves_after <= t.height(&mut p).unwrap(),
+            "at most one straggler leaf per level ({leaves_after})"
+        );
+        // The tree remains fully usable: freed pages are recycled.
+        for i in 0..5000u64 {
+            t.insert(&mut p, &k(i), &[8u8; 40]).unwrap();
+        }
+        assert_eq!(t.len(), 5000);
+        assert_eq!(t.get(&mut p, &k(4321)).unwrap().unwrap(), vec![8u8; 40]);
+    }
+
+    #[test]
+    fn delete_reclaim_interleaved_with_reinserts_matches_oracle() {
+        let mut p = BufferPool::in_memory(64);
+        let mut t = BTree::create(&mut p).unwrap();
+        let mut oracle = BTreeMap::new();
+        let mut x = 11u64;
+        for round in 0..6000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = k((x >> 33) % 700);
+            if round % 3 == 0 {
+                t.delete(&mut p, &key).unwrap();
+                oracle.remove(&key);
+            } else {
+                t.insert(&mut p, &key, &k(x)).unwrap();
+                oracle.insert(key, k(x));
+            }
+        }
+        assert_eq!(t.len(), oracle.len() as u64);
+        let mut seen = Vec::new();
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |key, v| {
+            seen.push((key.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            oracle.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn insert_batch_counts_fresh_keys() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        t.insert(&mut p, &k(5), b"old").unwrap();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..10u64).map(|i| (k(i), k(i))).collect();
+        let fresh = t.insert_batch(&mut p, entries).unwrap();
+        assert_eq!(fresh, 9, "key 5 was a replacement");
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.get(&mut p, &k(5)).unwrap().unwrap(), k(5));
+    }
+
+    #[test]
+    fn batch_cursor_matches_scan() {
+        use crate::value::Value;
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..800i64 {
+            t.insert(
+                &mut p,
+                &k(i as u64),
+                &crate::row::encode_row(&[Value::Int(i), Value::Null]),
+            )
+            .unwrap();
+        }
+        let mut cursor = t.batch_cursor(&mut p).unwrap();
+        let mut chunk = crate::chunk::Chunk::new();
+        let mut keys = Vec::new();
+        let mut rows = Vec::new();
+        loop {
+            chunk.reset();
+            let more = cursor
+                .next_batch(&mut p, &mut chunk, Some(&mut keys), 100)
+                .unwrap();
+            rows.extend(chunk.to_rows());
+            if !more {
+                break;
+            }
+        }
+        assert_eq!(rows.len(), 800);
+        assert_eq!(keys.len(), 800);
+        for i in 0..800i64 {
+            assert_eq!(rows[i as usize], vec![Value::Int(i), Value::Null]);
+            assert_eq!(keys[i as usize], k(i as u64));
+        }
     }
 
     #[test]

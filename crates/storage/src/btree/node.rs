@@ -114,14 +114,22 @@ pub fn interior_cell_child(buf: &Buf, i: usize) -> u64 {
 
 /// Child to descend into for `key` (see module docs for semantics).
 pub fn child_for(buf: &Buf, key: &[u8]) -> u64 {
+    child_for_idx(buf, key).0
+}
+
+/// Like [`child_for`], also returning the child's logical position in
+/// `0..=num_cells` (0 = leftmost) — used by delete to remember its path.
+pub fn child_for_idx(buf: &Buf, key: &[u8]) -> (u64, usize) {
     let (idx, found) = lower_bound(buf, key);
     // Cells with key <= `key` route right of themselves.
     let child_idx = if found { idx + 1 } else { idx };
-    if child_idx == 0 {
-        leftmost_child(buf)
-    } else {
-        interior_cell_child(buf, child_idx - 1)
-    }
+    (child_at(buf, child_idx), child_idx)
+}
+
+/// Replaces an interior node's leftmost child pointer.
+pub fn set_leftmost_child(buf: &mut Buf, pid: u64) {
+    debug_assert!(!is_leaf(buf));
+    codec::put_u64(buf, OFF_LINK, pid);
 }
 
 /// Child page id at logical position `i` in `0..=num_cells` (0 = leftmost).

@@ -1,0 +1,565 @@
+//! Typed columnar batches (`Chunk`) — the unit of batch-at-a-time
+//! execution.
+//!
+//! A [`Chunk`] holds up to ~[`CHUNK_CAPACITY`] rows as column vectors. The
+//! all-integer case — every FEM working table — is stored as a dense
+//! `Vec<i64>` plus a [`NullMask`] bitmap, so downstream operators (filters,
+//! arithmetic, joins, aggregation) run tight typed loops with no per-cell
+//! enum dispatch. Columns that ever see a non-integer value fall back to a
+//! generic [`Value`] vector; the fallback is per column, so a mixed table
+//! still vectorizes its integer columns (DESIGN.md §11).
+//!
+//! Chunks are reusable: [`Chunk::reset`] clears the data but keeps both the
+//! allocations and each column's representation (a column demoted to
+//! generic stays generic, avoiding re-promotion churn across batches).
+
+use crate::value::Value;
+
+/// Target rows per batch. Chosen so an 8-column integer chunk (~64 KiB)
+/// stays L2-resident while amortizing per-batch overhead.
+pub const CHUNK_CAPACITY: usize = 1024;
+
+/// A validity bitmap: bit set ⇒ the row is NULL.
+#[derive(Debug, Clone, Default)]
+pub struct NullMask {
+    words: Vec<u64>,
+    len: usize,
+    set: usize,
+}
+
+impl NullMask {
+    /// An empty mask.
+    pub fn new() -> NullMask {
+        NullMask::default()
+    }
+
+    /// A mask of `len` rows, none of them NULL.
+    pub fn all_valid(len: usize) -> NullMask {
+        NullMask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            set: 0,
+        }
+    }
+
+    /// Number of rows tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one row's validity.
+    pub fn push(&mut self, is_null: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if is_null {
+            self.words[word] |= 1u64 << (self.len % 64);
+            self.set += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Marks an already-tracked row `i` as NULL.
+    #[inline]
+    pub fn set_null(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        let bit = 1u64 << (i % 64);
+        if self.words[i / 64] & bit == 0 {
+            self.words[i / 64] |= bit;
+            self.set += 1;
+        }
+    }
+
+    /// True when at least one row is NULL.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.set > 0
+    }
+
+    /// Number of NULL rows.
+    pub fn count(&self) -> usize {
+        self.set
+    }
+
+    /// Clears the mask, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+        self.set = 0;
+    }
+}
+
+/// One column of a [`Chunk`]: dense integers with a null bitmap, or the
+/// generic fallback.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Integer column; `nulls.get(i)` ⇒ `vals[i]` is a placeholder 0.
+    Int { vals: Vec<i64>, nulls: NullMask },
+    /// Any non-integer (or mixed) column.
+    Generic(Vec<Value>),
+}
+
+impl Default for Column {
+    fn default() -> Self {
+        Column::new_int()
+    }
+}
+
+impl Column {
+    /// A fresh (optimistically integer-typed) column.
+    pub fn new_int() -> Column {
+        Column::Int {
+            vals: Vec::new(),
+            nulls: NullMask::new(),
+        }
+    }
+
+    /// A fresh generic column.
+    pub fn new_generic() -> Column {
+        Column::Generic(Vec::new())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { vals, .. } => vals.len(),
+            Column::Generic(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Demotes an integer column to the generic representation in place.
+    fn demote(&mut self) {
+        if let Column::Int { vals, nulls } = self {
+            let out: Vec<Value> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    if nulls.get(i) {
+                        Value::Null
+                    } else {
+                        Value::Int(v)
+                    }
+                })
+                .collect();
+            *self = Column::Generic(out);
+        }
+    }
+
+    /// Appends a known-integer value (the typed hot path).
+    #[inline]
+    pub fn push_int(&mut self, v: i64) {
+        match self {
+            Column::Int { vals, nulls } => {
+                vals.push(v);
+                nulls.push(false);
+            }
+            Column::Generic(g) => g.push(Value::Int(v)),
+        }
+    }
+
+    /// Appends a NULL.
+    #[inline]
+    pub fn push_null(&mut self) {
+        match self {
+            Column::Int { vals, nulls } => {
+                vals.push(0);
+                nulls.push(true);
+            }
+            Column::Generic(g) => g.push(Value::Null),
+        }
+    }
+
+    /// Appends any value, demoting to generic when it is not Int/Null.
+    pub fn push(&mut self, v: Value) {
+        match v {
+            Value::Int(i) => self.push_int(i),
+            Value::Null => self.push_null(),
+            other => {
+                self.demote();
+                match self {
+                    Column::Generic(g) => g.push(other),
+                    Column::Int { .. } => unreachable!("just demoted"),
+                }
+            }
+        }
+    }
+
+    /// Value at row `i` (clones text).
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int { vals, nulls } => {
+                if nulls.get(i) {
+                    Value::Null
+                } else {
+                    Value::Int(vals[i])
+                }
+            }
+            Column::Generic(v) => v[i].clone(),
+        }
+    }
+
+    /// Whether row `i` is NULL (no value clone).
+    #[inline]
+    pub fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            Column::Int { nulls, .. } => nulls.get(i),
+            Column::Generic(v) => v[i].is_null(),
+        }
+    }
+
+    /// Clears the data, keeping allocations and the representation.
+    pub fn clear(&mut self) {
+        match self {
+            Column::Int { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            Column::Generic(v) => v.clear(),
+        }
+    }
+
+    /// A new column holding `self[i]` for each `i` in `idx`.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        match self {
+            Column::Int { vals, nulls } => {
+                let mut out_vals = Vec::with_capacity(idx.len());
+                let mut out_nulls = NullMask::new();
+                if nulls.any() {
+                    for &i in idx {
+                        out_vals.push(vals[i as usize]);
+                        out_nulls.push(nulls.get(i as usize));
+                    }
+                } else {
+                    for &i in idx {
+                        out_vals.push(vals[i as usize]);
+                        out_nulls.push(false);
+                    }
+                }
+                Column::Int {
+                    vals: out_vals,
+                    nulls: out_nulls,
+                }
+            }
+            Column::Generic(v) => {
+                Column::Generic(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+/// A batch of rows in columnar layout. `len` is authoritative — a chunk
+/// may have zero columns but a positive row count (`SELECT` without FROM).
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    cols: Vec<Column>,
+    len: usize,
+}
+
+impl Chunk {
+    /// An empty chunk with no columns yet (columns appear with the first
+    /// pushed row).
+    pub fn new() -> Chunk {
+        Chunk::default()
+    }
+
+    /// An empty chunk with `width` pre-created integer-typed columns.
+    pub fn with_width(width: usize) -> Chunk {
+        Chunk {
+            cols: (0..width).map(|_| Column::new_int()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Builds a chunk directly from columns (all must share one length).
+    pub fn from_columns(cols: Vec<Column>, len: usize) -> Chunk {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        Chunk { cols, len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column `c`.
+    #[inline]
+    pub fn col(&self, c: usize) -> &Column {
+        &self.cols[c]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Mutable column `c` — used with [`Chunk::commit_row`] by decoders
+    /// that append cell-by-cell. If the caller errors between `col_mut`
+    /// pushes and `commit_row`, the chunk is left inconsistent and must be
+    /// discarded (statement errors abort the batch anyway).
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut Column {
+        &mut self.cols[c]
+    }
+
+    /// Completes one row appended cell-by-cell through [`Chunk::col_mut`].
+    #[inline]
+    pub fn commit_row(&mut self) {
+        debug_assert!(self.cols.iter().all(|c| c.len() == self.len + 1));
+        self.len += 1;
+    }
+
+    /// Value at `(col, row)`.
+    #[inline]
+    pub fn get(&self, c: usize, r: usize) -> Value {
+        self.cols[c].get(r)
+    }
+
+    /// Clears all rows, keeping column allocations and representations.
+    pub fn reset(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Clears the chunk for reuse by an *unrelated* consumer: row data is
+    /// dropped, integer columns keep their allocations, and columns that
+    /// were demoted to generic revert to the typed representation (the
+    /// stickiness that is right within one scan would pessimize the next
+    /// borrower).
+    pub fn reset_for_reuse(&mut self) {
+        for c in &mut self.cols {
+            if matches!(c, Column::Generic(_)) {
+                *c = Column::new_int();
+            } else {
+                c.clear();
+            }
+        }
+        self.len = 0;
+    }
+
+    /// Ensures the chunk has exactly `width` columns (creating
+    /// integer-typed ones); only valid while the chunk is empty.
+    pub fn set_width(&mut self, width: usize) {
+        debug_assert_eq!(self.len, 0, "cannot reshape a non-empty chunk");
+        self.cols.resize_with(width, Column::new_int);
+    }
+
+    /// Appends one row. The first row fixes the width; later rows must
+    /// match it.
+    pub fn push_row(&mut self, row: &[Value]) {
+        if self.len == 0 && self.cols.len() != row.len() {
+            self.set_width(row.len());
+        }
+        debug_assert_eq!(self.cols.len(), row.len(), "row arity mismatch");
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.push(v.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Appends an empty row to a zero-column chunk.
+    pub fn push_empty_row(&mut self) {
+        debug_assert!(self.cols.is_empty());
+        self.len += 1;
+    }
+
+    /// Materializes row `r` as values.
+    pub fn row(&self, r: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(r)).collect()
+    }
+
+    /// Materializes every row (the row-at-a-time boundary).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|r| self.row(r)).collect()
+    }
+
+    /// Appends the rows of `other` selected by `idx`.
+    pub fn append_gather(&mut self, other: &Chunk, idx: &[u32]) {
+        if self.len == 0 && self.cols.len() != other.cols.len() {
+            self.set_width(other.cols.len());
+        }
+        debug_assert_eq!(self.cols.len(), other.cols.len());
+        for (dst, src) in self.cols.iter_mut().zip(&other.cols) {
+            for &i in idx {
+                dst.push(src.get(i as usize));
+            }
+        }
+        self.len += idx.len();
+    }
+
+    /// A new chunk holding the rows selected by `idx` (column-wise gather).
+    pub fn gather(&self, idx: &[u32]) -> Chunk {
+        Chunk {
+            cols: self.cols.iter().map(|c| c.gather(idx)).collect(),
+            len: idx.len(),
+        }
+    }
+
+    /// Appends one extra column (must match the row count).
+    pub fn push_column(&mut self, col: Column) {
+        debug_assert_eq!(col.len(), self.len);
+        self.cols.push(col);
+    }
+
+    /// Replaces column `i` (must match the row count).
+    pub fn set_column(&mut self, i: usize, col: Column) {
+        debug_assert_eq!(col.len(), self.len);
+        self.cols[i] = col;
+    }
+
+    /// Appends all rows of `other` (vertical concatenation).
+    pub fn append(&mut self, other: &Chunk) {
+        let idx: Vec<u32> = (0..other.len() as u32).collect();
+        self.append_gather(other, &idx);
+    }
+
+    /// Horizontal concatenation: `self`'s columns followed by `other`'s.
+    /// Both must hold the same number of rows.
+    pub fn hcat(mut self, other: Chunk) -> Chunk {
+        debug_assert_eq!(self.len, other.len);
+        self.cols.extend(other.cols);
+        self
+    }
+}
+
+/// Builds a chunk from materialized rows.
+pub fn chunk_from_rows(rows: &[Vec<Value>]) -> Chunk {
+    let mut c = Chunk::new();
+    for row in rows {
+        c.push_row(row);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mask_tracks_bits() {
+        let mut m = NullMask::new();
+        for i in 0..130 {
+            m.push(i % 3 == 0);
+        }
+        assert_eq!(m.len(), 130);
+        assert!(m.any());
+        for i in 0..130 {
+            assert_eq!(m.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(m.count(), (0..130).filter(|i| i % 3 == 0).count());
+        m.clear();
+        assert!(!m.any());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn int_column_roundtrip_with_nulls() {
+        let mut c = Column::new_int();
+        c.push(Value::Int(7));
+        c.push(Value::Null);
+        c.push_int(-3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(7));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(-3));
+        assert!(c.is_null_at(1) && !c.is_null_at(0));
+        assert!(matches!(c, Column::Int { .. }));
+    }
+
+    #[test]
+    fn text_push_demotes_preserving_prior_rows() {
+        let mut c = Column::new_int();
+        c.push(Value::Int(1));
+        c.push(Value::Null);
+        c.push(Value::Text("x".into()));
+        c.push(Value::Float(2.5));
+        assert!(matches!(c, Column::Generic(_)));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Text("x".into()));
+        assert_eq!(c.get(3), Value::Float(2.5));
+        // Demoted columns stay generic across clear (sticky representation).
+        c.clear();
+        assert!(matches!(c, Column::Generic(_)));
+    }
+
+    #[test]
+    fn chunk_push_rows_and_gather() {
+        let mut ch = Chunk::new();
+        for i in 0..10i64 {
+            ch.push_row(&[Value::Int(i), Value::Int(i * 2)]);
+        }
+        assert_eq!(ch.len(), 10);
+        assert_eq!(ch.width(), 2);
+        let g = ch.gather(&[1, 3, 9]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get(1, 2), Value::Int(18));
+        let rows = g.to_rows();
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn chunk_reset_keeps_width() {
+        let mut ch = Chunk::new();
+        ch.push_row(&[Value::Int(1)]);
+        ch.reset();
+        assert_eq!(ch.len(), 0);
+        assert_eq!(ch.width(), 1);
+        ch.push_row(&[Value::Int(2)]);
+        assert_eq!(ch.get(0, 0), Value::Int(2));
+    }
+
+    #[test]
+    fn zero_column_chunk_counts_rows() {
+        let mut ch = Chunk::new();
+        ch.push_empty_row();
+        ch.push_empty_row();
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.width(), 0);
+        assert_eq!(ch.row(0), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn append_gather_concatenates() {
+        let mut a = Chunk::new();
+        a.push_row(&[Value::Int(1)]);
+        let mut b = Chunk::new();
+        for i in 10..20i64 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        a.append_gather(&b, &[0, 5]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(0, 1), Value::Int(10));
+        assert_eq!(a.get(0, 2), Value::Int(15));
+    }
+}

@@ -136,6 +136,122 @@ fn page_insert(buf: &mut [u8; PAGE_SIZE], bytes: &[u8]) -> Option<u16> {
     Some(s as u16)
 }
 
+/// Updates the record in `slot` within the page when possible: shrink or
+/// same-size overwrites in place; growth re-inserts into this page's free
+/// space under the same slot number. Returns `Ok(false)` when the record
+/// no longer fits the page — its old cell is then already dead and the
+/// caller must re-insert the bytes elsewhere.
+fn page_update_in_place(buf: &mut [u8; PAGE_SIZE], rid: RecordId, bytes: &[u8]) -> Result<bool> {
+    let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+    let slot = rid.slot;
+    if slot >= n {
+        return Err(StorageError::InvalidRecordId {
+            page: rid.page as u64,
+            slot,
+        });
+    }
+    let so = HDR_SIZE + slot as usize * SLOT_SIZE;
+    let off = codec::get_u16(buf, so);
+    if off == DEAD_SLOT {
+        return Err(StorageError::InvalidRecordId {
+            page: rid.page as u64,
+            slot,
+        });
+    }
+    let old_len = codec::get_u16(buf, so + 2) as usize;
+    if bytes.len() <= old_len {
+        buf[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
+        codec::put_u16(buf, so + 2, bytes.len() as u16);
+        let dead = codec::get_u16(buf, HDR_DEAD);
+        codec::put_u16(buf, HDR_DEAD, dead + (old_len - bytes.len()) as u16);
+        return Ok(true);
+    }
+    let dead = codec::get_u16(buf, HDR_DEAD);
+    codec::put_u16(buf, HDR_DEAD, dead + old_len as u16);
+    codec::put_u16(buf, so, DEAD_SLOT);
+    if page_free(buf) >= bytes.len() {
+        let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize;
+        let slot_area_end = HDR_SIZE + n as usize * SLOT_SIZE;
+        if cell_start.saturating_sub(slot_area_end) < bytes.len() {
+            compact(buf);
+        }
+        let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize - bytes.len();
+        buf[cell_start..cell_start + bytes.len()].copy_from_slice(bytes);
+        codec::put_u16(buf, HDR_CELL_START, cell_start as u16);
+        codec::put_u16(buf, so, cell_start as u16);
+        codec::put_u16(buf, so + 2, bytes.len() as u16);
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// Resumable batched scan position over a [`HeapFile`]
+/// (see [`HeapFile::batch_cursor`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapScanCursor {
+    page_idx: usize,
+    slot: u16,
+}
+
+impl HeapScanCursor {
+    /// Decodes up to `max` further records into `chunk` (appending), also
+    /// recording their ids into `rids` when given. Returns `false` once
+    /// the file is exhausted. The underlying file must not be mutated
+    /// between calls.
+    pub fn next_batch(
+        &mut self,
+        heap: &HeapFile,
+        pool: &mut BufferPool,
+        chunk: &mut crate::chunk::Chunk,
+        mut rids: Option<&mut Vec<RecordId>>,
+        max: usize,
+    ) -> Result<bool> {
+        let mut added = 0usize;
+        while self.page_idx < heap.pages.len() {
+            if added >= max {
+                return Ok(true);
+            }
+            let pid = heap.pages[self.page_idx];
+            let page_idx = self.page_idx;
+            let start_slot = self.slot;
+            let rids_ref = &mut rids;
+            let (next_slot, page_done) = pool.read_page(pid, |buf| {
+                let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+                let mut slot = start_slot;
+                while slot < n {
+                    if added >= max {
+                        return Ok::<_, StorageError>((slot, false));
+                    }
+                    let so = HDR_SIZE + slot as usize * SLOT_SIZE;
+                    let off = codec::get_u16(buf, so);
+                    if off != DEAD_SLOT {
+                        let len = codec::get_u16(buf, so + 2) as usize;
+                        crate::row::decode_row_into_chunk(
+                            &buf[off as usize..off as usize + len],
+                            chunk,
+                        )?;
+                        if let Some(rids) = rids_ref.as_deref_mut() {
+                            rids.push(RecordId {
+                                page: page_idx as u32,
+                                slot,
+                            });
+                        }
+                        added += 1;
+                    }
+                    slot += 1;
+                }
+                Ok((slot, true))
+            })??;
+            self.slot = next_slot;
+            if page_done {
+                self.page_idx += 1;
+                self.slot = 0;
+            }
+        }
+        Ok(false)
+    }
+}
+
 impl HeapFile {
     /// Creates an empty heap file (no pages yet).
     pub fn create() -> Self {
@@ -159,6 +275,11 @@ impl HeapFile {
     /// Number of pages owned by the file.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// A resumable batched-scan cursor positioned at the start of the file.
+    pub fn batch_cursor(&self) -> HeapScanCursor {
+        HeapScanCursor::default()
     }
 
     /// Inserts a record, returning its id.
@@ -287,51 +408,7 @@ impl HeapFile {
             });
         }
         let pid = self.pid_of(rid)?;
-        let updated = pool.write_page(pid, |buf| {
-            let n = codec::get_u16(buf, HDR_NUM_SLOTS);
-            if rid.slot >= n {
-                return Err(StorageError::InvalidRecordId {
-                    page: rid.page as u64,
-                    slot: rid.slot,
-                });
-            }
-            let so = HDR_SIZE + rid.slot as usize * SLOT_SIZE;
-            let off = codec::get_u16(buf, so);
-            if off == DEAD_SLOT {
-                return Err(StorageError::InvalidRecordId {
-                    page: rid.page as u64,
-                    slot: rid.slot,
-                });
-            }
-            let old_len = codec::get_u16(buf, so + 2) as usize;
-            if bytes.len() <= old_len {
-                // Shrink (or equal): overwrite in place, account slack as dead.
-                buf[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
-                codec::put_u16(buf, so + 2, bytes.len() as u16);
-                let dead = codec::get_u16(buf, HDR_DEAD);
-                codec::put_u16(buf, HDR_DEAD, dead + (old_len - bytes.len()) as u16);
-                return Ok(true);
-            }
-            // Grow: free the old cell, then re-insert into the same page if
-            // space allows, keeping the same slot number.
-            let dead = codec::get_u16(buf, HDR_DEAD);
-            codec::put_u16(buf, HDR_DEAD, dead + old_len as u16);
-            codec::put_u16(buf, so, DEAD_SLOT);
-            if page_free(buf) >= bytes.len() {
-                let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize;
-                let slot_area_end = HDR_SIZE + n as usize * SLOT_SIZE;
-                if cell_start.saturating_sub(slot_area_end) < bytes.len() {
-                    compact(buf);
-                }
-                let cell_start = codec::get_u16(buf, HDR_CELL_START) as usize - bytes.len();
-                buf[cell_start..cell_start + bytes.len()].copy_from_slice(bytes);
-                codec::put_u16(buf, HDR_CELL_START, cell_start as u16);
-                codec::put_u16(buf, so, cell_start as u16);
-                codec::put_u16(buf, so + 2, bytes.len() as u16);
-                return Ok(true);
-            }
-            Ok(false)
-        })??;
+        let updated = pool.write_page(pid, |buf| page_update_in_place(buf, rid, bytes))??;
         self.free[rid.page as usize] = pool.read_page(pid, page_free)? as u16;
         if updated {
             return Ok(rid);
@@ -339,6 +416,193 @@ impl HeapFile {
         // Record moved to another page.
         self.len -= 1; // insert() will re-count it
         self.insert(pool, bytes)
+    }
+
+    /// Inserts many records with page-level batching: each buffer-pool
+    /// write call packs as many consecutive records as fit into the target
+    /// page, instead of one pin/unpin round trip per record.
+    pub fn insert_batch(
+        &mut self,
+        pool: &mut BufferPool,
+        rows: &[Vec<u8>],
+    ) -> Result<Vec<RecordId>> {
+        for r in rows {
+            if r.len() > MAX_RECORD {
+                return Err(StorageError::RecordTooLarge {
+                    size: r.len(),
+                    max: MAX_RECORD,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        let mut i = 0usize;
+        while i < rows.len() {
+            // Pick the target page for rows[i] exactly like insert() would.
+            let mut page_idx = None;
+            if let Some(last) = self.pages.len().checked_sub(1) {
+                if self.free[last] as usize >= rows[i].len() + SLOT_SIZE {
+                    page_idx = Some(last);
+                }
+            }
+            if page_idx.is_none() {
+                page_idx = self
+                    .free
+                    .iter()
+                    .position(|&f| f as usize >= rows[i].len() + SLOT_SIZE);
+            }
+            let page_idx = match page_idx {
+                Some(p) => p,
+                None => {
+                    let pid = pool.allocate_page()?;
+                    pool.write_page(pid, init_page)?;
+                    self.pages.push(pid);
+                    self.free.push((PAGE_SIZE - HDR_SIZE) as u16);
+                    self.pages.len() - 1
+                }
+            };
+            let pid = self.pages[page_idx];
+            // One write call inserts as many consecutive rows as fit.
+            let slots: Vec<u16> = pool.write_page(pid, |buf| {
+                let mut slots = Vec::new();
+                while i + slots.len() < rows.len() {
+                    match page_insert(buf, &rows[i + slots.len()]) {
+                        Some(s) => slots.push(s),
+                        None => break,
+                    }
+                }
+                slots
+            })?;
+            self.free[page_idx] = pool.read_page(pid, page_free)? as u16;
+            if slots.is_empty() {
+                // The cached free-space hint was optimistic (slot-directory
+                // growth); retry this row through the single-record path,
+                // which allocates as needed.
+                out.push(self.insert(pool, &rows[i])?);
+                i += 1;
+                continue;
+            }
+            for slot in slots {
+                out.push(RecordId {
+                    page: page_idx as u32,
+                    slot,
+                });
+                i += 1;
+                self.len += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes many records with one buffer-pool write per touched page.
+    pub fn delete_batch(&mut self, pool: &mut BufferPool, rids: &[RecordId]) -> Result<()> {
+        let mut sorted: Vec<RecordId> = rids.to_vec();
+        sorted.sort_unstable();
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let page = sorted[i].page;
+            let end = sorted[i..]
+                .iter()
+                .position(|r| r.page != page)
+                .map(|p| i + p)
+                .unwrap_or(sorted.len());
+            let pid = self.pid_of(sorted[i])?;
+            let removed = pool.write_page(pid, |buf| {
+                let n = codec::get_u16(buf, HDR_NUM_SLOTS);
+                // Validate the whole page group — including duplicates,
+                // which sorting made adjacent — before tombstoning
+                // anything, so an error leaves this page untouched (the
+                // single-record delete() mutates nothing on error too).
+                let mut prev: Option<u16> = None;
+                for rid in &sorted[i..end] {
+                    let dup = prev == Some(rid.slot);
+                    prev = Some(rid.slot);
+                    let so = HDR_SIZE + rid.slot as usize * SLOT_SIZE;
+                    if rid.slot >= n || dup || codec::get_u16(buf, so) == DEAD_SLOT {
+                        return Err(StorageError::InvalidRecordId {
+                            page: rid.page as u64,
+                            slot: rid.slot,
+                        });
+                    }
+                }
+                let mut removed = 0u64;
+                for rid in &sorted[i..end] {
+                    let so = HDR_SIZE + rid.slot as usize * SLOT_SIZE;
+                    let len = codec::get_u16(buf, so + 2);
+                    codec::put_u16(buf, so, DEAD_SLOT);
+                    let dead = codec::get_u16(buf, HDR_DEAD);
+                    codec::put_u16(buf, HDR_DEAD, dead + len);
+                    removed += 1;
+                }
+                Ok(removed)
+            })??;
+            self.free[page as usize] = pool.read_page(pid, page_free)? as u16;
+            self.len -= removed;
+            i = end;
+        }
+        Ok(())
+    }
+
+    /// Updates many records, one buffer-pool write per touched page for
+    /// the in-place cases (the all-integer FEM rows never change size, so
+    /// this is the steady state); records that outgrow their page fall
+    /// back to the single-record move path. Returns the new id per input,
+    /// in order.
+    pub fn update_batch(
+        &mut self,
+        pool: &mut BufferPool,
+        items: &[(RecordId, Vec<u8>)],
+    ) -> Result<Vec<RecordId>> {
+        for (_, bytes) in items {
+            if bytes.len() > MAX_RECORD {
+                return Err(StorageError::RecordTooLarge {
+                    size: bytes.len(),
+                    max: MAX_RECORD,
+                });
+            }
+        }
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_unstable_by_key(|&k| items[k].0);
+        let mut out = vec![
+            RecordId {
+                page: u32::MAX,
+                slot: u16::MAX
+            };
+            items.len()
+        ];
+        let mut moved: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < order.len() {
+            let page = items[order[i]].0.page;
+            let end = order[i..]
+                .iter()
+                .position(|&k| items[k].0.page != page)
+                .map(|p| i + p)
+                .unwrap_or(order.len());
+            let pid = self.pid_of(items[order[i]].0)?;
+            let leftovers: Vec<usize> = pool.write_page(pid, |buf| {
+                let mut leftovers = Vec::new();
+                for &k in &order[i..end] {
+                    let (rid, bytes) = &items[k];
+                    if !page_update_in_place(buf, *rid, bytes)? {
+                        leftovers.push(k);
+                    }
+                }
+                Ok::<_, StorageError>(leftovers)
+            })??;
+            self.free[page as usize] = pool.read_page(pid, page_free)? as u16;
+            for &k in &order[i..end] {
+                out[k] = items[k].0;
+            }
+            moved.extend(leftovers);
+            i = end;
+        }
+        // Records that no longer fit their page: their old cell is already
+        // dead (page_update_in_place freed it), so re-insert elsewhere.
+        for k in moved {
+            self.len -= 1; // insert() re-counts it
+            out[k] = self.insert(pool, &items[k].1)?;
+        }
+        Ok(out)
     }
 
     /// Iterates live records in file order; `f` returns `false` to stop.
@@ -545,6 +809,133 @@ mod tests {
         // A 3000-byte record now fits in page 0 only via compaction.
         let rid = h.insert(&mut p, &vec![9u8; 3000]).unwrap();
         assert_eq!(h.get(&mut p, rid).unwrap(), vec![9u8; 3000]);
+    }
+
+    #[test]
+    fn insert_batch_matches_scan_and_spans_pages() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rows: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| crate::row::encode_row(&[crate::value::Value::Int(i as i64)]))
+            .collect();
+        let rids = h.insert_batch(&mut p, &rows).unwrap();
+        assert_eq!(rids.len(), 200);
+        assert_eq!(h.len(), 200);
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(&mut p, *rid).unwrap(), rows[i]);
+        }
+        // Batch + single-record inserts interleave correctly.
+        let solo = h.insert(&mut p, &rows[0]).unwrap();
+        assert_eq!(h.get(&mut p, solo).unwrap(), rows[0]);
+        assert_eq!(h.len(), 201);
+    }
+
+    #[test]
+    fn insert_batch_large_records_allocate_pages() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rows: Vec<Vec<u8>> = (0..30).map(|i| vec![i as u8; 1500]).collect();
+        let rids = h.insert_batch(&mut p, &rows).unwrap();
+        assert!(h.num_pages() > 1);
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(&mut p, *rid).unwrap()[0], i as u8);
+        }
+        let err = h.insert_batch(&mut p, &[vec![0u8; PAGE_SIZE]]);
+        assert!(matches!(err, Err(StorageError::RecordTooLarge { .. })));
+    }
+
+    #[test]
+    fn delete_batch_page_grouped() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rows: Vec<Vec<u8>> = (0..100u32).map(|i| vec![i as u8; 200]).collect();
+        let rids = h.insert_batch(&mut p, &rows).unwrap();
+        let victims: Vec<RecordId> = rids.iter().step_by(2).copied().collect();
+        h.delete_batch(&mut p, &victims).unwrap();
+        assert_eq!(h.len(), 50);
+        let mut seen = Vec::new();
+        h.scan(&mut p, |_, b| {
+            seen.push(b[0]);
+            true
+        })
+        .unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).filter(|i| i % 2 == 1).collect::<Vec<u8>>());
+        // Deleting an already-dead record is an error (parity with delete).
+        assert!(h.delete_batch(&mut p, &[victims[0]]).is_err());
+        // A bad batch leaves the page group untouched: duplicate rids in
+        // one batch error without tombstoning either occurrence.
+        let live = rids[1];
+        let len_before = h.len();
+        assert!(h.delete_batch(&mut p, &[live, live]).is_err());
+        assert_eq!(h.len(), len_before, "failed batch must not change len");
+        assert!(h.get(&mut p, live).is_ok(), "record must still be live");
+    }
+
+    #[test]
+    fn update_batch_in_place_and_moving() {
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rids = h
+            .insert_batch(
+                &mut p,
+                &(0..50).map(|i| vec![i as u8; 100]).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        // Same-size updates stay put.
+        let items: Vec<(RecordId, Vec<u8>)> = rids.iter().map(|&r| (r, vec![0xAB; 100])).collect();
+        let out = h.update_batch(&mut p, &items).unwrap();
+        assert_eq!(out, rids);
+        for rid in &rids {
+            assert_eq!(h.get(&mut p, *rid).unwrap(), vec![0xAB; 100]);
+        }
+        // Growing updates that overflow their page move.
+        let mut big = HeapFile::create();
+        let r0 = big.insert(&mut p, &vec![1u8; 4000]).unwrap();
+        let _fill = big.insert(&mut p, &vec![2u8; 4000]).unwrap();
+        let out = big.update_batch(&mut p, &[(r0, vec![3u8; 5000])]).unwrap();
+        assert_ne!(out[0], r0);
+        assert_eq!(big.get(&mut p, out[0]).unwrap(), vec![3u8; 5000]);
+        assert_eq!(big.len(), 2);
+    }
+
+    #[test]
+    fn batch_cursor_matches_scan() {
+        use crate::value::Value;
+        let mut p = pool();
+        let mut h = HeapFile::create();
+        let rows: Vec<Vec<u8>> = (0..700i64)
+            .map(|i| crate::row::encode_row(&[Value::Int(i), Value::Int(i * 2)]))
+            .collect();
+        let rids = h.insert_batch(&mut p, &rows).unwrap();
+        h.delete(&mut p, rids[10]).unwrap();
+        h.delete(&mut p, rids[500]).unwrap();
+
+        let mut cursor = h.batch_cursor();
+        let mut chunk = crate::chunk::Chunk::new();
+        let mut got_rids = Vec::new();
+        let mut all: Vec<Vec<Value>> = Vec::new();
+        loop {
+            chunk.reset();
+            let more = cursor
+                .next_batch(&h, &mut p, &mut chunk, Some(&mut got_rids), 256)
+                .unwrap();
+            all.extend(chunk.to_rows());
+            if !more {
+                break;
+            }
+        }
+        let mut expect = Vec::new();
+        let mut expect_rids = Vec::new();
+        h.scan(&mut p, |rid, b| {
+            expect.push(crate::row::decode_row(b).unwrap());
+            expect_rids.push(rid);
+            true
+        })
+        .unwrap();
+        assert_eq!(all, expect);
+        assert_eq!(got_rids, expect_rids);
+        assert!(matches!(chunk.col(0), crate::chunk::Column::Int { .. }));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! it (DESIGN.md §10).
 
 pub mod buffer;
+pub mod chunk;
 pub mod disk;
 pub mod error;
 pub mod heap;
@@ -34,12 +35,13 @@ pub mod value;
 
 pub mod btree;
 
-pub use btree::BTree;
+pub use btree::{BTree, BTreeScanCursor};
 pub use buffer::BufferPool;
+pub use chunk::{chunk_from_rows, Chunk, Column, NullMask, CHUNK_CAPACITY};
 pub use disk::{DiskBackend, FileDisk, MemDisk, SnapshotDisk, SnapshotPages};
 pub use error::{Result, StorageError};
-pub use heap::{HeapFile, RecordId};
+pub use heap::{HeapFile, HeapScanCursor, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use row::{decode_row, encode_row};
+pub use row::{decode_row, decode_row_into_chunk, encode_row, encode_row_from_chunk};
 pub use stats::IoStats;
 pub use value::{decode_key, encode_key, encode_key_into, DataType, Value};

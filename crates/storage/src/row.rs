@@ -99,6 +99,112 @@ pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
     Ok(out)
 }
 
+/// Serializes row `r` of `chunk` into `out` (clearing it first) without
+/// materializing a `Vec<Value>` — integer columns write their tag and
+/// little-endian payload straight from the typed vector.
+pub fn encode_row_from_chunk(out: &mut Vec<u8>, chunk: &crate::chunk::Chunk, r: usize) {
+    use crate::chunk::Column;
+    out.clear();
+    debug_assert!(chunk.width() <= u16::MAX as usize);
+    out.extend_from_slice(&(chunk.width() as u16).to_le_bytes());
+    for col in chunk.columns() {
+        match col {
+            Column::Int { vals, nulls } => {
+                if nulls.get(r) {
+                    out.push(TAG_NULL);
+                } else {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&vals[r].to_le_bytes());
+                }
+            }
+            Column::Generic(v) => match &v[r] {
+                Value::Null => out.push(TAG_NULL),
+                Value::Int(i) => {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                Value::Float(f) => {
+                    out.push(TAG_FLOAT);
+                    out.extend_from_slice(&f.to_le_bytes());
+                }
+                Value::Text(s) => {
+                    out.push(TAG_TEXT);
+                    debug_assert!(s.len() <= u32::MAX as usize);
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+            },
+        }
+    }
+}
+
+/// Deserializes a row directly into the columns of `chunk`, appending one
+/// row without materializing a `Vec<Value>`. The chunk's width is fixed by
+/// the first decoded row; later rows must match it. Integer cells append
+/// to the typed column vector (`Chunk`'s hot path); NULLs set the bitmap;
+/// anything else demotes that column to generic.
+pub fn decode_row_into_chunk(bytes: &[u8], chunk: &mut crate::chunk::Chunk) -> Result<()> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if bytes.len() < 2 {
+        return Err(corrupt("row shorter than header"));
+    }
+    let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    if chunk.is_empty() && chunk.width() != n {
+        chunk.set_width(n);
+    }
+    if chunk.width() != n {
+        return Err(corrupt("row arity differs from chunk width"));
+    }
+    let mut pos = 2usize;
+    for c in 0..n {
+        let tag = *bytes.get(pos).ok_or_else(|| corrupt("truncated row tag"))?;
+        pos += 1;
+        match tag {
+            TAG_NULL => chunk.col_mut(c).push_null(),
+            TAG_INT => {
+                let end = pos + 8;
+                let s = bytes
+                    .get(pos..end)
+                    .ok_or_else(|| corrupt("truncated int"))?;
+                chunk
+                    .col_mut(c)
+                    .push_int(i64::from_le_bytes(s.try_into().unwrap()));
+                pos = end;
+            }
+            TAG_FLOAT => {
+                let end = pos + 8;
+                let s = bytes
+                    .get(pos..end)
+                    .ok_or_else(|| corrupt("truncated float"))?;
+                chunk
+                    .col_mut(c)
+                    .push(Value::Float(f64::from_le_bytes(s.try_into().unwrap())));
+                pos = end;
+            }
+            TAG_TEXT => {
+                let lend = pos + 4;
+                let ls = bytes
+                    .get(pos..lend)
+                    .ok_or_else(|| corrupt("truncated text length"))?;
+                let len = u32::from_le_bytes(ls.try_into().unwrap()) as usize;
+                let end = lend + len;
+                let s = bytes
+                    .get(lend..end)
+                    .ok_or_else(|| corrupt("truncated text payload"))?;
+                let text = std::str::from_utf8(s).map_err(|_| corrupt("non-utf8 text payload"))?;
+                chunk.col_mut(c).push(Value::Text(text.to_string()));
+                pos = end;
+            }
+            t => return Err(StorageError::Corrupt(format!("unknown row tag {t}"))),
+        }
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after row"));
+    }
+    chunk.commit_row();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
