@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod landmark;
 pub mod service;
 pub mod table2;
 pub mod table3;
@@ -39,6 +40,7 @@ pub const ALL: &[&str] = &[
     "fig9g",
     "fig9h",
     "ablation-prune",
+    "landmark-ablation",
     "batch-throughput",
     "service-throughput",
 ];
@@ -84,6 +86,7 @@ fn dispatch(id: &str, cfg: &BenchConfig) -> Result<()> {
         "fig9g" => fig9::fig9g(cfg),
         "fig9h" => fig9::fig9h(cfg),
         "ablation-prune" => ablation::prune(cfg),
+        "landmark-ablation" => landmark::ablation(cfg),
         "batch-throughput" => batch::throughput(cfg),
         "service-throughput" => service::throughput(cfg),
         other => Err(fempath_sql::SqlError::Eval(format!(

@@ -37,7 +37,8 @@ use crate::graphdb::{GraphDb, INF};
 use crate::sqlgen::{
     batch_delete_done_bounds, batch_delete_done_visited, batch_fused_stats,
     batch_mark_done_drained, batch_mark_done_met, batch_meet_node, batch_read_done_bounds,
-    batch_reset_both, truncate_batch_exp, BatchFrontier, BatchSqlGen, Dir, EdgeSource,
+    batch_reset_both, seed_bounds_batch, truncate_batch_exp, BatchFrontier, BatchSqlGen, Dir,
+    EdgeSource,
 };
 use crate::stats::{FemOperator, Phase, QueryStats, SqlStyle};
 use fempath_sql::{Database, PreparedStmt, Result, SqlError};
@@ -81,6 +82,8 @@ struct BatchSpec {
     style: SqlStyle,
     /// Theorem-1 pruning via the bounds table (bidirectional only).
     prune: bool,
+    /// Seed each query's `TBounds.bound` from the landmark index.
+    seed_bounds: bool,
 }
 
 /// Default tile size for batched execution: per-iteration scans grow with
@@ -294,6 +297,14 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
     // these are plan-cache hits (TRUNCATE-based resets keep the catalog
     // version stable).
     let merge_supported = gdb.merge_supported();
+    // Landmark seeding fills each query's `TBounds.bound` with its
+    // triangle-inequality upper bound + 1 in one set-oriented UPDATE
+    // (DESIGN.md §12); queries without a common landmark keep INF.
+    let seed_stmt = if prune && spec.seed_bounds && gdb.landmarks().is_some() {
+        Some(gdb.db.prepare(&seed_bounds_batch())?)
+    } else {
+        None
+    };
     let fwd_stmts = BatchDirStmts::prepare(&mut gdb.db, &fgen, &spec, use_merge, merge_supported)?;
     let bwd_stmts = if spec.bidi {
         Some(BatchDirStmts::prepare(
@@ -332,6 +343,9 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
         &BatchSqlGen::init_bounds_batch(&live, spec.bidi),
         &[],
     )?;
+    if let Some(seed) = &seed_stmt {
+        runner.exec_prepared(Phase::PathExpansion, FemOperator::Aux, seed, &[])?;
+    }
 
     let live_map: HashMap<i64, (i64, i64)> = live.iter().map(|&(q, s, t)| (q, (s, t))).collect();
     let mut active = live.len() as u64;
@@ -645,6 +659,7 @@ impl BatchShortestPathFinder for BatchDjFinder {
                 frontier: BatchFrontier::PerQueryMin,
                 style: self.style,
                 prune: false,
+                seed_bounds: false,
             },
             self.chunk,
         )
@@ -665,6 +680,9 @@ pub struct BatchBdjFinder {
     pub style: SqlStyle,
     /// Theorem-1 pruning (on by default; off for the ablation bench).
     pub prune: bool,
+    /// Seed each query's pruning ceiling from the landmark index when one
+    /// exists (on by default; a no-op without an index).
+    pub seed_bounds: bool,
     /// Per-query frontier policy.
     pub frontier: BatchFrontier,
     /// Pairs in flight per tile ([`DEFAULT_BATCH_CHUNK`]; 0 = unlimited).
@@ -676,6 +694,7 @@ impl Default for BatchBdjFinder {
         BatchBdjFinder {
             style: SqlStyle::New,
             prune: true,
+            seed_bounds: true,
             frontier: BatchFrontier::default(),
             chunk: DEFAULT_BATCH_CHUNK,
         }
@@ -697,6 +716,7 @@ impl BatchShortestPathFinder for BatchBdjFinder {
                 frontier: self.frontier,
                 style: self.style,
                 prune: self.prune,
+                seed_bounds: self.seed_bounds,
             },
             self.chunk,
         )

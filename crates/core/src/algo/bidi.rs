@@ -14,7 +14,11 @@
 //!
 //! All expansions carry the Theorem-1 pruning term
 //! `e.cost + q.dist + l_other < minCost` (disable with `prune = false` for
-//! the ablation bench).
+//! the ablation bench). When a landmark index exists (DESIGN.md §12) the
+//! pruning ceiling starts at the triangle-inequality upper bound `U + 1`
+//! instead of infinity, so Theorem-1 discards candidates costlier than `U`
+//! from the very first iteration; `min_cost` itself is never seeded — it
+//! must stay realized by a `TVisited` row for meet-node recovery.
 
 use super::{recover_bidi_path, trivial_case, PathOutcome, Runner, ShortestPathFinder};
 use crate::graphdb::{GraphDb, INF};
@@ -122,6 +126,8 @@ pub(crate) struct BidiSpec {
     pub edges: EdgeSource,
     pub style: SqlStyle,
     pub prune: bool,
+    /// Seed the pruning ceiling from the landmark index when one exists.
+    pub seed_bounds: bool,
     /// Issue F/E/M as separate statements through `TExp` — the Fig 6(c)
     /// per-operator measurement mode (also forced by no-MERGE dialects).
     pub split_operators: bool,
@@ -136,6 +142,15 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
             "BSEG requires a SegTable: call GraphDb::build_segtable first".into(),
         ));
     }
+    // Landmark-seeded pruning ceiling: `U + 1` keeps every relaxation on an
+    // optimal path (all partial sums <= D <= U, and the strict `<` of the
+    // pruning term compares against U + 1) while discarding candidates
+    // strictly above U. Stays INF when no index exists or seeding is off.
+    let bound = if spec.prune && spec.seed_bounds && gdb.landmarks().is_some() {
+        crate::landmarks::upper_bound(gdb, s, t)?.map_or(INF, |u| u.saturating_add(1).min(INF))
+    } else {
+        INF
+    };
     gdb.reset_visited()?;
     let use_temp_exp = spec.split_operators || !gdb.merge_supported();
     if use_temp_exp {
@@ -263,9 +278,11 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
             continue;
         }
 
-        // E+M operators.
+        // E+M operators. Only the pruning *parameter* mixes in the seeded
+        // bound; termination and meet-node recovery use the discovered
+        // min_cost alone.
         let (lo, mc) = if spec.prune {
-            (l_other, min_cost)
+            (l_other, min_cost.min(bound))
         } else {
             (0, INF)
         };
@@ -378,6 +395,9 @@ pub struct BdjFinder {
     pub style: SqlStyle,
     /// Theorem-1 pruning (on by default; off for the ablation bench).
     pub prune: bool,
+    /// Seed the pruning ceiling from the landmark index when one exists
+    /// (on by default; a no-op without an index).
+    pub seed_bounds: bool,
 }
 
 impl Default for BdjFinder {
@@ -385,6 +405,7 @@ impl Default for BdjFinder {
         BdjFinder {
             style: SqlStyle::New,
             prune: true,
+            seed_bounds: true,
         }
     }
 }
@@ -405,6 +426,7 @@ impl ShortestPathFinder for BdjFinder {
                 edges: EdgeSource::Edges,
                 style: self.style,
                 prune: self.prune,
+                seed_bounds: self.seed_bounds,
                 split_operators: false,
             },
         )
@@ -418,6 +440,8 @@ impl ShortestPathFinder for BdjFinder {
 pub struct BsdjFinder {
     pub style: SqlStyle,
     pub prune: bool,
+    /// Seed the pruning ceiling from the landmark index when one exists.
+    pub seed_bounds: bool,
     /// Issue F/E/M as separate statements (Fig 6(c) measurement mode).
     pub split_operators: bool,
 }
@@ -427,6 +451,7 @@ impl Default for BsdjFinder {
         BsdjFinder {
             style: SqlStyle::New,
             prune: true,
+            seed_bounds: true,
             split_operators: false,
         }
     }
@@ -448,6 +473,7 @@ impl ShortestPathFinder for BsdjFinder {
                 edges: EdgeSource::Edges,
                 style: self.style,
                 prune: self.prune,
+                seed_bounds: self.seed_bounds,
                 split_operators: self.split_operators,
             },
         )
@@ -460,6 +486,8 @@ impl ShortestPathFinder for BsdjFinder {
 pub struct BbfsFinder {
     pub style: SqlStyle,
     pub prune: bool,
+    /// Seed the pruning ceiling from the landmark index when one exists.
+    pub seed_bounds: bool,
 }
 
 impl Default for BbfsFinder {
@@ -467,6 +495,7 @@ impl Default for BbfsFinder {
         BbfsFinder {
             style: SqlStyle::New,
             prune: true,
+            seed_bounds: true,
         }
     }
 }
@@ -487,6 +516,7 @@ impl ShortestPathFinder for BbfsFinder {
                 edges: EdgeSource::Edges,
                 style: self.style,
                 prune: self.prune,
+                seed_bounds: self.seed_bounds,
                 split_operators: false,
             },
         )
@@ -500,6 +530,8 @@ impl ShortestPathFinder for BbfsFinder {
 pub struct BsegFinder {
     pub style: SqlStyle,
     pub prune: bool,
+    /// Seed the pruning ceiling from the landmark index when one exists.
+    pub seed_bounds: bool,
     pub split_operators: bool,
 }
 
@@ -508,6 +540,7 @@ impl Default for BsegFinder {
         BsegFinder {
             style: SqlStyle::New,
             prune: true,
+            seed_bounds: true,
             split_operators: false,
         }
     }
@@ -535,6 +568,7 @@ impl ShortestPathFinder for BsegFinder {
                 edges: EdgeSource::SegTable,
                 style: self.style,
                 prune: self.prune,
+                seed_bounds: self.seed_bounds,
                 split_operators: self.split_operators,
             },
         )

@@ -14,10 +14,22 @@ use fempath_sql::Result;
 use fempath_storage::Value;
 
 /// The DJ finder (Algorithm 1).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct DjFinder {
     /// NSQL (window + MERGE) or TSQL (aggregate-join + UPDATE/INSERT).
     pub style: SqlStyle,
+    /// Bound the expansion with the landmark triangle-inequality upper
+    /// bound when an index exists (on by default; a no-op without one).
+    pub seed_bounds: bool,
+}
+
+impl Default for DjFinder {
+    fn default() -> Self {
+        DjFinder {
+            style: SqlStyle::default(),
+            seed_bounds: true,
+        }
+    }
 }
 
 impl ShortestPathFinder for DjFinder {
@@ -29,6 +41,15 @@ impl ShortestPathFinder for DjFinder {
         if let Some(out) = trivial_case(gdb, s, t)? {
             return Ok(out);
         }
+        // Landmark-seeded ceiling for the expansion's pruning term: every
+        // prefix of an optimal path has distance <= D <= U, so relaxing up
+        // to (but excluding) U + 1 preserves exactness while skipping
+        // candidates strictly above the triangle-inequality bound.
+        let bound = if self.seed_bounds && gdb.landmarks().is_some() {
+            crate::landmarks::upper_bound(gdb, s, t)?.map_or(INF, |u| u.saturating_add(1).min(INF))
+        } else {
+            INF
+        };
         gdb.reset_visited()?;
         let use_merge = gdb.merge_supported() && self.style == SqlStyle::New;
         if !use_merge {
@@ -85,7 +106,7 @@ impl ShortestPathFinder for DjFinder {
             runner.scalar_prepared(Phase::StatsCollection, FemOperator::F, &select_mid, &[])?
         {
             // E + M operators with `q.nid = mid` (Listing 2(3)/(4)).
-            let params = expand_params(self.style, FrontierPred::ByNid, Some(mid), 0, INF);
+            let params = expand_params(self.style, FrontierPred::ByNid, Some(mid), 0, bound);
             if use_merge {
                 runner.exec_prepared(Phase::PathExpansion, FemOperator::E, &expand, &params)?;
             } else {

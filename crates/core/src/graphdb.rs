@@ -4,6 +4,7 @@
 //! configured index strategy, and manages the per-query working tables
 //! (`TVisited`, `TExp`) and the SegTable index (`TOutSegs`/`TInSegs`).
 
+use crate::landmarks::{LandmarkSelection, LandmarkStats};
 use crate::segtable::SegTableStats;
 use fempath_graph::{load_graph, Graph, IndexKind, LoadOptions};
 use fempath_sql::{Database, DbSnapshot, Dialect, Result, SqlError};
@@ -52,6 +53,15 @@ pub struct SegTableInfo {
     pub segments: u64,
 }
 
+/// Info about a built landmark distance index (DESIGN.md §12).
+#[derive(Debug, Clone, Copy)]
+pub struct LandmarkInfo {
+    /// Number of landmarks whose trees are stored.
+    pub k: usize,
+    /// `(lm, nid)` rows in `TLandmarks`.
+    pub pairs: u64,
+}
+
 /// A relational database with one graph loaded.
 pub struct GraphDb {
     pub db: Database,
@@ -61,6 +71,7 @@ pub struct GraphDb {
     visited_index: IndexKind,
     edges_index: IndexKind,
     segtable: Option<SegTableInfo>,
+    landmarks: Option<LandmarkInfo>,
 }
 
 impl GraphDb {
@@ -89,6 +100,7 @@ impl GraphDb {
             visited_index: opts.visited_index,
             edges_index: opts.edges_index,
             segtable: None,
+            landmarks: None,
         })
     }
 
@@ -142,6 +154,34 @@ impl GraphDb {
     /// delegates to [`crate::segtable::build_segtable`].
     pub fn build_segtable(&mut self, lthd: i64) -> Result<SegTableStats> {
         crate::segtable::build_segtable(self, lthd)
+    }
+
+    /// The landmark index built for this database, if any.
+    pub fn landmarks(&self) -> Option<LandmarkInfo> {
+        self.landmarks
+    }
+
+    pub(crate) fn set_landmarks(&mut self, info: LandmarkInfo) {
+        self.landmarks = Some(info);
+    }
+
+    /// Builds (or rebuilds) a `k`-landmark distance index with the default
+    /// degree-and-coverage selection — delegates to
+    /// [`crate::landmarks::build_landmark_index`]. Once built, the DJ/BDJ
+    /// family seeds its Theorem-1 pruning bound from the index and
+    /// [`crate::landmarks::exact_path`] answers covered pairs without FEM;
+    /// build it before [`GraphDb::freeze`] to serve it concurrently.
+    pub fn build_landmarks(&mut self, k: usize) -> Result<LandmarkStats> {
+        crate::landmarks::build_landmark_index(self, k, LandmarkSelection::default())
+    }
+
+    /// [`GraphDb::build_landmarks`] with an explicit selection policy.
+    pub fn build_landmarks_with(
+        &mut self,
+        k: usize,
+        selection: LandmarkSelection,
+    ) -> Result<LandmarkStats> {
+        crate::landmarks::build_landmark_index(self, k, selection)
     }
 
     /// Validates a node id.
@@ -200,7 +240,10 @@ impl GraphDb {
     /// (Re)creates the batched working tables `TBVisited` and `TBounds`
     /// (DESIGN.md §8). `TBVisited` is the per-query visited-node table with
     /// a leading `qid` column; `TBounds` carries one row of client scalars
-    /// (`lf`, `lb`, `nf`, `nb`, `minCost`, `done`) per in-flight query.
+    /// (`lf`, `lb`, `nf`, `nb`, `minCost`, `bound`, `done`) per in-flight
+    /// query — `bound` is the landmark-seeded Theorem-1 upper bound
+    /// (DESIGN.md §12), kept apart from the discovered `mincost` that the
+    /// fused stats statement overwrites every iteration.
     /// Called at the start of every batch query.
     /// Like [`GraphDb::reset_visited`], an existing pair of batch tables
     /// is TRUNCATEd so cached plans survive across batches.
@@ -230,7 +273,7 @@ impl GraphDb {
         }
         self.db.execute(
             "CREATE TABLE TBounds (qid INT, s INT, t INT, lf INT, lb INT, \
-             nf INT, nb INT, mincost INT, done INT)",
+             nf INT, nb INT, mincost INT, bound INT, done INT)",
         )?;
         self.db
             .execute("CREATE UNIQUE CLUSTERED INDEX idx_tbounds ON TBounds(qid)")?;
@@ -282,6 +325,7 @@ impl GraphDb {
             visited_index: self.visited_index,
             edges_index: self.edges_index,
             segtable: self.segtable,
+            landmarks: self.landmarks,
             snap: self.db.freeze()?,
         })
     }
@@ -305,6 +349,7 @@ pub struct GraphSnapshot {
     visited_index: IndexKind,
     edges_index: IndexKind,
     segtable: Option<SegTableInfo>,
+    landmarks: Option<LandmarkInfo>,
 }
 
 impl GraphSnapshot {
@@ -318,6 +363,7 @@ impl GraphSnapshot {
             visited_index: self.visited_index,
             edges_index: self.edges_index,
             segtable: self.segtable,
+            landmarks: self.landmarks,
         }
     }
 
@@ -339,6 +385,11 @@ impl GraphSnapshot {
     /// The SegTable frozen into the image, if one was built.
     pub fn segtable(&self) -> Option<SegTableInfo> {
         self.segtable
+    }
+
+    /// The landmark index frozen into the image, if one was built.
+    pub fn landmarks(&self) -> Option<LandmarkInfo> {
+        self.landmarks
     }
 
     /// Plans currently in the cross-session shared cache (diagnostics).
@@ -387,7 +438,7 @@ mod tests {
             .execute("INSERT INTO TBVisited VALUES (0, 1, 0, -1, 0, 0, -1, 0)")
             .unwrap();
         gdb.db
-            .execute("INSERT INTO TBounds VALUES (0, 1, 2, 0, 0, 1, 1, 0, 0)")
+            .execute("INSERT INTO TBounds VALUES (0, 1, 2, 0, 0, 1, 1, 0, 0, 0)")
             .unwrap();
         gdb.reset_batch_tables().unwrap();
         assert_eq!(gdb.db.table_len("TBVisited").unwrap(), 0);

@@ -11,6 +11,9 @@
 //! * [`algo`] — DJ, BDJ, BSDJ, BBFS and BSEG (§3.4, §4), plus the batched
 //!   BatchDJ / BatchBDJ finders answering many (s, t) pairs per iteration,
 //! * [`segtable`] — SegTable construction (§4.2),
+//! * [`landmarks`] — the landmark distance index: triangle-inequality
+//!   bounds seeded into Theorem-1 pruning and an exact fast path for
+//!   covered pairs (DESIGN.md §12),
 //! * [`service`] — the concurrent [`PathService`] over `Arc`-shared
 //!   read-only graph snapshots (DESIGN.md §10),
 //! * [`prim`] — Prim's MST via FEM (the §3.1 extension),
@@ -48,8 +51,13 @@ pub use algo::{
 };
 pub use fem::{run_batch_fem, run_fem, BatchFemSearch, FemSearch};
 pub use fempath_sql::ExecMode;
-pub use graphdb::{GraphDb, GraphDbOptions, GraphSnapshot, SegTableInfo, INF, NO_NODE};
-pub use landmarks::{build_landmarks, estimate_distance, DistanceBounds};
+pub use graphdb::{
+    GraphDb, GraphDbOptions, GraphSnapshot, LandmarkInfo, SegTableInfo, INF, NO_NODE,
+};
+pub use landmarks::{
+    build_landmark_index, build_landmarks, estimate_distance, DistanceBounds, LandmarkSelection,
+    LandmarkStats,
+};
 pub use pattern::{match_label_path, set_labels};
 pub use prim::{prim_mst, MstResult};
 pub use reach::{component_size, reachable};

@@ -28,6 +28,7 @@ use crate::algo::{
     PathOutcome, ShortestPathFinder,
 };
 use crate::graphdb::{GraphDb, GraphDbOptions, GraphSnapshot};
+use crate::stats::QueryStats;
 use fempath_graph::Graph;
 use fempath_sql::{Result, SqlError};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -69,6 +70,11 @@ pub struct PathServiceOptions {
     /// Finder answering single-pair queries; batches always run the
     /// batched bidirectional finder.
     pub algorithm: ServiceAlgorithm,
+    /// Landmarks to build into the shared snapshot before freezing
+    /// (DESIGN.md §12). 0 skips the index; with one, single-pair queries
+    /// covered by a landmark tree are answered without running FEM, and
+    /// every finder seeds its Theorem-1 bound from the index.
+    pub landmarks: usize,
 }
 
 impl Default for PathServiceOptions {
@@ -77,6 +83,7 @@ impl Default for PathServiceOptions {
             workers: 4,
             graphdb: GraphDbOptions::default(),
             algorithm: ServiceAlgorithm::default(),
+            landmarks: 0,
         }
     }
 }
@@ -123,7 +130,10 @@ impl PathService {
 
     /// Loads `graph` with explicit options.
     pub fn with_options(graph: &Graph, opts: &PathServiceOptions) -> Result<PathService> {
-        let gdb = GraphDb::new(graph, &opts.graphdb)?;
+        let mut gdb = GraphDb::new(graph, &opts.graphdb)?;
+        if opts.landmarks > 0 {
+            gdb.build_landmarks(opts.landmarks)?;
+        }
         Ok(PathService::from_snapshot(
             Arc::new(gdb.freeze()?),
             opts.workers,
@@ -257,7 +267,19 @@ fn worker_loop(
         match job {
             Err(_) => return, // queue closed: service dropped
             Ok(Job::Single { s, t, reply }) => {
-                let _ = reply.send(finder.find_path(&mut session, s, t));
+                // Landmark fast path (DESIGN.md §12): a covered pair —
+                // bounds already proven tight — is answered straight from
+                // the index, no FEM table ever written. Uncovered pairs
+                // fall through to the configured finder.
+                let res = match crate::landmarks::exact_path(&mut session, s, t) {
+                    Ok(Some(path)) => Ok(PathOutcome {
+                        path: Some(path),
+                        stats: QueryStats::default(),
+                    }),
+                    Ok(None) => finder.find_path(&mut session, s, t),
+                    Err(e) => Err(e),
+                };
+                let _ = reply.send(res);
             }
             Ok(Job::Batch {
                 pairs,

@@ -431,15 +431,16 @@ impl BatchSqlGen {
 
     /// Seeds every query's bounds row in a single multi-row INSERT; `nb`
     /// starts at 0 for single-directional searches, so the backward side
-    /// begins exhausted.
+    /// begins exhausted. The landmark `bound` column starts at [`INF`]
+    /// (no bound) — [`seed_bounds_batch`] tightens it when an index exists.
     pub fn init_bounds_batch(live: &[(i64, i64, i64)], bidi: bool) -> String {
         let nb = i64::from(bidi);
         let rows: Vec<String> = live
             .iter()
-            .map(|&(qid, s, t)| format!("({qid}, {s}, {t}, 0, 0, 1, {nb}, {INF}, 0)"))
+            .map(|&(qid, s, t)| format!("({qid}, {s}, {t}, 0, 0, 1, {nb}, {INF}, {INF}, 0)"))
             .collect();
         format!(
-            "INSERT INTO TBounds (qid, s, t, lf, lb, nf, nb, mincost, done) VALUES {}",
+            "INSERT INTO TBounds (qid, s, t, lf, lb, nf, nb, mincost, bound, done) VALUES {}",
             rows.join(", ")
         )
     }
@@ -529,6 +530,14 @@ impl BatchSqlGen {
     /// join, or empty strings when pruning is off. The bounds are joined
     /// through a three-column projection so the per-candidate hash join
     /// carries (and copies) only what the pruning term reads.
+    ///
+    /// The effective pruning ceiling `wmc` is the minimum of the
+    /// *discovered* `mincost` (overwritten from `TBVisited` every
+    /// iteration) and the landmark-seeded `bound` (DESIGN.md §12), built
+    /// with 0/1 comparison arithmetic: `a + (b < a) * (b - a)` is `b` when
+    /// `b < a` and `a` otherwise. Termination and meet-node recovery keep
+    /// reading `mincost` alone — the seeded bound is never claimed to be
+    /// realized by a `TBVisited` row.
     fn pruning_clauses(&self) -> (String, String) {
         if !self.prune {
             return (String::new(), String::new());
@@ -536,7 +545,10 @@ impl BatchSqlGen {
         let (dist, ..) = self.dir.cols();
         let (ol, _) = self.other_bounds_cols();
         (
-            format!(", (SELECT qid AS wqid, {ol} AS wl, mincost AS wmc FROM TBounds) w"),
+            format!(
+                ", (SELECT qid AS wqid, {ol} AS wl, \
+                 mincost + (bound < mincost) * (bound - mincost) AS wmc FROM TBounds) w"
+            ),
             format!(" AND w.wqid = q.qid AND e.cost + q.{dist} + w.wl < w.wmc"),
         )
     }
@@ -666,6 +678,24 @@ impl BatchSqlGen {
         let (_, pred, ..) = self.dir.cols();
         format!("SELECT {pred} FROM TBVisited WHERE qid = ? AND nid = ?")
     }
+}
+
+/// Seeds every in-flight query's landmark pruning bound in one statement
+/// (DESIGN.md §12): per qid, the triangle-inequality upper bound
+/// `U = min over lm of d(s, lm) + d(lm, t)` from `TLandmarks`, stored as
+/// `U + 1` so the strict `<` of the Theorem-1 term keeps relaxations of
+/// cost exactly `U` (the optimal path itself when the bound is tight).
+/// Queries with no common landmark drop out of the GROUP BY and keep
+/// `bound` = [`INF`]. Parameter-free; run once right after
+/// [`BatchSqlGen::init_bounds_batch`].
+pub fn seed_bounds_batch() -> String {
+    "UPDATE TBounds SET bound = src.u + 1 \
+     FROM (SELECT q.qid AS sqid, MIN(a.d + b.d) AS u \
+           FROM TBounds q, TLandmarks a, TLandmarks b \
+           WHERE a.nid = q.s AND b.nid = q.t AND a.lm = b.lm \
+           GROUP BY q.qid) src \
+     WHERE TBounds.qid = src.sqid"
+        .to_string()
 }
 
 /// The fused Listing 4(3) of bidirectional batches: settle both directions'
@@ -848,6 +878,7 @@ mod tests {
             BatchSqlGen::init_batch(Dir::Bwd, &live),
             BatchSqlGen::init_bounds_batch(&live, true),
             BatchSqlGen::init_bounds_batch(&live, false),
+            seed_bounds_batch(),
             batch_fused_stats(),
             batch_mark_done_met(),
             batch_mark_done_drained().to_string(),
@@ -867,6 +898,11 @@ mod tests {
         let pruned = BatchSqlGen::new(Dir::Fwd, EdgeSource::Edges, SqlStyle::New, true);
         assert!(pruned.expand_merge().contains("w.wmc"));
         assert!(pruned.expand_merge().contains("lb AS wl"));
+        // The ceiling is min(mincost, bound) via 0/1 comparison arithmetic,
+        // so the landmark-seeded bound prunes even before any meet.
+        assert!(pruned
+            .expand_merge()
+            .contains("mincost + (bound < mincost) * (bound - mincost) AS wmc"));
         let unpruned = BatchSqlGen::new(Dir::Fwd, EdgeSource::Edges, SqlStyle::New, false);
         assert!(!unpruned.expand_merge().contains("TBounds"));
         let bwd = BatchSqlGen::new(Dir::Bwd, EdgeSource::Edges, SqlStyle::New, true);

@@ -187,6 +187,7 @@ fn traditional_sql_style_is_equally_correct() {
     let finders: Vec<Box<dyn ShortestPathFinder>> = vec![
         Box::new(DjFinder {
             style: SqlStyle::Traditional,
+            ..Default::default()
         }),
         Box::new(BsdjFinder {
             style: SqlStyle::Traditional,

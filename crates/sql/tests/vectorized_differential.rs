@@ -276,3 +276,72 @@ fn typed_and_generic_predicates_compose() {
     trio.step("DELETE FROM g WHERE tag = 'g3' AND v < 50");
     trio.step("SELECT * FROM g ORDER BY id");
 }
+
+/// The landmark-index build shapes (fempath-core's `landmarks` module):
+/// a bulk `INSERT … SELECT` with constants in the projection routes the
+/// whole Dijkstra tree through the vectorized chunked-append path, the
+/// clustered index arrives *after* the heap fill, and the selection /
+/// bound queries lean on NOT IN subqueries, grouped-subquery aliases and
+/// an UPDATE … FROM a grouped source. All of it must agree across the
+/// vectorized, row-at-a-time and interpreted paths in both dialects.
+#[test]
+fn landmark_index_build_shapes() {
+    for dialect in [Dialect::DBMS_X, Dialect::POSTGRES] {
+        let mut trio = Trio::new(dialect);
+        trio.setup("CREATE TABLE TEdges (fid INT, tid INT, cost INT)");
+        trio.setup("CREATE TABLE TVisited (nid INT, d2s INT, p2s INT)");
+        trio.setup("CREATE TABLE TLandmarks (lm INT, nid INT, d INT, p INT)");
+        for i in 0..40i64 {
+            let (f, t) = (i % 8, (i * 3 + 1) % 8);
+            trio.setup_params(
+                "INSERT INTO TEdges VALUES (?, ?, ?)",
+                &[Value::Int(f), Value::Int(t), Value::Int(1 + i % 5)],
+            );
+            trio.setup_params(
+                "INSERT INTO TEdges VALUES (?, ?, ?)",
+                &[Value::Int(t), Value::Int(f), Value::Int(1 + i % 5)],
+            );
+        }
+        for n in 0..8i64 {
+            trio.setup_params(
+                "INSERT INTO TVisited VALUES (?, ?, ?)",
+                &[Value::Int(n), Value::Int(n * 2), Value::Int((n + 7) % 8)],
+            );
+        }
+        // Max-degree selection: grouped subquery, then the two-aggregate
+        // tie-break over the same candidate set.
+        trio.step(
+            "SELECT MAX(deg) FROM (SELECT fid, COUNT(*) AS deg FROM TEdges \
+             WHERE fid NOT IN (SELECT lm FROM TLandmarks) GROUP BY fid) cand",
+        );
+        // Bulk tree store: constants in the SELECT list, filtered source.
+        trio.step("INSERT INTO TLandmarks (lm, nid, d, p) SELECT 3, nid, d2s, p2s FROM TVisited WHERE d2s < 12");
+        trio.step("INSERT INTO TLandmarks (lm, nid, d, p) SELECT 5, nid, d2s, p2s FROM TVisited WHERE d2s < 99");
+        trio.step("CREATE CLUSTERED INDEX idx_tlandmarks ON TLandmarks(nid)");
+        // Triangle-inequality bound: self-join on the landmark column.
+        trio.step(
+            "SELECT MIN(a.d + b.d) FROM TLandmarks a, TLandmarks b \
+             WHERE a.nid = 1 AND b.nid = 6 AND a.lm = b.lm",
+        );
+        // Coverage pass: per-node minimum distance, then the farthest node.
+        trio.step(
+            "SELECT MAX(md) FROM (SELECT nid, MIN(d) AS md FROM TLandmarks GROUP BY nid) cov",
+        );
+        // Batched bound seeding: UPDATE … FROM a grouped subquery.
+        trio.setup("CREATE TABLE TBounds (qid INT, s INT, t INT, bound INT)");
+        trio.step(
+            "INSERT INTO TBounds VALUES (0, 1, 6, 4000000000000000), (1, 2, 7, 4000000000000000)",
+        );
+        trio.step(
+            "UPDATE TBounds SET bound = src.u + 1 \
+             FROM (SELECT q.qid AS sqid, MIN(a.d + b.d) AS u \
+                   FROM TBounds q, TLandmarks a, TLandmarks b \
+                   WHERE a.nid = q.s AND b.nid = q.t AND a.lm = b.lm \
+                   GROUP BY q.qid) src \
+             WHERE TBounds.qid = src.sqid",
+        );
+        trio.step("SELECT qid, bound FROM TBounds ORDER BY qid");
+        // The pruning ceiling's arithmetic min over (mincost, bound).
+        trio.step("SELECT qid, 7 + (bound < 7) * (bound - 7) AS wmc FROM TBounds ORDER BY qid");
+    }
+}

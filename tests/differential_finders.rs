@@ -239,3 +239,132 @@ fn batched_finders_work_without_merge_support() {
         }
     }
 }
+
+/// Landmark-seeded bounds must be invisible in the answers: every finder
+/// with `seed_bounds` on returns exactly the distances of its unseeded
+/// twin and of in-memory Dijkstra — including unreachable and s == t
+/// pairs — in both SQL dialects and both exec modes. A wrong (too-small)
+/// seeded ceiling would prune the optimal path itself, so any divergence
+/// here is an inadmissible bound escaping the property suite.
+#[test]
+fn landmark_seeding_never_changes_any_answer() {
+    use fempath::core::GraphDbOptions;
+    use fempath::sql::{Dialect, ExecMode};
+    // dblp_like leaves isolated nodes: unreachable pairs stress the
+    // bounds-say-nothing fallback.
+    let g = generate::dblp_like(120, 1..=100, 11);
+    let mut pairs = query_pairs(120, 6);
+    pairs.push((17, 17)); // trivial
+    if let Some(v) = (0..120u32).find(|&v| g.out_arcs(v).is_empty()) {
+        pairs.push((0, v as i64)); // unreachable
+    }
+    for dialect in [Dialect::DBMS_X, Dialect::POSTGRES] {
+        for exec_mode in [ExecMode::Vectorized, ExecMode::RowAtATime] {
+            let mut gdb = GraphDb::new(
+                &g,
+                &GraphDbOptions {
+                    dialect,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            gdb.set_exec_mode(exec_mode);
+            gdb.build_segtable(10).unwrap();
+            gdb.build_landmarks(6).unwrap();
+            type Twin = (Box<dyn ShortestPathFinder>, Box<dyn ShortestPathFinder>);
+            let twins: Vec<Twin> = vec![
+                (
+                    Box::new(DjFinder::default()),
+                    Box::new(DjFinder {
+                        seed_bounds: false,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    Box::new(BdjFinder::default()),
+                    Box::new(BdjFinder {
+                        seed_bounds: false,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    Box::new(BsdjFinder::default()),
+                    Box::new(BsdjFinder {
+                        seed_bounds: false,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    Box::new(BbfsFinder::default()),
+                    Box::new(BbfsFinder {
+                        seed_bounds: false,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    Box::new(BsegFinder::default()),
+                    Box::new(BsegFinder {
+                        seed_bounds: false,
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    Box::new(BdjFinder {
+                        style: fempath::core::SqlStyle::Traditional,
+                        ..Default::default()
+                    }),
+                    Box::new(BdjFinder {
+                        style: fempath::core::SqlStyle::Traditional,
+                        seed_bounds: false,
+                        ..Default::default()
+                    }),
+                ),
+            ];
+            for &(s, t) in &pairs {
+                let oracle =
+                    dijkstra::shortest_path(&g, s as u32, t as u32).map(|o| o.distance as i64);
+                for (seeded, unseeded) in &twins {
+                    let ctx = format!("{} {s}->{t} ({dialect:?}, {exec_mode:?})", seeded.name());
+                    let a = seeded.find_path(&mut gdb, s, t).unwrap();
+                    let b = unseeded.find_path(&mut gdb, s, t).unwrap();
+                    let a_len = a.path.as_ref().map(|p| p.length);
+                    assert_eq!(a_len, oracle, "{ctx}: seeded vs Dijkstra");
+                    assert_eq!(
+                        a_len,
+                        b.path.as_ref().map(|p| p.length),
+                        "{ctx}: seeded vs unseeded twin"
+                    );
+                    if let (Some(p), Some(d)) = (&a.path, oracle) {
+                        assert_real_walk(&g, &p.nodes, d as u64, &ctx);
+                    }
+                }
+            }
+            // The batched finder's seeded run must agree with its unseeded
+            // twin pair-for-pair too.
+            let seeded = BatchBdjFinder::default()
+                .find_paths(&mut gdb, &pairs)
+                .unwrap();
+            let unseeded = BatchBdjFinder {
+                seed_bounds: false,
+                ..Default::default()
+            }
+            .find_paths(&mut gdb, &pairs)
+            .unwrap();
+            for (i, &(s, t)) in pairs.iter().enumerate() {
+                let oracle =
+                    dijkstra::shortest_path(&g, s as u32, t as u32).map(|o| o.distance as i64);
+                let ctx = format!("BatchBDJ {s}->{t} ({dialect:?}, {exec_mode:?})");
+                assert_eq!(
+                    seeded.paths[i].as_ref().map(|p| p.length),
+                    oracle,
+                    "{ctx}: seeded vs Dijkstra"
+                );
+                assert_eq!(
+                    seeded.paths[i].as_ref().map(|p| p.length),
+                    unseeded.paths[i].as_ref().map(|p| p.length),
+                    "{ctx}: seeded vs unseeded twin"
+                );
+            }
+        }
+    }
+}

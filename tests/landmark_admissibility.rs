@@ -1,0 +1,150 @@
+//! Machine-checked admissibility of the landmark distance index
+//! (DESIGN.md §12): over random grid, random-edge (duplicates included)
+//! and deliberately disconnected graphs, for **every** (s, t) pair —
+//! including s == t — the triangle-inequality upper bound never
+//! undershoots the true Dijkstra distance, the lower bound never
+//! overshoots it, and a tight bound (upper == lower) means the fast path
+//! answers with the exact distance and a real walk, without touching the
+//! FEM working tables.
+//!
+//! Run with `PROPTEST_CASES=512` (the CI setting) for the heavyweight
+//! sweep; the in-repo default keeps `cargo test` quick.
+
+use fempath::core::landmarks;
+use fempath::core::GraphDb;
+use fempath::graph::Graph;
+use fempath::inmem::dijkstra;
+use proptest::prelude::*;
+
+/// `ProptestConfig::with_cases` overrides the environment, so honour
+/// `PROPTEST_CASES` explicitly to let CI raise the sweep without a code
+/// change.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// All-pairs admissibility sweep over one graph with a freshly built
+/// landmark index of `k` landmarks.
+fn check_all_pairs(g: &Graph, n: usize, k: usize) {
+    let mut gdb = GraphDb::in_memory(g).unwrap();
+    gdb.build_landmarks(k).unwrap();
+    let fem_rows = gdb.db.table_len("TVisited").unwrap();
+    for s in 0..n as i64 {
+        for t in 0..n as i64 {
+            let truth = dijkstra::shortest_path(g, s as u32, t as u32).map(|p| p.distance as i64);
+            let bounds = landmarks::estimate_distance(&mut gdb, s, t).unwrap();
+            match (bounds, truth) {
+                (Some(b), Some(d)) => {
+                    assert!(
+                        b.lower <= d && d <= b.upper,
+                        "{s}->{t}: bounds [{}, {}] miss true distance {d}",
+                        b.lower,
+                        b.upper
+                    );
+                    let exact = landmarks::exact_path(&mut gdb, s, t).unwrap();
+                    if b.lower == b.upper {
+                        // Tight bounds define a covered pair: the fast
+                        // path must answer it exactly.
+                        let p = exact.as_ref();
+                        assert!(p.is_some(), "{s}->{t}: tight bound {d} but no fast path");
+                        let p = p.unwrap();
+                        assert_eq!(p.length, d, "{}->{}: fast-path length", s, t);
+                        assert_eq!(p.nodes.first(), Some(&s));
+                        assert_eq!(p.nodes.last(), Some(&t));
+                        // ... with a real walk of exactly that cost.
+                        let mut len = 0i64;
+                        for w in p.nodes.windows(2) {
+                            let arc = g
+                                .out_arcs(w[0] as u32)
+                                .iter()
+                                .filter(|a| a.to == w[1] as u32)
+                                .map(|a| a.weight)
+                                .min();
+                            assert!(arc.is_some(), "{s}->{t}: missing edge {}->{}", w[0], w[1]);
+                            len += arc.unwrap() as i64;
+                        }
+                        assert_eq!(len, d, "{}->{}: fast-path walk cost", s, t);
+                    } else if let Some(p) = exact {
+                        // A loose-bounds answer is only legal if still exact.
+                        assert_eq!(p.length, d, "{}->{}: non-tight fast path", s, t);
+                    }
+                }
+                (Some(b), None) => {
+                    panic!(
+                        "{s}->{t}: unreachable pair got bounds [{}, {}]",
+                        b.lower, b.upper
+                    );
+                }
+                (None, _) => {
+                    // No common landmark: legal for any pair (the index
+                    // may simply not cover it), but then the fast path
+                    // must decline too.
+                    let exact = landmarks::exact_path(&mut gdb, s, t).unwrap();
+                    assert!(exact.is_none(), "{s}->{t}: fast path without bounds");
+                }
+            }
+        }
+    }
+    // The whole sweep ran off the index: no FEM table was ever written.
+    assert_eq!(
+        gdb.db.table_len("TVisited").unwrap(),
+        fem_rows,
+        "fast path must not write FEM tables"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// Connected grids: every pair reachable, duplicate-free edges.
+    #[test]
+    fn grids_are_admissible(
+        w in 2usize..5,
+        h in 2usize..5,
+        seed in 0u64..1000,
+        k in 1usize..6,
+    ) {
+        let g = fempath::graph::generate::grid(w, h, 1..=10, seed);
+        check_all_pairs(&g, w * h, k);
+    }
+
+    /// Random multigraphs: parallel edges with different weights and
+    /// self-loops are all legal inputs; the bound must still bracket the
+    /// true distance.
+    #[test]
+    fn random_multigraphs_are_admissible(
+        n in 2usize..14,
+        edges in prop::collection::vec((0u32..14, 0u32..14, 1u32..30), 1..40),
+        k in 1usize..6,
+    ) {
+        let n = n.max(
+            edges.iter().map(|(u, v, _)| (*u).max(*v) as usize + 1).max().unwrap_or(1),
+        );
+        let g = Graph::from_undirected_edges(n, edges);
+        if g.num_arcs() == 0 {
+            return; // no edges: nothing to index
+        }
+        check_all_pairs(&g, n, k);
+    }
+
+    /// Two islands plus an isolated node: cross-component pairs must get
+    /// no bounds at all (a bound would be a false reachability claim).
+    #[test]
+    fn disconnected_graphs_are_admissible(
+        left in prop::collection::vec((0u32..6, 0u32..6, 1u32..20), 1..12),
+        right in prop::collection::vec((6u32..12, 6u32..12, 1u32..20), 1..12),
+        k in 2usize..8,
+    ) {
+        let n = 13; // node 12 stays isolated
+        let edges: Vec<(u32, u32, u32)> =
+            left.into_iter().chain(right).collect();
+        let g = Graph::from_undirected_edges(n, edges);
+        if g.num_arcs() == 0 {
+            return; // all edges were self-loops: nothing to index
+        }
+        check_all_pairs(&g, n, k);
+    }
+}

@@ -179,3 +179,121 @@ fn snapshot_sessions_are_isolated() {
     let c = snap.session();
     assert_eq!(c.db.table_len("TEdges").unwrap(), g.num_arcs() as u64);
 }
+
+#[test]
+fn landmark_fast_path_under_the_hammer() {
+    // Eight clients share one frozen landmark index (DESIGN.md §12):
+    // covered pairs ride the fast path, uncovered pairs fall back to FEM,
+    // batches interleave with both — all cross-checked against Dijkstra.
+    let g = generate::power_law(300, 3, 1..=100, 11);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    let stats = gdb.build_landmarks(8).unwrap();
+    let snap = Arc::new(gdb.freeze().unwrap());
+    assert!(
+        snap.landmarks().is_some(),
+        "landmark index must survive the freeze"
+    );
+
+    // Guaranteed-covered pairs: any node against a landmark shares that
+    // landmark's tree, so its bounds are tight.
+    let mut pairs = stress_pairs(300, 64);
+    for (i, &lm) in stats.landmarks.iter().enumerate() {
+        pairs.push(((i as i64 * 37) % 300, lm));
+    }
+    let expected = oracle(&g, &pairs);
+
+    let svc = Arc::new(PathService::from_snapshot(
+        snap.clone(),
+        8,
+        ServiceAlgorithm::default(),
+    ));
+    std::thread::scope(|scope| {
+        // Six single-pair hammer threads...
+        for _ in 0..6 {
+            let svc = svc.clone();
+            let pairs = &pairs;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (i, &(s, t)) in pairs.iter().enumerate() {
+                    let out = svc.query(s, t).unwrap();
+                    match (out.path, expected[i]) {
+                        (Some(p), Some(d)) => {
+                            assert_eq!(p.length as u64, d, "{s}->{t} under concurrency");
+                            assert_eq!(p.nodes.first(), Some(&s));
+                            assert_eq!(p.nodes.last(), Some(&t));
+                        }
+                        (None, None) => {}
+                        (got, want) => panic!(
+                            "{s}->{t}: reachability mismatch (got {:?}, want {want:?})",
+                            got.map(|p| p.length)
+                        ),
+                    }
+                }
+            });
+        }
+        // ...two batch threads over the same endpoints, concurrently.
+        for _ in 0..2 {
+            let svc = svc.clone();
+            let pairs = &pairs;
+            let expected = &expected;
+            scope.spawn(move || {
+                let paths = svc.query_batch(pairs).unwrap();
+                for (i, p) in paths.iter().enumerate() {
+                    assert_eq!(
+                        p.as_ref().map(|p| p.length as u64),
+                        expected[i],
+                        "batch mismatch for {:?}",
+                        pairs[i]
+                    );
+                }
+            });
+        }
+    });
+
+    // The fast path answers covered pairs straight from the index: a
+    // fresh session's FEM tables stay untouched after an exact answer.
+    let mut probe = snap.session();
+    let lm = stats.landmarks[0];
+    let before = probe.db.table_len("TVisited").unwrap();
+    let fast = fempath::core::landmarks::exact_path(&mut probe, lm, lm).unwrap();
+    assert_eq!(fast.map(|p| p.length), Some(0));
+    let covered = pairs
+        .iter()
+        .filter(|&&(s, t)| {
+            matches!(
+                fempath::core::landmarks::exact_path(&mut probe, s, t),
+                Ok(Some(_))
+            )
+        })
+        .count();
+    assert!(
+        covered >= stats.landmarks.len(),
+        "every (x, landmark) probe pair is covered by construction"
+    );
+    assert_eq!(
+        probe.db.table_len("TVisited").unwrap(),
+        before,
+        "fast path must not write FEM tables"
+    );
+}
+
+#[test]
+fn service_options_build_the_landmark_index() {
+    let g = generate::grid(6, 6, 1..=10, 2);
+    let pairs = stress_pairs(36, 24);
+    let expected = oracle(&g, &pairs);
+    let svc = PathService::with_options(
+        &g,
+        &PathServiceOptions {
+            workers: 4,
+            landmarks: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        svc.snapshot().landmarks().is_some(),
+        "PathServiceOptions::landmarks must build the index before freezing"
+    );
+    hammer(&svc, &pairs, &expected, 4);
+}
