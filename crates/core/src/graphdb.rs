@@ -396,6 +396,13 @@ impl GraphSnapshot {
     pub fn shared_plan_count(&self) -> usize {
         self.snap.shared_plan_count()
     }
+
+    /// Consult/publish counters of the cross-session shared plan cache
+    /// (DESIGN.md §13) — `publishes` converges on the distinct statement
+    /// count however many workers warm up concurrently.
+    pub fn shared_plan_stats(&self) -> fempath_sql::SharedPlanCacheStats {
+        self.snap.shared_plan_stats()
+    }
 }
 
 const _: () = {

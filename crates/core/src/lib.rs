@@ -15,7 +15,8 @@
 //!   bounds seeded into Theorem-1 pruning and an exact fast path for
 //!   covered pairs (DESIGN.md §12),
 //! * [`service`] — the concurrent [`PathService`] over `Arc`-shared
-//!   read-only graph snapshots (DESIGN.md §10),
+//!   read-only graph snapshots (DESIGN.md §10) with work-stealing
+//!   dispatch and batch partitioning ([`dispatch`], DESIGN.md §13),
 //! * [`prim`] — Prim's MST via FEM (the §3.1 extension),
 //! * [`stats`] — per-phase / per-operator measurement.
 //!
@@ -32,6 +33,7 @@
 //! ```
 
 pub mod algo;
+pub mod dispatch;
 pub mod fem;
 pub mod graphdb;
 pub mod landmarks;
@@ -49,6 +51,7 @@ pub use algo::{
     BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder, FrontierPolicy, Path, PathOutcome,
     ShortestPathFinder,
 };
+pub use dispatch::{partition_even, StealQueues, WaitHistogram};
 pub use fem::{run_batch_fem, run_fem, BatchFemSearch, FemSearch};
 pub use fempath_sql::ExecMode;
 pub use graphdb::{
@@ -62,7 +65,7 @@ pub use pattern::{match_label_path, set_labels};
 pub use prim::{prim_mst, MstResult};
 pub use reach::{component_size, reachable};
 pub use segtable::{build_segtable, build_segtable_with, SegTableStats};
-pub use service::{PathService, PathServiceOptions, ServiceAlgorithm};
+pub use service::{PathService, PathServiceOptions, ServiceAlgorithm, ServiceStats, WorkerStats};
 pub use sssp::{single_source, SsspEntry, SsspResult};
 pub use stats::{FemOperator, Phase, QueryStats, SqlStyle};
 

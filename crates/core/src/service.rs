@@ -2,14 +2,23 @@
 //!
 //! The paper's FEM framework already splits state into a large immutable
 //! edge relation and small per-query working tables; this module turns
-//! that split into a serving architecture (DESIGN.md §10). The graph is
-//! loaded once, frozen into an [`GraphSnapshot`] (an `Arc`-shared
+//! that split into a serving architecture (DESIGN.md §10, §13). The graph
+//! is loaded once, frozen into an [`GraphSnapshot`] (an `Arc`-shared
 //! read-only page image plus a cross-session plan cache), and a pool of
 //! worker threads each owns a private session — its own buffer pool,
 //! copy-on-write overlay for the working tables, and prepared-statement
-//! set. Queries are dispatched over a channel and answered in parallel;
-//! batched queries are tiled across the pool and advanced by the batched
-//! FEM finders.
+//! set.
+//!
+//! Dispatch is contention-free (DESIGN.md §13): every worker owns a
+//! private queue, producers round-robin jobs across the queues, and an
+//! idle worker steals the oldest job from a busy sibling
+//! ([`crate::dispatch`]). Batches are **partitioned across the pool** —
+//! [`PathService::query_batch`] splits the pairs into per-worker tiles of
+//! near-equal size, each tile runs the batched bidirectional FEM finder
+//! in its own session, and the per-tile results are merged back by
+//! offset. A worker that panics mid-query answers that caller with an
+//! error, rebuilds its session and keeps serving — one poisoned query
+//! can neither hang its caller nor take down the pool.
 //!
 //! ```
 //! use fempath_core::PathService;
@@ -21,18 +30,22 @@
 //! assert!(out.path.is_some(), "grid is connected");
 //! let paths = svc.query_batch(&[(0, 35), (5, 30), (7, 7)]).unwrap();
 //! assert_eq!(paths.len(), 3);
+//! let stats = svc.stats();
+//! assert!(stats.total_executed() >= 2, "singles + batch tiles all count");
 //! ```
 
 use crate::algo::{
     BatchBdjFinder, BatchShortestPathFinder, BbfsFinder, BdjFinder, BsdjFinder, DjFinder, Path,
     PathOutcome, ShortestPathFinder,
 };
+use crate::dispatch::{partition_even, StealQueues, WaitHistogram, WorkerQueueStats};
 use crate::graphdb::{GraphDb, GraphDbOptions, GraphSnapshot};
 use crate::stats::QueryStats;
 use fempath_graph::Graph;
 use fempath_sql::{Result, SqlError};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Which relational finder answers single-pair queries.
@@ -101,6 +114,79 @@ enum Job {
         offset: usize,
         reply: Sender<(usize, Result<Vec<Option<Path>>>)>,
     },
+    /// Test-only: panics inside the worker, exercising the
+    /// panic-isolation path ([`PathService::debug_inject_panic`]).
+    InjectPanic { reply: Sender<Result<PathOutcome>> },
+}
+
+/// Counter snapshot for one service worker (see [`PathService::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Jobs (singles, batch tiles) this worker executed.
+    pub executed: u64,
+    /// Jobs this worker stole from a sibling's queue.
+    pub stolen: u64,
+    /// Jobs currently queued on this worker.
+    pub queue_depth: usize,
+    /// High-water mark of this worker's queue depth.
+    pub queue_depth_hwm: u64,
+    /// Queue-wait histogram of jobs enqueued on this worker (log₂ µs
+    /// buckets) — how long work sat before any worker picked it up.
+    pub wait: WaitHistogram,
+}
+
+impl From<WorkerQueueStats> for WorkerStats {
+    fn from(q: WorkerQueueStats) -> WorkerStats {
+        WorkerStats {
+            executed: q.executed,
+            stolen: q.stolen,
+            queue_depth: q.depth,
+            queue_depth_hwm: q.depth_hwm,
+            wait: q.wait,
+        }
+    }
+}
+
+/// Dispatch instrumentation for a [`PathService`] (DESIGN.md §13):
+/// per-worker queue depths, steal counts and queue-wait histograms. All
+/// counters are cheap relaxed atomics — reading them does not perturb
+/// the pool.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// One entry per worker, in worker order.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ServiceStats {
+    /// Jobs executed across the pool.
+    pub fn total_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed).sum()
+    }
+
+    /// Jobs that crossed worker queues (work-stealing events). High
+    /// steal counts with low waits mean the pool is balancing fine;
+    /// high waits point at true saturation, not dispatch contention.
+    pub fn total_stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Largest queue-depth high-water mark across workers.
+    pub fn max_queue_depth_hwm(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.queue_depth_hwm)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Queue-wait quantile (µs) over every job in the pool.
+    pub fn wait_quantile_us(&self, q: f64) -> u64 {
+        let mut merged = WaitHistogram::default();
+        for w in &self.workers {
+            merged.merge(&w.wait);
+        }
+        merged.quantile_us(q)
+    }
 }
 
 /// A concurrent shortest-path service over one frozen graph.
@@ -111,7 +197,7 @@ enum Job {
 /// Dropping the service shuts the pool down.
 pub struct PathService {
     snapshot: Arc<GraphSnapshot>,
-    queue: Sender<Job>,
+    queues: Arc<StealQueues<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -150,18 +236,17 @@ impl PathService {
         algorithm: ServiceAlgorithm,
     ) -> PathService {
         let workers = workers.max(1);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let queues = Arc::new(StealQueues::new(workers));
         let handles = (0..workers)
-            .map(|_| {
-                let rx = rx.clone();
+            .map(|me| {
+                let queues = queues.clone();
                 let snapshot = snapshot.clone();
-                std::thread::spawn(move || worker_loop(&snapshot, &rx, algorithm))
+                std::thread::spawn(move || worker_loop(&snapshot, &queues, me, algorithm))
             })
             .collect();
         PathService {
             snapshot,
-            queue: tx,
+            queues,
             workers: handles,
         }
     }
@@ -169,29 +254,42 @@ impl PathService {
     /// Shortest path from `s` to `t`, answered by the next free worker.
     pub fn query(&self, s: i64, t: i64) -> Result<PathOutcome> {
         let (reply, result) = channel();
-        self.queue
-            .send(Job::Single { s, t, reply })
+        self.queues
+            .push(Job::Single { s, t, reply })
             .map_err(|_| worker_pool_down())?;
         result.recv().map_err(|_| worker_pool_down())?
     }
 
-    /// Answers many (s, t) pairs, tiling them across the worker pool;
-    /// `paths[i]` answers `pairs[i]`. Each tile runs the batched
-    /// bidirectional FEM finder (DESIGN.md §8) in one worker session.
+    /// Answers many (s, t) pairs; `paths[i]` answers `pairs[i]`.
+    ///
+    /// The pairs are **partitioned across the worker pool**: split into
+    /// contiguous tiles whose sizes differ by at most one (every worker
+    /// gets a tile whenever `pairs.len() >= workers`), one tile per
+    /// worker queue — an idle worker steals a queued tile, so a slow
+    /// tile cannot strand the rest. Each tile runs the batched
+    /// bidirectional FEM finder (DESIGN.md §8) in one worker session and
+    /// the results are merged back by offset, in input order.
     pub fn query_batch(&self, pairs: &[(i64, i64)]) -> Result<Vec<Option<Path>>> {
         if pairs.is_empty() {
             return Ok(Vec::new());
         }
-        let chunk = pairs.len().div_ceil(self.workers.len()).max(1);
+        let tiles = partition_even(pairs.len(), self.workers.len());
+        // Spread this batch's tiles starting at the shared round-robin
+        // cursor so concurrent batches interleave across the pool
+        // instead of all starting on worker 0.
+        let first = self.queues.reserve_targets(tiles.len());
         let (reply, results) = channel();
         let mut outstanding = 0usize;
-        for (i, tile) in pairs.chunks(chunk).enumerate() {
-            self.queue
-                .send(Job::Batch {
-                    pairs: tile.to_vec(),
-                    offset: i * chunk,
-                    reply: reply.clone(),
-                })
+        for (k, &(offset, len)) in tiles.iter().enumerate() {
+            self.queues
+                .push_to(
+                    first + k,
+                    Job::Batch {
+                        pairs: pairs[offset..offset + len].to_vec(),
+                        offset,
+                        reply: reply.clone(),
+                    },
+                )
                 .map_err(|_| worker_pool_down())?;
             outstanding += 1;
         }
@@ -226,13 +324,36 @@ impl PathService {
     pub fn snapshot(&self) -> &Arc<GraphSnapshot> {
         &self.snapshot
     }
+
+    /// Dispatch instrumentation: per-worker executed/stolen counts,
+    /// queue depths and queue-wait histograms (DESIGN.md §13).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            workers: (0..self.workers.len())
+                .map(|i| self.queues.queue_stats(i).into())
+                .collect(),
+        }
+    }
+
+    /// Test-only: makes one worker panic mid-job and returns what its
+    /// caller observes. The panic must surface as an error on *this*
+    /// call — never a hang — and the pool (including the panicked
+    /// worker, which rebuilds its session) must keep serving.
+    #[doc(hidden)]
+    pub fn debug_inject_panic(&self) -> Result<PathOutcome> {
+        let (reply, result) = channel();
+        self.queues
+            .push(Job::InjectPanic { reply })
+            .map_err(|_| worker_pool_down())?;
+        result.recv().map_err(|_| worker_pool_down())?
+    }
 }
 
 impl Drop for PathService {
     fn drop(&mut self) {
-        // Closing the queue ends every worker's recv loop.
-        let (dead, _) = channel();
-        self.queue = dead;
+        // Refuse new jobs and wake every parked worker; workers drain
+        // whatever is still queued, then exit their loops.
+        self.queues.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -248,48 +369,73 @@ fn worker_pool_down() -> SqlError {
     SqlError::Eval("path service worker pool is shut down".into())
 }
 
-/// One worker: a private session over the shared snapshot, draining the
-/// job queue until the service drops the sender side.
+/// Runs one job body with panic isolation: a panic inside the finder (or
+/// injected by a test) is caught, the session — whose working tables may
+/// be mid-operation — is rebuilt from the snapshot, and the caller gets
+/// a `worker_pool_down` error instead of a dropped reply. Sibling
+/// workers are untouched: no dispatch lock is ever held around job
+/// execution, so there is nothing to poison.
+fn run_isolated<R>(
+    session: &mut GraphDb,
+    snapshot: &GraphSnapshot,
+    f: impl FnOnce(&mut GraphDb) -> Result<R>,
+) -> Result<R> {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| f(session))) {
+        Ok(res) => res,
+        Err(_) => {
+            *session = snapshot.session();
+            Err(worker_pool_down())
+        }
+    }
+}
+
+/// One worker: a private session over the shared snapshot, draining its
+/// own queue (and stealing from siblings) until the service closes the
+/// pool and the queues run dry.
 fn worker_loop(
     snapshot: &GraphSnapshot,
-    rx: &Arc<Mutex<Receiver<Job>>>,
+    queues: &StealQueues<Job>,
+    me: usize,
     algorithm: ServiceAlgorithm,
 ) {
     let mut session = snapshot.session();
     let finder = algorithm.finder();
     let batch_finder = BatchBdjFinder::default();
-    loop {
-        // Hold the lock only to dequeue, never while executing.
-        let job = match rx.lock() {
-            Ok(q) => q.recv(),
-            Err(_) => return, // poisoned: a sibling worker panicked
-        };
+    while let Some(job) = queues.pop(me) {
         match job {
-            Err(_) => return, // queue closed: service dropped
-            Ok(Job::Single { s, t, reply }) => {
-                // Landmark fast path (DESIGN.md §12): a covered pair —
-                // bounds already proven tight — is answered straight from
-                // the index, no FEM table ever written. Uncovered pairs
-                // fall through to the configured finder.
-                let res = match crate::landmarks::exact_path(&mut session, s, t) {
-                    Ok(Some(path)) => Ok(PathOutcome {
-                        path: Some(path),
-                        stats: QueryStats::default(),
-                    }),
-                    Ok(None) => finder.find_path(&mut session, s, t),
-                    Err(e) => Err(e),
-                };
+            Job::Single { s, t, reply } => {
+                let res = run_isolated(&mut session, snapshot, |session| {
+                    // Landmark fast path (DESIGN.md §12): a covered pair —
+                    // bounds already proven tight — is answered straight
+                    // from the index, no FEM table ever written. Uncovered
+                    // pairs fall through to the configured finder.
+                    match crate::landmarks::exact_path(session, s, t)? {
+                        Some(path) => Ok(PathOutcome {
+                            path: Some(path),
+                            stats: QueryStats::default(),
+                        }),
+                        None => finder.find_path(session, s, t),
+                    }
+                });
                 let _ = reply.send(res);
             }
-            Ok(Job::Batch {
+            Job::Batch {
                 pairs,
                 offset,
                 reply,
-            }) => {
-                let res = batch_finder
-                    .find_paths(&mut session, &pairs)
-                    .map(|out| out.paths);
+            } => {
+                let res = run_isolated(&mut session, snapshot, |session| {
+                    batch_finder
+                        .find_paths(session, &pairs)
+                        .map(|out| out.paths)
+                });
                 let _ = reply.send((offset, res));
+            }
+            Job::InjectPanic { reply } => {
+                let res = run_isolated(&mut session, snapshot, |_| -> Result<PathOutcome> {
+                    panic!("injected worker panic (test hook)")
+                });
+                let _ = reply.send(res);
             }
         }
     }
@@ -330,6 +476,49 @@ mod tests {
             paths[0].as_ref().unwrap().length,
             paths[2].as_ref().unwrap().length
         );
+    }
+
+    #[test]
+    fn batch_is_partitioned_across_workers_not_tiled_onto_one() {
+        // 9 pairs on 8 workers: the old div_ceil tiling produced five
+        // tiles (four of size 2); balanced partitioning produces eight
+        // tiles and every job is accounted for in the dispatch stats.
+        let g = generate::grid(4, 4, 1..=10, 9);
+        let svc = PathService::new(&g, 8).unwrap();
+        let pairs: Vec<(i64, i64)> = (0..9).map(|i| (i % 16, (i * 5 + 3) % 16)).collect();
+        let paths = svc.query_batch(&pairs).unwrap();
+        assert_eq!(paths.len(), 9);
+        let stats = svc.stats();
+        assert_eq!(
+            stats.total_executed(),
+            8,
+            "9 pairs on 8 workers must become 8 tiles, not 5"
+        );
+        // Every tile's queue wait was recorded.
+        let waits: u64 = stats.workers.iter().map(|w| w.wait.count()).sum();
+        assert_eq!(waits, 8);
+    }
+
+    #[test]
+    fn stats_account_for_every_job() {
+        let g = generate::grid(4, 4, 1..=10, 5);
+        let svc = PathService::new(&g, 3).unwrap();
+        for i in 0..12 {
+            svc.query(i % 16, (i * 7) % 16).unwrap();
+        }
+        let pairs: Vec<(i64, i64)> = (0..7).map(|i| (i, (i + 5) % 16)).collect();
+        svc.query_batch(&pairs).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.workers.len(), 3);
+        // 12 singles + min(7, 3) = 3 batch tiles.
+        assert_eq!(stats.total_executed(), 15);
+        assert!(
+            stats.wait_quantile_us(1.0) > 0,
+            "waits are recorded in open-ended log2 buckets"
+        );
+        for w in &stats.workers {
+            assert_eq!(w.queue_depth, 0, "queues drain after the calls return");
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ use fempath_storage::{BufferPool, IoStats, SnapshotPages, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
@@ -195,20 +196,138 @@ impl PlanCache {
     }
 }
 
-/// Shards in a [`SharedPlanCache`] — bounds write-lock contention when
-/// many sessions compile statements concurrently.
+/// Shards in a [`SharedPlanCache`] — bounds the publish-lock scope (and
+/// the size of the map cloned per publish) when many sessions compile
+/// distinct statements concurrently.
 const SHARED_PLAN_SHARDS: usize = 8;
 /// Per-shard entry bound for the shared cache.
 const SHARED_PLAN_SHARD_CAP: usize = 256;
 
+/// One shard of the shared cache: an RCU-style **publish-once** map.
+///
+/// Snapshot workloads consult the shared cache on every local-cache miss
+/// but publish each distinct statement only once per snapshot lifetime,
+/// so the structure is tuned hard for reads: the consult path is a
+/// single `Acquire` pointer load plus a hash lookup — no lock, no
+/// reference count, no shared cache-line write at all (the `RwLock` it
+/// replaces performed an atomic RMW on a contended line for every read).
+///
+/// Publishing clones the current map, inserts, and atomically swaps the
+/// pointer (copy-on-write), serialized by a writer mutex. Superseded map
+/// versions cannot be freed while a reader may still be walking them, so
+/// they are parked in `versions` and freed when the cache drops — one
+/// retired map per publish, and publishes are bounded by the number of
+/// distinct statements, so the parked memory stays small by design.
+struct RcuShard {
+    /// Readers load this (Acquire) and look up without locking. Always
+    /// points at a map owned by `versions`.
+    current: AtomicPtr<HashMap<String, Arc<PreparedPlan>>>,
+    /// Writer serialization + ownership of every map version ever
+    /// published (freed in `Drop`, when no reader can remain).
+    versions: Mutex<Vec<*mut HashMap<String, Arc<PreparedPlan>>>>,
+}
+
+// SAFETY: the raw pointers are owned heap maps, mutated only before
+// publication (the cloned map is private until the `current` swap) and
+// freed only in `Drop`, which takes `&mut self` and therefore excludes
+// every reader. The pointees (`HashMap<String, Arc<PreparedPlan>>`) are
+// `Send + Sync` themselves (asserted below for `PreparedPlan`).
+unsafe impl Send for RcuShard {}
+unsafe impl Sync for RcuShard {}
+
+impl RcuShard {
+    fn new() -> RcuShard {
+        let first = Box::into_raw(Box::new(HashMap::new()));
+        RcuShard {
+            current: AtomicPtr::new(first),
+            versions: Mutex::new(vec![first]),
+        }
+    }
+
+    /// The currently published map. The reference is valid for the
+    /// lifetime of `&self` because every published version stays alive
+    /// until `Drop`.
+    fn map(&self) -> &HashMap<String, Arc<PreparedPlan>> {
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    fn get(&self, sql: &str, version: u64) -> Option<Arc<PreparedPlan>> {
+        self.map()
+            .get(sql)
+            .filter(|p| p.catalog_version() == version)
+            .cloned()
+    }
+
+    /// Publishes `plan`, returning false when an equivalent entry was
+    /// already visible (the common thundering-herd warmup case: every
+    /// worker compiles the same statement, one publish wins).
+    fn publish(&self, plan: &Arc<PreparedPlan>) -> bool {
+        let mut versions = self.versions.lock().unwrap_or_else(|e| e.into_inner());
+        // `current` only changes under the lock we now hold.
+        let cur = unsafe { &*self.current.load(Ordering::Relaxed) };
+        if let Some(existing) = cur.get(plan.sql()) {
+            if existing.catalog_version() == plan.catalog_version() {
+                return false;
+            }
+        }
+        let mut next = cur.clone();
+        if next.len() >= SHARED_PLAN_SHARD_CAP && !next.contains_key(plan.sql()) {
+            let version = plan.catalog_version();
+            next.retain(|_, p| p.catalog_version() == version);
+            if next.len() >= SHARED_PLAN_SHARD_CAP {
+                next.clear();
+            }
+        }
+        next.insert(plan.sql().to_string(), plan.clone());
+        let ptr = Box::into_raw(Box::new(next));
+        self.current.store(ptr, Ordering::Release);
+        versions.push(ptr);
+        true
+    }
+}
+
+impl Drop for RcuShard {
+    fn drop(&mut self) {
+        let versions = self.versions.get_mut().unwrap_or_else(|e| e.into_inner());
+        for ptr in versions.drain(..) {
+            // SAFETY: `&mut self` excludes all readers; each pointer was
+            // created by `Box::into_raw` and appears exactly once.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// Consult/publish counters for a [`SharedPlanCache`]
+/// ([`SharedPlanCache::stats`]). `hits`/`misses` count consults (local
+/// plan-cache misses that reached the shared cache); `publishes` counts
+/// map versions actually published — with publish-once semantics it
+/// converges on the number of distinct statements, however many sessions
+/// warm up concurrently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedPlanCacheStats {
+    /// Consults answered from the shared cache.
+    pub hits: u64,
+    /// Consults that fell through to a fresh compile.
+    pub misses: u64,
+    /// Map versions published (≈ distinct statements compiled).
+    pub publishes: u64,
+    /// Plans currently visible.
+    pub plans: usize,
+}
+
 /// A plan cache shared by every session of one [`DbSnapshot`]: a sharded
-/// `RwLock` map from SQL text to compiled plan. Snapshot sessions never
-/// run DDL (the working tables are created before freezing), so their
-/// catalog versions all stay at the freeze version and one compiled plan
-/// serves every worker; entries whose stamp mismatches a reader's version
-/// are simply ignored (and overwritten by the next publisher).
+/// publish-once RCU map from SQL text to compiled plan (see `RcuShard`).
+/// Snapshot sessions never run DDL (the working tables are created before
+/// freezing), so their catalog versions all stay at the freeze version
+/// and one compiled plan serves every worker; entries whose stamp
+/// mismatches a reader's version are simply ignored (and replaced by the
+/// next publisher). The consult path is lock-free — a pointer load and a
+/// hash lookup — so worker warmup no longer serializes on reader locks.
 pub struct SharedPlanCache {
-    shards: Vec<RwLock<HashMap<String, Arc<PreparedPlan>>>>,
+    shards: Vec<RcuShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    publishes: AtomicU64,
 }
 
 impl Default for SharedPlanCache {
@@ -221,51 +340,53 @@ impl SharedPlanCache {
     /// An empty shared cache.
     pub fn new() -> SharedPlanCache {
         SharedPlanCache {
-            shards: (0..SHARED_PLAN_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+            shards: (0..SHARED_PLAN_SHARDS).map(|_| RcuShard::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, sql: &str) -> &RwLock<HashMap<String, Arc<PreparedPlan>>> {
+    fn shard(&self, sql: &str) -> &RcuShard {
         let mut h = DefaultHasher::new();
         sql.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     fn get(&self, sql: &str, version: u64) -> Option<Arc<PreparedPlan>> {
-        let shard = self.shard(sql).read().ok()?;
-        shard
-            .get(sql)
-            .filter(|p| p.catalog_version() == version)
-            .cloned()
+        let found = self.shard(sql).get(sql, version);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     fn insert(&self, plan: &Arc<PreparedPlan>) {
-        let Ok(mut shard) = self.shard(plan.sql()).write() else {
-            return; // poisoned shard: skip publishing, sessions keep local copies
-        };
-        if shard.len() >= SHARED_PLAN_SHARD_CAP && !shard.contains_key(plan.sql()) {
-            let version = plan.catalog_version();
-            shard.retain(|_, p| p.catalog_version() == version);
-            if shard.len() >= SHARED_PLAN_SHARD_CAP {
-                shard.clear();
-            }
+        if self.shard(plan.sql()).publish(plan) {
+            self.publishes.fetch_add(1, Ordering::Relaxed);
         }
-        shard.insert(plan.sql().to_string(), plan.clone());
     }
 
     /// Total cached plans across all shards (diagnostics).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().map(|m| m.len()).unwrap_or(0))
-            .sum()
+        self.shards.iter().map(|s| s.map().len()).sum()
     }
 
     /// True when no plan is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Consult/publish counters (diagnostics, surfaced by the
+    /// service-throughput experiment).
+    pub fn stats(&self) -> SharedPlanCacheStats {
+        SharedPlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            plans: self.len(),
+        }
     }
 }
 
@@ -312,6 +433,11 @@ impl DbSnapshot {
     /// Plans currently in the shared cache (diagnostics).
     pub fn shared_plan_count(&self) -> usize {
         self.shared_plans.len()
+    }
+
+    /// Consult/publish counters of the shared plan cache.
+    pub fn shared_plan_stats(&self) -> SharedPlanCacheStats {
+        self.shared_plans.stats()
     }
 }
 

@@ -48,6 +48,7 @@ pub use catalog::{Catalog, RowLoc, Table, TableBatchCursor, TableSchema};
 pub use dialect::Dialect;
 pub use engine::{
     Database, DbSnapshot, ExecMode, ExecOutcome, PreparedStmt, ResultSet, SharedPlanCache,
+    SharedPlanCacheStats,
 };
 pub use error::{Result, SqlError};
 pub use parser::{parse_statement, parse_statements};

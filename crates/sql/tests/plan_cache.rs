@@ -135,3 +135,47 @@ fn snapshot_sessions_answer_queries_and_stay_isolated() {
         "sibling session must not observe the other session's write"
     );
 }
+
+#[test]
+fn shared_cache_stats_track_publish_once_and_hits() {
+    let mut d = db();
+    d.execute("CREATE TABLE t (x INT)").unwrap();
+    d.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let snap = d.freeze().unwrap();
+    let zero = snap.shared_plan_stats();
+    assert_eq!((zero.publishes, zero.hits, zero.plans), (0, 0, 0));
+
+    // First session compiles and publishes; the consult that preceded
+    // the compile was a miss.
+    let mut a = snap.session();
+    a.query("SELECT COUNT(*) FROM t").unwrap();
+    let after_a = snap.shared_plan_stats();
+    assert!(after_a.publishes >= 1);
+    assert!(after_a.misses >= 1);
+    assert_eq!(after_a.plans as u64, after_a.publishes);
+
+    // A sibling session running the same statement hits the shared
+    // cache: no new publish, at least one hit.
+    let mut b = snap.session();
+    b.query("SELECT COUNT(*) FROM t").unwrap();
+    let after_b = snap.shared_plan_stats();
+    assert_eq!(
+        after_b.publishes, after_a.publishes,
+        "publish-once: the second session must reuse, not republish"
+    );
+    assert!(
+        after_b.hits > after_a.hits,
+        "sibling consult must count as a hit"
+    );
+
+    // A *distinct* statement still publishes exactly once more.
+    b.query("SELECT SUM(x) FROM t").unwrap();
+    let after_sum = snap.shared_plan_stats();
+    assert_eq!(after_sum.publishes, after_a.publishes + 1);
+    a.query("SELECT SUM(x) FROM t").unwrap();
+    assert_eq!(
+        snap.shared_plan_stats().publishes,
+        after_sum.publishes,
+        "the statement is shared once published, whoever compiled it"
+    );
+}

@@ -179,26 +179,35 @@ pub type SnapshotPages = Arc<Vec<Box<[u8; PAGE_SIZE]>>>;
 ///
 /// Reads of base pages come straight from the shared snapshot (no copy
 /// beyond the buffer-pool frame fill); the first write to any page —
-/// base or fresh — lands in a private overlay owned by this backend.
-/// Page ids are stable across the base/overlay split, so heap files and
+/// base or fresh — lands in private storage owned by this backend.
+/// Page ids are stable across the base/private split, so heap files and
 /// B+trees frozen into the snapshot keep working unchanged, and pages a
 /// session allocates (its private working tables) start past the end of
 /// the base image. Many sessions can therefore share one graph image
 /// while each mutates its own working state.
+///
+/// Private storage is split by access pattern (DESIGN.md §13): pages
+/// allocated past the base image — the per-query working tables, by far
+/// the hottest session-private pages — live in a dense `Vec` indexed by
+/// `pid - base_len`, so every working-table page I/O is an array index;
+/// the sparse `HashMap` overlay is kept only for the rare copy-on-write
+/// of a base-image page.
 pub struct SnapshotDisk {
     base: SnapshotPages,
-    overlay: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
-    num_pages: u64,
+    /// COW copies of base-image pages this session overwrote (sparse).
+    cow: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Session-private pages past the base image (dense;
+    /// index = `pid - base.len()`).
+    private: Vec<Box<[u8; PAGE_SIZE]>>,
 }
 
 impl SnapshotDisk {
     /// A copy-on-write view over `base`.
     pub fn new(base: SnapshotPages) -> Self {
-        let num_pages = base.len() as u64;
         SnapshotDisk {
             base,
-            overlay: HashMap::new(),
-            num_pages,
+            cow: HashMap::new(),
+            private: Vec::new(),
         }
     }
 
@@ -209,50 +218,59 @@ impl SnapshotDisk {
 
     /// Number of pages this session has privately overlaid or allocated.
     pub fn private_pages(&self) -> usize {
-        self.overlay.len()
+        self.cow.len() + self.private.len()
+    }
+
+    fn check(&self, pid: PageId) -> Result<u64> {
+        if !pid.is_valid() || pid.0 >= self.num_pages() {
+            return Err(StorageError::InvalidPageId(pid.0));
+        }
+        Ok(pid.0)
     }
 }
 
 impl DiskBackend for SnapshotDisk {
     fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
-        if !pid.is_valid() || pid.0 >= self.num_pages {
-            return Err(StorageError::InvalidPageId(pid.0));
-        }
-        if let Some(p) = self.overlay.get(&pid.0) {
-            buf.copy_from_slice(&p[..]);
+        let pid = self.check(pid)?;
+        let base_len = self.base.len() as u64;
+        let page = if pid >= base_len {
+            &self.private[(pid - base_len) as usize]
+        } else if let Some(p) = self.cow.get(&pid) {
+            p
         } else {
-            buf.copy_from_slice(&self.base[pid.0 as usize][..]);
-        }
+            &self.base[pid as usize]
+        };
+        buf.copy_from_slice(&page[..]);
         Ok(())
     }
 
     fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
-        if !pid.is_valid() || pid.0 >= self.num_pages {
-            return Err(StorageError::InvalidPageId(pid.0));
-        }
-        match self.overlay.entry(pid.0) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().copy_from_slice(buf);
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Box::new(*buf));
+        let pid = self.check(pid)?;
+        let base_len = self.base.len() as u64;
+        if pid >= base_len {
+            self.private[(pid - base_len) as usize].copy_from_slice(buf);
+        } else {
+            match self.cow.entry(pid) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().copy_from_slice(buf);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Box::new(*buf));
+                }
             }
         }
         Ok(())
     }
 
     fn allocate_page(&mut self) -> Result<PageId> {
-        let pid = PageId(self.num_pages);
-        self.num_pages += 1;
-        self.overlay.insert(
-            pid.0,
-            vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
-        );
+        let pid = PageId(self.num_pages());
+        self.private
+            .push(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap());
         Ok(pid)
     }
 
     fn num_pages(&self) -> u64 {
-        self.num_pages
+        self.base.len() as u64 + self.private.len() as u64
     }
 
     fn sync(&mut self) -> Result<()> {
@@ -341,6 +359,38 @@ mod tests {
         assert!(buf.iter().all(|&x| x == 0));
         assert_eq!(a.base_pages(), 2);
         assert_eq!(a.private_pages(), 2);
+    }
+
+    #[test]
+    fn snapshot_disk_dense_private_pages_roundtrip() {
+        // Working-table pages (allocated past the base image) live in the
+        // dense private vector; overwriting a base page uses the sparse
+        // COW map. Both must round-trip independently.
+        let base: SnapshotPages = Arc::new(vec![vec![0x0Fu8; PAGE_SIZE]
+            .into_boxed_slice()
+            .try_into()
+            .unwrap()]);
+        let mut d = SnapshotDisk::new(base);
+        let mut buf = [0u8; PAGE_SIZE];
+        let pids: Vec<_> = (0..16).map(|_| d.allocate_page().unwrap()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            buf.fill(i as u8 + 1);
+            d.write_page(pid, &buf).unwrap();
+        }
+        for (i, &pid) in pids.iter().enumerate() {
+            d.read_page(pid, &mut buf).unwrap();
+            assert_eq!(buf[0], i as u8 + 1);
+        }
+        assert_eq!(d.private_pages(), 16, "no COW entries yet");
+        buf.fill(0xEE);
+        d.write_page(PageId(0), &buf).unwrap();
+        assert_eq!(d.private_pages(), 17, "base overwrite lands in the COW map");
+        d.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0xEE);
+        // Private pages are unaffected by the base overwrite.
+        d.read_page(pids[3], &mut buf).unwrap();
+        assert_eq!(buf[0], 4);
+        assert_eq!(d.num_pages(), 17);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property test for [`PathService::query_batch`] partitioning
+//! (DESIGN.md §13): however a batch is tiled across the worker pool —
+//! arbitrary batch sizes against arbitrary worker counts, duplicate
+//! pairs, unreachable pairs, `s == t` pairs — the merged result must
+//! come back **in input order** and agree pair-for-pair with looping
+//! [`PathService::query`] over the same service (which itself is pinned
+//! to in-memory Dijkstra by the stress and interleaving suites).
+//!
+//! This is the regression net for the tiling bug class: the old
+//! `div_ceil` tiling could fold 9 pairs on 8 workers into 5 tiles, and
+//! an off-by-one in the offset merge would silently swap answers between
+//! adjacent pairs — exactly what comparing per-index against the looped
+//! oracle catches.
+
+use fempath::core::PathService;
+use fempath::graph::Graph;
+use proptest::prelude::*;
+
+/// Budget: CI sets `PROPTEST_CASES=512`; the local default keeps plain
+/// `cargo test` quick. `ProptestConfig::with_cases` overrides the
+/// environment, so honour the variable explicitly.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A random graph (duplicates and disconnected components allowed) plus
+/// a random batch of in-range query pairs and a worker count.
+#[allow(clippy::type_complexity)]
+fn arb_case() -> impl Strategy<Value = (Graph, Vec<(i64, i64)>, usize)> {
+    (
+        6usize..24,
+        prop::collection::vec((0u32..24, 0u32..24, 1u32..20), 3..48),
+        prop::collection::vec((0u32..24, 0u32..24), 0..33),
+        1usize..=8,
+    )
+        .prop_map(|(n, edges, raw_pairs, workers)| {
+            let n = n.max(
+                edges
+                    .iter()
+                    .map(|(u, v, _)| (*u).max(*v) as usize + 1)
+                    .max()
+                    .unwrap_or(1),
+            );
+            let g = Graph::from_undirected_edges(n, edges);
+            // Clamp pairs into range; s == t and duplicates are kept on
+            // purpose — both are partition edge cases.
+            let pairs: Vec<(i64, i64)> = raw_pairs
+                .into_iter()
+                .map(|(s, t)| ((s as usize % n) as i64, (t as usize % n) as i64))
+                .collect();
+            (g, pairs, workers)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    #[test]
+    fn batch_matches_looped_single_queries((g, pairs, workers) in arb_case()) {
+        let svc = PathService::new(&g, workers).unwrap();
+        let batch = svc.query_batch(&pairs).unwrap();
+        prop_assert_eq!(batch.len(), pairs.len(), "one answer per input pair");
+
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let single = svc.query(s, t).unwrap().path;
+            match (&batch[i], &single) {
+                (Some(b), Some(o)) => {
+                    prop_assert_eq!(
+                        b.length, o.length,
+                        "pair {} ({}->{}) answered with a different distance \
+                         in the batch ({} workers)",
+                        i, s, t, workers
+                    );
+                    // The batch path is a real s→t walk of that length,
+                    // not just any number: endpoints and edge existence.
+                    prop_assert_eq!(b.nodes.first(), Some(&s));
+                    prop_assert_eq!(b.nodes.last(), Some(&t));
+                    let mut len = 0i64;
+                    for w in b.nodes.windows(2) {
+                        let arc = g.out_arcs(w[0] as u32).iter()
+                            .filter(|a| a.to == w[1] as u32)
+                            .map(|a| a.weight).min();
+                        prop_assert!(
+                            arc.is_some(),
+                            "batch path for pair {} uses missing edge {}->{}",
+                            i, w[0], w[1]
+                        );
+                        len += arc.unwrap() as i64;
+                    }
+                    prop_assert_eq!(len, b.length, "pair {}: walk length mismatch", i);
+                }
+                (None, None) => {}
+                (got, want) => prop_assert!(
+                    false,
+                    "pair {} ({}->{}): batch says {:?}, single query says {:?} \
+                     ({} workers, {} pairs)",
+                    i, s, t,
+                    got.as_ref().map(|p| p.length),
+                    want.as_ref().map(|p| p.length),
+                    workers, pairs.len()
+                ),
+            }
+        }
+
+        // Partitioning accounting: a batch of k pairs on w workers must
+        // dispatch exactly min(k, w) tiles, all of which executed.
+        if !pairs.is_empty() {
+            let tiles = pairs.len().min(workers) as u64;
+            let stats = svc.stats();
+            let batch_jobs = stats.total_executed() - pairs.len() as u64; // singles above
+            prop_assert_eq!(
+                batch_jobs, tiles,
+                "{} pairs on {} workers must dispatch {} tiles",
+                pairs.len(), workers, tiles
+            );
+        }
+    }
+}
