@@ -2,7 +2,7 @@
 //! B+tree operations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fempath_storage::{BTree, BufferPool};
+use fempath_storage::{BTree, BTreeBulkBuilder, BufferPool};
 use std::hint::black_box;
 
 fn bench_buffer_pool(c: &mut Criterion) {
@@ -86,5 +86,42 @@ fn bench_btree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_buffer_pool, bench_btree);
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(20);
+
+    // Row-at-a-time insertion of 10k sorted keys — the per-row INSERT
+    // baseline of the fig6-scaled experiment, at microbench scale.
+    group.bench_function("row_at_a_time_10k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::in_memory(512);
+            let mut t = BTree::create(&mut pool).unwrap();
+            for i in 0..10_000u64 {
+                t.insert(&mut pool, &i.to_be_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            black_box(t.len());
+        });
+    });
+
+    // Bottom-up bulk build of the same 10k keys: leaves are packed
+    // left-to-right and inner levels grown once, with no top-down splits.
+    group.bench_function("bottom_up_10k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::in_memory(512);
+            let mut t = BTree::create(&mut pool).unwrap();
+            let mut builder = BTreeBulkBuilder::for_tree(&t, &mut pool).unwrap();
+            for i in 0..10_000u64 {
+                builder
+                    .push(&mut pool, &i.to_be_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            t.bulk_finish(&mut pool, builder).unwrap();
+            black_box(t.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_pool, bench_btree, bench_bulk_load);
 criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! **Fig 6 scaled** — the million-node storage tier (DESIGN.md §14).
+//!
+//! Sweeps the Power family up to |V| = 1 M on a disk-resident database
+//! whose buffer pool is a small fraction of the data size, and records:
+//!
+//! * per-row INSERT load throughput (the pre-bulk-load baseline, small
+//!   sizes only — it is the thing being replaced),
+//! * bottom-up bulk-load throughput into clustered rows,
+//! * bulk-load throughput into delta-compressed adjacency segments,
+//! * on-disk size of the row vs segment representations,
+//! * peak buffer-pool occupancy and hit rate under BDJ queries, showing
+//!   the 2Q eviction policy holding the working set with the pool far
+//!   smaller than the data.
+
+use crate::harness::{print_table, query_pairs, secs, BenchConfig};
+use fempath_core::{BdjFinder, GraphDb, GraphDbOptions, ShortestPathFinder};
+use fempath_graph::{
+    generate, load_graph, load_graph_bulk, BulkLoadOptions, IndexKind, LoadOptions,
+};
+use fempath_sql::{Database, Result};
+use std::time::{Duration, Instant};
+
+const PAPER_SIZES: [usize; 2] = [100_000, 1_000_000];
+/// 4096 × 8 KiB = 32 MiB — deliberately a small fraction of the 1 M-node
+/// edge data so eviction is exercised, not dodged.
+const POOL_PAGES: usize = 4096;
+/// Per-row INSERT baselines above this size would dominate the run for a
+/// number that no longer moves; the ≥ 100 k acceptance point still gets one.
+const MAX_BASELINE_NODES: usize = 150_000;
+
+const PAGE_MB: f64 = 8.0 / 1024.0;
+
+fn rate(arcs: usize, elapsed: Duration) -> f64 {
+    arcs as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+pub fn run(cfg: &BenchConfig) -> Result<()> {
+    let mut rows = Vec::new();
+    for (i, &paper_n) in PAPER_SIZES.iter().enumerate() {
+        let n = cfg.nodes(paper_n, 1.0);
+        let g = generate::power_law(n, 3, 1..=100, cfg.seed + i as u64);
+        let arcs = g.num_arcs();
+
+        // Baseline: the per-row INSERT path the bulk loaders replace.
+        let insert_rate = if n <= MAX_BASELINE_NODES {
+            let mut db = Database::on_temp_file(POOL_PAGES)?;
+            let t0 = Instant::now();
+            load_graph(
+                &mut db,
+                &g,
+                &LoadOptions {
+                    edges_index: IndexKind::Clustered,
+                    with_nodes: true,
+                    batch_size: 1,
+                },
+            )?;
+            Some(rate(arcs, t0.elapsed()))
+        } else {
+            None
+        };
+
+        // Bottom-up bulk load into clustered rows.
+        let mut bulk_db = Database::on_temp_file(POOL_PAGES)?;
+        let t0 = Instant::now();
+        load_graph_bulk(&mut bulk_db, &g, &BulkLoadOptions::default())?;
+        let bulk_rate = rate(arcs, t0.elapsed());
+        let row_mb = bulk_db.data_pages() as f64 * PAGE_MB;
+        drop(bulk_db);
+
+        // Bulk load into delta-compressed adjacency segments, then query it.
+        let t0 = Instant::now();
+        let mut gdb = GraphDb::new(
+            &g,
+            &GraphDbOptions {
+                buffer_pages: POOL_PAGES,
+                on_disk: true,
+                bulk_load: true,
+                segmented_edges: true,
+                ..Default::default()
+            },
+        )?;
+        let seg_rate = rate(arcs, t0.elapsed());
+        let seg_mb = gdb.db.data_pages() as f64 * PAGE_MB;
+
+        // BDJ latency with the pool pinned far below the data size. Cap the
+        // query count at the top size: each query is a full bidirectional
+        // relational Dijkstra.
+        let q = if n > 200_000 {
+            cfg.queries.min(2)
+        } else {
+            cfg.queries
+        };
+        let pairs = query_pairs(n, q.max(1), cfg.seed + i as u64);
+        gdb.db.reset_io_stats();
+        let finder = BdjFinder::default();
+        let mut total = Duration::ZERO;
+        for &(s, t) in &pairs {
+            let t0 = Instant::now();
+            finder.find_path(&mut gdb, s, t)?;
+            total += t0.elapsed();
+        }
+        let io = gdb.db.io_stats();
+        let hit_rate = io.buffer_hits as f64 / (io.buffer_hits + io.buffer_misses).max(1) as f64;
+        let peak_mb = gdb.db.buffer_resident() as f64 * PAGE_MB;
+
+        rows.push(vec![
+            format!("{n}"),
+            format!("{arcs}"),
+            insert_rate.map_or("-".into(), |r| format!("{r:.0}")),
+            format!("{bulk_rate:.0}"),
+            insert_rate.map_or("-".into(), |r| format!("{:.1}x", bulk_rate / r)),
+            format!("{seg_rate:.0}"),
+            format!("{row_mb:.1}"),
+            format!("{seg_mb:.1}"),
+            format!("{:.1}", POOL_PAGES as f64 * PAGE_MB),
+            format!("{peak_mb:.1}"),
+            format!("{:.0}%", hit_rate * 100.0),
+            secs(total / pairs.len().max(1) as u32),
+        ]);
+        println!(
+            "[|V|={n}: 2Q evictions probationary={} promotions={} demotions={}]",
+            io.probationary_evictions, io.promotions, io.demotions
+        );
+    }
+    let header = [
+        "|V|", "arcs", "ins e/s", "bulk e/s", "bulk-x", "seg e/s", "row MB", "seg MB", "pool MB",
+        "peak MB", "hit%", "BDJ s",
+    ];
+    print_table(
+        "Fig 6 scaled: million-node load throughput and memory — per-row INSERT vs bottom-up bulk \
+         vs segment-compressed (Power, disk-resident, 32 MiB pool)",
+        &header,
+        &rows,
+    );
+    println!(
+        "expected shape: bulk ≥ 5x the INSERT baseline; segments shrink the edge table several-fold; \
+         peak pool occupancy stays capped at the pool size — a small fraction of the data"
+    );
+    Ok(())
+}

@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod batch;
 pub mod fig6;
+pub mod fig6_scaled;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
@@ -23,6 +24,7 @@ pub const ALL: &[&str] = &[
     "fig6b",
     "fig6c",
     "fig6d",
+    "fig6-scaled",
     "fig7a",
     "fig7b",
     "fig7c",
@@ -69,6 +71,7 @@ fn dispatch(id: &str, cfg: &BenchConfig) -> Result<()> {
         "fig6b" => fig6::fig6b(cfg),
         "fig6c" => fig6::fig6c(cfg),
         "fig6d" => fig6::fig6d(cfg),
+        "fig6-scaled" => fig6_scaled::run(cfg),
         "fig7a" => fig7::fig7a(cfg),
         "fig7b" => fig7::fig7b(cfg),
         "fig7c" => fig7::fig7c(cfg),

@@ -6,7 +6,7 @@
 
 use crate::landmarks::{LandmarkSelection, LandmarkStats};
 use crate::segtable::SegTableStats;
-use fempath_graph::{load_graph, Graph, IndexKind, LoadOptions};
+use fempath_graph::{load_graph, load_graph_bulk, BulkLoadOptions, Graph, IndexKind, LoadOptions};
 use fempath_sql::{Database, DbSnapshot, Dialect, Result, SqlError};
 
 /// The "infinity" distance constant (the paper's `Max` in Listing 4(2)).
@@ -30,6 +30,16 @@ pub struct GraphDbOptions {
     pub edges_index: IndexKind,
     /// Index strategy for `TVisited(nid)` — Fig 8(c).
     pub visited_index: IndexKind,
+    /// Load `TNodes`/`TEdges` through the bottom-up bulk loaders instead of
+    /// per-row SQL INSERT (DESIGN.md §14). Same catalog end-state, so plans
+    /// and query results are identical; only the build path changes.
+    pub bulk_load: bool,
+    /// Store `TEdges` as delta-compressed adjacency segments instead of
+    /// heap/clustered rows (DESIGN.md §14). Implies `bulk_load` (segments
+    /// can only be bulk-built) and makes `TEdges` read-only; `edges_index`
+    /// is ignored for the edge table because the segment tree *is* the
+    /// fid access path.
+    pub segmented_edges: bool,
 }
 
 impl Default for GraphDbOptions {
@@ -40,6 +50,8 @@ impl Default for GraphDbOptions {
             dialect: Dialect::DBMS_X,
             edges_index: IndexKind::Clustered,
             visited_index: IndexKind::Secondary,
+            bulk_load: false,
+            segmented_edges: false,
         }
     }
 }
@@ -83,15 +95,27 @@ impl GraphDb {
             Database::in_memory(opts.buffer_pages)
         };
         let mut db = db.with_dialect(opts.dialect);
-        load_graph(
-            &mut db,
-            graph,
-            &LoadOptions {
-                edges_index: opts.edges_index,
-                with_nodes: true,
-                batch_size: 256,
-            },
-        )?;
+        if opts.bulk_load || opts.segmented_edges {
+            load_graph_bulk(
+                &mut db,
+                graph,
+                &BulkLoadOptions {
+                    edges_index: opts.edges_index,
+                    with_nodes: true,
+                    segmented: opts.segmented_edges,
+                },
+            )?;
+        } else {
+            load_graph(
+                &mut db,
+                graph,
+                &LoadOptions {
+                    edges_index: opts.edges_index,
+                    with_nodes: true,
+                    batch_size: 256,
+                },
+            )?;
+        }
         Ok(GraphDb {
             db,
             num_nodes: graph.num_nodes(),

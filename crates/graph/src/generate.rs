@@ -99,8 +99,10 @@ pub fn dblp_like(n: usize, weights: RangeInclusive<u32>, seed: u64) -> Graph {
     // Zipf-ish author activity: low ids are prolific.
     let pick_author = |rng: &mut StdRng| -> u32 {
         let x: f64 = rng.gen_range(0.0f64..1.0);
-        // Quadratic skew toward small ids.
-        ((x * x) * n as f64) as u32 % n as u32
+        // Quadratic skew toward small ids. Reduce in usize before the u32
+        // narrowing: casting the product to u32 first would wrap for node
+        // counts past u32::MAX and skew the modulus.
+        (((x * x) * n as f64) as usize % n) as u32
     };
     let mut arcs = 0usize;
     while arcs < target_arcs {

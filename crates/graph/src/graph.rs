@@ -27,7 +27,9 @@ impl Graph {
     /// Builds a graph from directed arcs `(from, to, weight)`. Node ids must
     /// be `< num_nodes`. Self-loops are dropped; parallel arcs are kept.
     pub fn from_arcs(num_nodes: usize, arcs: impl IntoIterator<Item = (u32, u32, u32)>) -> Graph {
-        let mut per_node: Vec<u32> = vec![0; num_nodes];
+        // Degree counters are usize, not u32: a counter that wraps past
+        // ~4 B arcs would silently corrupt the CSR offsets.
+        let mut per_node: Vec<usize> = vec![0; num_nodes];
         let mut all: Vec<(u32, u32, u32)> = Vec::new();
         for (u, v, w) in arcs {
             debug_assert!((u as usize) < num_nodes && (v as usize) < num_nodes);
@@ -41,7 +43,7 @@ impl Graph {
         let mut acc = 0usize;
         offsets.push(0);
         for n in &per_node {
-            acc += *n as usize;
+            acc += *n;
             offsets.push(acc);
         }
         let mut cursor: Vec<usize> = offsets[..num_nodes].to_vec();
@@ -105,8 +107,12 @@ impl Graph {
 
     /// Iterates all arcs as `(from, to, weight)`.
     pub fn iter_arcs(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
-        (0..self.num_nodes as u32)
-            .flat_map(move |u| self.out_arcs(u).iter().map(move |a| (u, a.to, a.weight)))
+        // Range over usize — `num_nodes as u32` would silently truncate
+        // the iteration space for node counts past u32::MAX.
+        (0..self.num_nodes).flat_map(move |u| {
+            let u = u as u32;
+            self.out_arcs(u).iter().map(move |a| (u, a.to, a.weight))
+        })
     }
 
     /// Average out-degree.

@@ -30,9 +30,18 @@ pub fn read_arcs(path: impl AsRef<Path>) -> io::Result<Graph> {
             continue;
         }
         let mut it = line.split_whitespace();
+        // Parse ids as u64 first so an id past the u32 node-id space is a
+        // clear error instead of a generic parse failure.
         let parse = |s: Option<&str>| -> io::Result<u32> {
-            s.and_then(|x| x.parse().ok())
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad arc line"))
+            let wide: u64 = s
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad arc line"))?;
+            u32::try_from(wide).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("node id {wide} exceeds the supported u32 id space"),
+                )
+            })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -71,6 +80,20 @@ mod tests {
         let a: Vec<_> = g.iter_arcs().collect();
         let b: Vec<_> = g2.iter_arcs().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_node_ids_are_a_clear_error() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fempath-io-test3-{}.txt", std::process::id()));
+        std::fs::write(&path, format!("0 {} 1\n", u32::MAX as u64 + 1)).unwrap();
+        let err = read_arcs(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            err.to_string()
+                .contains("exceeds the supported u32 id space"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -18,4 +18,6 @@ pub mod io;
 pub mod loader;
 
 pub use graph::{Arc, Graph};
-pub use loader::{load_graph, IndexKind, LoadOptions};
+pub use loader::{
+    load_graph, load_graph_bulk, load_snap_file_bulk, BulkLoadOptions, IndexKind, LoadOptions,
+};

@@ -10,8 +10,9 @@
 use crate::ast::ColumnDef;
 use crate::error::{Result, SqlError};
 use fempath_storage::{
-    decode_row, encode_key, encode_row, encode_row_from_chunk, BTree, BTreeScanCursor, BufferPool,
-    Chunk, Column, DataType, HeapFile, HeapScanCursor, RecordId, Value,
+    decode_edge_segment, decode_edge_segment_with, decode_row, encode_key, encode_key_into,
+    encode_row, encode_row_from_chunk, encode_row_into, BTree, BTreeBulkBuilder, BTreeScanCursor,
+    BufferPool, Chunk, Column, DataType, HeapFile, HeapScanCursor, RecordId, SegmentWriter, Value,
 };
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
@@ -61,6 +62,19 @@ pub enum TableStorage {
         /// Monotonic uniquifier appended to non-unique clustering keys.
         next_uniquifier: u64,
     },
+    /// Read-only segment-compressed edge storage (DESIGN.md §14): runs of
+    /// `(fid, tid, cost)` rows delta-encoded into varint blobs, each blob a
+    /// single B+tree value keyed by `(last_fid, seq)`. Filled once via
+    /// [`Table::bulk_load_segments`]; DML statements are rejected.
+    Segmented {
+        tree: BTree,
+        /// Column positions usable as an ordered access path — always the
+        /// leading `fid` column for the 3-column edge schema.
+        key_cols: Vec<usize>,
+        /// Total edges across all segments (`tree.len()` counts segments,
+        /// not rows).
+        rows: u64,
+    },
 }
 
 /// A secondary index.
@@ -93,6 +107,10 @@ impl TableSchema {
 enum EqAccessPath {
     /// Prefix scan of the clustered tree with this encoded key prefix.
     ClusteredPrefix(Vec<u8>),
+    /// Ordered segment scan of segmented storage for this `fid`: start at
+    /// the first segment whose `last_fid` key reaches the probe, stop at
+    /// the first whose opening edge is past it.
+    SegmentedFid(i64),
     /// Row locators collected from a secondary index.
     Secondary(Vec<RowLoc>),
     /// No usable index — scan and filter.
@@ -111,6 +129,17 @@ fn eq_match(row: &[Value], cols: &[usize], key_vals: &[Value]) -> bool {
 pub enum TableBatchCursor {
     Heap(HeapScanCursor),
     Clustered(BTreeScanCursor),
+    Segmented(SegmentScanCursor),
+}
+
+/// Resume point of a batched scan over segmented storage: the key of the
+/// segment last touched plus how many of its edges were already emitted
+/// (a segment can straddle two batches when `max` lands inside it).
+#[derive(Default)]
+pub struct SegmentScanCursor {
+    cur_key: Option<Vec<u8>>,
+    skip: usize,
+    done: bool,
 }
 
 /// A table: schema + storage + indexes.
@@ -126,11 +155,37 @@ impl Table {
         matches!(self.storage, TableStorage::Clustered { .. })
     }
 
+    fn is_segmented(&self) -> bool {
+        matches!(self.storage, TableStorage::Segmented { .. })
+    }
+
+    /// Columns that give this table an *ordered* physical access path: the
+    /// clustering key of an index-organised table, or the leading `fid`
+    /// column of segmented edge storage. `None` for plain heaps. Planner
+    /// code uses this instead of matching [`TableStorage`] directly so both
+    /// ordered storages pick up index-driven plans.
+    pub fn clustered_key_cols(&self) -> Option<&[usize]> {
+        match &self.storage {
+            TableStorage::Clustered { key_cols, .. } | TableStorage::Segmented { key_cols, .. } => {
+                Some(key_cols)
+            }
+            TableStorage::Heap(_) => None,
+        }
+    }
+
+    fn read_only_err(&self) -> SqlError {
+        SqlError::Eval(format!(
+            "table {} is segment-compressed and read-only",
+            self.schema.name
+        ))
+    }
+
     /// Number of rows.
     pub fn len(&self) -> u64 {
         match &self.storage {
             TableStorage::Heap(h) => h.len(),
             TableStorage::Clustered { tree, .. } => tree.len(),
+            TableStorage::Segmented { rows, .. } => *rows,
         }
     }
 
@@ -172,6 +227,9 @@ impl Table {
 
     /// Inserts a (already coerced) row, maintaining all indexes.
     pub fn insert_row(&mut self, pool: &mut BufferPool, row: &[Value]) -> Result<RowLoc> {
+        if self.is_segmented() {
+            return Err(self.read_only_err());
+        }
         let bytes = encode_row(row);
         let loc = match &mut self.storage {
             TableStorage::Heap(h) => RowLoc::Heap(h.insert(pool, &bytes)?),
@@ -197,6 +255,7 @@ impl Table {
                 tree.insert(pool, &key, &bytes)?;
                 RowLoc::Clustered(key)
             }
+            TableStorage::Segmented { .. } => unreachable!("guarded above"),
         };
         // Maintain secondary indexes; roll back is not attempted (single
         // writer, errors abort the statement).
@@ -232,6 +291,9 @@ impl Table {
     /// Deletes the row at `loc` (the caller supplies the decoded row so
     /// index entries can be located without a re-read).
     pub fn delete_row(&mut self, pool: &mut BufferPool, loc: &RowLoc, row: &[Value]) -> Result<()> {
+        if self.is_segmented() {
+            return Err(self.read_only_err());
+        }
         match (&mut self.storage, loc) {
             (TableStorage::Heap(h), RowLoc::Heap(rid)) => h.delete(pool, *rid)?,
             (TableStorage::Clustered { tree, .. }, RowLoc::Clustered(k)) => {
@@ -263,6 +325,9 @@ impl Table {
         old_row: &[Value],
         new_row: &[Value],
     ) -> Result<RowLoc> {
+        if self.is_segmented() {
+            return Err(self.read_only_err());
+        }
         let bytes = encode_row(new_row);
         let new_loc = match (&mut self.storage, loc) {
             (TableStorage::Heap(h), RowLoc::Heap(rid)) => {
@@ -369,6 +434,32 @@ impl Table {
                     return Err(e.into());
                 }
             }
+            TableStorage::Segmented { tree, .. } => {
+                // Decode each segment in key order; edges come out sorted
+                // by (fid, tid, cost). Rows of one segment share its key
+                // as a (non-unique) locator — fine for reads, and DML on
+                // segmented tables is rejected before locators matter.
+                let mut decode_err = None;
+                tree.scan_range(pool, Bound::Unbounded, Bound::Unbounded, |k, v| {
+                    let mut go = true;
+                    let res = decode_edge_segment_with(v, |ef, et, ec| {
+                        if go {
+                            go = f(
+                                RowLoc::Clustered(k.to_vec()),
+                                vec![Value::Int(ef), Value::Int(et), Value::Int(ec)],
+                            );
+                        }
+                    });
+                    if let Err(e) = res {
+                        decode_err = Some(e);
+                        return false;
+                    }
+                    go
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+            }
         }
         Ok(())
     }
@@ -383,6 +474,9 @@ impl Table {
                     .ok_or_else(|| SqlError::Eval("dangling clustered locator".into()))?;
                 Ok(decode_row(&bytes)?)
             }
+            (TableStorage::Segmented { .. }, _) => Err(SqlError::Eval(
+                "segmented storage has no per-row locators".into(),
+            )),
             _ => Err(SqlError::Eval(
                 "row locator does not match table storage".into(),
             )),
@@ -418,6 +512,43 @@ impl Table {
                         decode_err = Some(e);
                         false
                     }
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+                Ok(true)
+            }
+            EqAccessPath::SegmentedFid(fid) => {
+                let TableStorage::Segmented { tree, .. } = &self.storage else {
+                    unreachable!("segmented path implies segmented storage");
+                };
+                let lo = encode_key(&[Value::Int(fid)])?;
+                let mut decode_err = None;
+                tree.scan_range(pool, Bound::Included(&lo), Bound::Unbounded, |k, v| {
+                    let edges = match decode_edge_segment(v) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            decode_err = Some(e);
+                            return false;
+                        }
+                    };
+                    // Segments are keyed by last fid, so the run holding
+                    // `fid` starts here; stop at the first segment that
+                    // opens past it.
+                    if edges.first().is_some_and(|e| e.0 > fid) {
+                        return false;
+                    }
+                    for (ef, et, ec) in edges {
+                        if ef == fid
+                            && !f(
+                                RowLoc::Clustered(k.to_vec()),
+                                vec![Value::Int(ef), Value::Int(et), Value::Int(ec)],
+                            )
+                        {
+                            return false;
+                        }
+                    }
+                    true
                 })?;
                 if let Some(e) = decode_err {
                     return Err(e.into());
@@ -481,6 +612,51 @@ impl Table {
                 }
                 Ok(true)
             }
+            EqAccessPath::SegmentedFid(fid) => {
+                // The FEM expansion hot path: decode matching edges
+                // straight into the chunk's int columns, no Vec<Value>
+                // per row.
+                let TableStorage::Segmented { tree, .. } = &self.storage else {
+                    unreachable!("segmented path implies segmented storage");
+                };
+                if chunk.is_empty() && chunk.width() != 3 {
+                    chunk.set_width(3);
+                }
+                if chunk.width() != 3 {
+                    return Err(SqlError::Eval(
+                        "segmented probe chunk must be 3 columns wide".into(),
+                    ));
+                }
+                let lo = encode_key(&[Value::Int(fid)])?;
+                let mut decode_err = None;
+                tree.scan_range(pool, Bound::Included(&lo), Bound::Unbounded, |_, v| {
+                    let mut past = false;
+                    let mut first = true;
+                    let res = decode_edge_segment_with(v, |ef, et, ec| {
+                        if first {
+                            first = false;
+                            if ef > fid {
+                                past = true;
+                            }
+                        }
+                        if ef == fid {
+                            chunk.col_mut(0).push_int(ef);
+                            chunk.col_mut(1).push_int(et);
+                            chunk.col_mut(2).push_int(ec);
+                            chunk.commit_row();
+                        }
+                    });
+                    if let Err(e) = res {
+                        decode_err = Some(e);
+                        return false;
+                    }
+                    !past
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+                Ok(true)
+            }
             EqAccessPath::Secondary(locs) => {
                 for loc in locs {
                     match (&self.storage, &loc) {
@@ -536,6 +712,16 @@ impl Table {
                 return Ok(EqAccessPath::ClusteredPrefix(encode_key(key_vals)?));
             }
         }
+        if let TableStorage::Segmented { key_cols, .. } = &self.storage {
+            if cols == &key_cols[..] {
+                return Ok(match key_vals[0].as_i64() {
+                    Some(fid) => EqAccessPath::SegmentedFid(fid),
+                    // A non-integral probe can never equal an INT fid
+                    // (and NULLs never match): indexed empty result.
+                    None => EqAccessPath::Secondary(Vec::new()),
+                });
+            }
+        }
         let clustered = self.is_clustered();
         if let Some(idx) = self
             .indexes
@@ -577,6 +763,9 @@ impl Table {
             TableStorage::Clustered { tree, .. } => {
                 TableBatchCursor::Clustered(tree.batch_cursor(pool)?)
             }
+            TableStorage::Segmented { .. } => {
+                TableBatchCursor::Segmented(SegmentScanCursor::default())
+            }
         })
     }
 
@@ -611,6 +800,80 @@ impl Table {
                 }
                 None => Ok(c.next_batch(pool, chunk, None, max)?),
             },
+            (TableStorage::Segmented { tree, .. }, TableBatchCursor::Segmented(c)) => {
+                if locs.is_some() {
+                    return Err(SqlError::Eval(
+                        "segmented storage has no per-row locators".into(),
+                    ));
+                }
+                if c.done {
+                    return Ok(false);
+                }
+                if chunk.is_empty() && chunk.width() != 3 {
+                    chunk.set_width(3);
+                }
+                if chunk.width() != 3 {
+                    return Err(SqlError::Eval(
+                        "segmented scan chunk must be 3 columns wide".into(),
+                    ));
+                }
+                let lo_key = c.cur_key.clone();
+                let lo = match &lo_key {
+                    None => Bound::Unbounded,
+                    // Mid-segment resume re-reads the same segment and
+                    // skips the edges already emitted.
+                    Some(k) if c.skip > 0 => Bound::Included(k.as_slice()),
+                    Some(k) => Bound::Excluded(k.as_slice()),
+                };
+                let mut skip = c.skip;
+                let mut added = 0usize;
+                let mut new_pos: Option<(Vec<u8>, usize)> = None;
+                let mut stopped_early = false;
+                let mut decode_err = None;
+                tree.scan_range(pool, lo, Bound::Unbounded, |k, v| {
+                    if added >= max {
+                        stopped_early = true;
+                        return false;
+                    }
+                    let edges = match decode_edge_segment(v) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            decode_err = Some(e);
+                            return false;
+                        }
+                    };
+                    let offset = skip.min(edges.len());
+                    let take = (edges.len() - offset).min(max - added);
+                    for &(ef, et, ec) in &edges[offset..offset + take] {
+                        chunk.col_mut(0).push_int(ef);
+                        chunk.col_mut(1).push_int(et);
+                        chunk.col_mut(2).push_int(ec);
+                        chunk.commit_row();
+                    }
+                    added += take;
+                    skip = 0;
+                    let consumed = offset + take;
+                    if consumed < edges.len() {
+                        new_pos = Some((k.to_vec(), consumed));
+                        stopped_early = true;
+                        false
+                    } else {
+                        new_pos = Some((k.to_vec(), 0));
+                        true
+                    }
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+                if let Some((k, s)) = new_pos {
+                    c.cur_key = Some(k);
+                    c.skip = s;
+                }
+                if !stopped_early {
+                    c.done = true;
+                }
+                Ok(!c.done)
+            }
             _ => Err(SqlError::Eval("cursor does not match table storage".into())),
         }
     }
@@ -692,6 +955,9 @@ impl Table {
         if chunk.is_empty() {
             return Ok(0);
         }
+        if self.is_segmented() {
+            return Err(self.read_only_err());
+        }
         let n = chunk.len();
         if self.is_clustered() {
             // Clustered storage inserts are per-key tree descents anyway;
@@ -733,7 +999,7 @@ impl Table {
         }
         let rids = match &mut self.storage {
             TableStorage::Heap(h) => h.insert_batch(pool, &encoded)?,
-            TableStorage::Clustered { .. } => unreachable!("handled above"),
+            _ => unreachable!("handled above"),
         };
         // Index maintenance: sorted batches per index.
         for idx in &mut self.indexes {
@@ -766,6 +1032,9 @@ impl Table {
     ) -> Result<()> {
         if pending.is_empty() {
             return Ok(());
+        }
+        if self.is_segmented() {
+            return Err(self.read_only_err());
         }
         if self.is_clustered() {
             for (loc, old, new) in pending {
@@ -823,7 +1092,7 @@ impl Table {
             .collect::<Result<_>>()?;
         let new_rids = match &mut self.storage {
             TableStorage::Heap(h) => h.update_batch(pool, &items)?,
-            TableStorage::Clustered { .. } => unreachable!("handled above"),
+            _ => unreachable!("handled above"),
         };
         if enc_err.is_some() {
             fixups.push(partial);
@@ -893,6 +1162,9 @@ impl Table {
         if rows.is_empty() {
             return Ok(());
         }
+        if self.is_segmented() {
+            return Err(self.read_only_err());
+        }
         if self.is_clustered() {
             for (loc, row) in rows {
                 self.delete_row(pool, loc, row)?;
@@ -910,7 +1182,7 @@ impl Table {
             .collect::<Result<_>>()?;
         match &mut self.storage {
             TableStorage::Heap(h) => h.delete_batch(pool, &rids)?,
-            TableStorage::Clustered { .. } => unreachable!("handled above"),
+            _ => unreachable!("handled above"),
         }
         for (loc, row) in rows {
             for idx in &mut self.indexes {
@@ -928,7 +1200,7 @@ impl Table {
     /// True when the table has an access path (clustered or secondary) whose
     /// leading columns are exactly `cols`.
     pub fn has_index_on(&self, cols: &[usize]) -> bool {
-        if let TableStorage::Clustered { key_cols, .. } = &self.storage {
+        if let Some(key_cols) = self.clustered_key_cols() {
             if cols.len() <= key_cols.len() && cols == &key_cols[..cols.len()] {
                 return true;
             }
@@ -943,11 +1215,242 @@ impl Table {
         match &mut self.storage {
             TableStorage::Heap(h) => h.truncate(pool)?,
             TableStorage::Clustered { tree, .. } => tree.clear(pool)?,
+            TableStorage::Segmented { tree, rows, .. } => {
+                tree.clear(pool)?;
+                *rows = 0;
+            }
         }
         for idx in &mut self.indexes {
             idx.tree.clear(pool)?;
         }
         Ok(())
+    }
+
+    /// Fills an empty segmented table from edges sorted by `(fid, tid,
+    /// cost)`: packs them into delta-encoded varint segments
+    /// ([`SegmentWriter`]) and bulk-builds the B+tree bottom-up — no
+    /// per-key root-to-leaf descents. Errors if the table is not
+    /// segmented, already loaded, or the input is out of order.
+    pub fn bulk_load_segments(
+        &mut self,
+        pool: &mut BufferPool,
+        edges: impl IntoIterator<Item = (i64, i64, i64)>,
+    ) -> Result<u64> {
+        let TableStorage::Segmented { tree, rows, .. } = &mut self.storage else {
+            return Err(SqlError::Eval(format!(
+                "table {} is not segment-compressed",
+                self.schema.name
+            )));
+        };
+        if *rows != 0 || !tree.is_empty() {
+            return Err(SqlError::Eval(format!(
+                "segmented table {} is already loaded",
+                self.schema.name
+            )));
+        }
+        // Segment keys are (last fid, sequence number): the sequence keeps
+        // keys unique, and keying by *last* fid means an equality probe can
+        // start at the first segment whose key reaches the probe fid even
+        // when that fid's run begins inside an earlier-starting segment.
+        let mut segs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut seq = 0u64;
+        let mut total = 0u64;
+        let mut prev: Option<(i64, i64, i64)> = None;
+        {
+            let mut w = SegmentWriter::new(|_first, last, blob| {
+                let mut key = encode_key(&[Value::Int(last)])?;
+                key.extend_from_slice(&seq.to_be_bytes());
+                seq += 1;
+                segs.push((key, blob));
+                Ok(())
+            });
+            for e in edges {
+                if prev.is_some_and(|p| p > e) {
+                    return Err(SqlError::Eval(format!(
+                        "bulk load into {} requires (fid, tid, cost) order",
+                        self.schema.name
+                    )));
+                }
+                prev = Some(e);
+                total += 1;
+                w.push(e.0, e.1, e.2)?;
+            }
+            w.flush()?;
+        }
+        let TableStorage::Segmented { tree, rows, .. } = &mut self.storage else {
+            unreachable!("checked above");
+        };
+        tree.bulk_build(pool, segs)?;
+        *rows = total;
+        Ok(total)
+    }
+
+    /// Bulk-loads an empty table (and its empty indexes) from pre-coerced
+    /// rows: base storage gets page-packing batch writes (heap) or a
+    /// bottom-up build (clustered), and every index tree is bulk-built
+    /// bottom-up from sorted entries — bypassing per-row descents
+    /// entirely. Unique violations surface as [`SqlError::DuplicateKey`]
+    /// before anything is written.
+    pub fn bulk_load_rows(
+        &mut self,
+        pool: &mut BufferPool,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<u64> {
+        if self.is_segmented() {
+            return Err(SqlError::Eval(format!(
+                "table {} is segment-compressed; use bulk_load_segments",
+                self.schema.name
+            )));
+        }
+        if !self.is_empty() || self.indexes.iter().any(|i| !i.tree.is_empty()) {
+            return Err(SqlError::Eval(format!(
+                "bulk load requires empty table {}",
+                self.schema.name
+            )));
+        }
+        let rows: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|r| self.coerce_row(r))
+            .collect::<Result<_>>()?;
+        let n = rows.len() as u64;
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        // Unique violations (within the batch — the table is empty) are
+        // detected before anything is written.
+        for idx in self.indexes.iter().filter(|i| i.unique) {
+            let mut keyed: Vec<(Vec<u8>, usize)> = rows
+                .iter()
+                .enumerate()
+                .map(|(r, row)| {
+                    encode_key(&idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>())
+                        .map(|k| (k, r))
+                })
+                .collect::<std::result::Result<_, _>>()?;
+            keyed.sort_unstable();
+            if let Some(w) = keyed.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(SqlError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: format_key(&rows[w[1].1], &idx.cols),
+                });
+            }
+        }
+        // Resolve every row's locator with one batch write of the base
+        // storage.
+        let locs: Vec<RowLoc> = match &mut self.storage {
+            TableStorage::Heap(h) => {
+                let encoded: Vec<Vec<u8>> = rows.iter().map(|r| encode_row(r)).collect();
+                h.insert_batch(pool, &encoded)?
+                    .into_iter()
+                    .map(RowLoc::Heap)
+                    .collect()
+            }
+            TableStorage::Clustered {
+                tree,
+                key_cols,
+                unique,
+                next_uniquifier,
+            } => {
+                // Encodes one row's clustering-key prefix into `out`
+                // (cleared first).
+                let key_prefix = |row: &[Value], out: &mut Vec<u8>| -> Result<()> {
+                    out.clear();
+                    for &c in key_cols.iter() {
+                        encode_key_into(out, &row[c])?;
+                    }
+                    Ok(())
+                };
+                // Non-decreasing key prefixes plus the monotone uniquifier
+                // give strictly increasing full keys, so key-sorted input
+                // (the CSR edge stream) can skip the sort below.
+                let mut sorted_input = !*unique;
+                if sorted_input {
+                    let mut prev = Vec::new();
+                    let mut cur = Vec::new();
+                    for row in &rows {
+                        key_prefix(row, &mut cur)?;
+                        if cur < prev {
+                            sorted_input = false;
+                            break;
+                        }
+                        std::mem::swap(&mut prev, &mut cur);
+                    }
+                }
+                if sorted_input && self.indexes.is_empty() {
+                    // No locators needed and no sort: stream straight into
+                    // the bottom-up builder with two reusable buffers —
+                    // zero per-row allocations on the million-edge path.
+                    let mut b = BTreeBulkBuilder::for_tree(tree, pool)?;
+                    let mut key = Vec::new();
+                    let mut val = Vec::new();
+                    for row in &rows {
+                        key_prefix(row, &mut key)?;
+                        key.extend_from_slice(&next_uniquifier.to_be_bytes());
+                        *next_uniquifier += 1;
+                        encode_row_into(&mut val, row);
+                        b.push(pool, &key, &val)?;
+                    }
+                    tree.bulk_finish(pool, b)?;
+                    Vec::new()
+                } else {
+                    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(rows.len());
+                    for row in &rows {
+                        let mut key = Vec::with_capacity(17);
+                        key_prefix(row, &mut key)?;
+                        if !*unique {
+                            key.extend_from_slice(&next_uniquifier.to_be_bytes());
+                            *next_uniquifier += 1;
+                        }
+                        entries.push((key, encode_row(row)));
+                    }
+                    // Sort indirectly so duplicate-key errors can name the
+                    // offending row's values.
+                    let mut order: Vec<usize> = (0..entries.len()).collect();
+                    if !sorted_input {
+                        order.sort_by(|&a, &b| entries[a].0.cmp(&entries[b].0));
+                    }
+                    if *unique {
+                        if let Some(w) = order
+                            .windows(2)
+                            .find(|w| entries[w[0]].0 == entries[w[1]].0)
+                        {
+                            return Err(SqlError::DuplicateKey {
+                                table: self.schema.name.clone(),
+                                key: format_key(&rows[w[1]], key_cols),
+                            });
+                        }
+                    }
+                    let locs: Vec<RowLoc> = entries
+                        .iter()
+                        .map(|(k, _)| RowLoc::Clustered(k.clone()))
+                        .collect();
+                    let sorted: Vec<(Vec<u8>, Vec<u8>)> = order
+                        .iter()
+                        .map(|&i| std::mem::take(&mut entries[i]))
+                        .collect();
+                    tree.bulk_build(pool, sorted)?;
+                    locs
+                }
+            }
+            TableStorage::Segmented { .. } => unreachable!("guarded above"),
+        };
+        // Every index: sorted entries, bottom-up build.
+        for idx in &mut self.indexes {
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(rows.len());
+            for (row, loc) in rows.iter().zip(&locs) {
+                let mut key =
+                    encode_key(&idx.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>())?;
+                if idx.unique {
+                    entries.push((key, loc.to_bytes()));
+                } else {
+                    key.extend_from_slice(&loc.to_bytes());
+                    entries.push((key, Vec::new()));
+                }
+            }
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            idx.tree.bulk_build(pool, entries)?;
+        }
+        Ok(n)
     }
 }
 
@@ -1038,13 +1541,51 @@ impl Catalog {
         Ok(())
     }
 
+    /// Creates a read-only segment-compressed edge table (DESIGN.md §14).
+    /// The schema must be exactly three INT columns — `(fid, tid, cost)`
+    /// shaped — with the first column doubling as the ordered access path.
+    /// Fill it with [`Table::bulk_load_segments`].
+    pub fn create_segmented_table(
+        &mut self,
+        pool: &mut BufferPool,
+        name: &str,
+        columns: Vec<ColumnDef>,
+    ) -> Result<()> {
+        let key = Self::key(name);
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(SqlError::Catalog(format!("table {name} already exists")));
+        }
+        if columns.len() != 3 || columns.iter().any(|c| !matches!(c.dtype, DataType::Int)) {
+            return Err(SqlError::Catalog(format!(
+                "segmented table {name} requires exactly three INT columns"
+            )));
+        }
+        let table = Table {
+            schema: TableSchema {
+                name: name.to_string(),
+                columns,
+            },
+            storage: TableStorage::Segmented {
+                tree: BTree::create(pool)?,
+                key_cols: vec![0],
+                rows: 0,
+            },
+            indexes: Vec::new(),
+        };
+        self.tables.insert(key, table);
+        self.version += 1;
+        Ok(())
+    }
+
     pub fn drop_table(&mut self, pool: &mut BufferPool, name: &str, if_exists: bool) -> Result<()> {
         let key = Self::key(name);
         match self.tables.remove(&key) {
             Some(table) => {
                 match table.storage {
                     TableStorage::Heap(_) => { /* heap pages stay with the pool */ }
-                    TableStorage::Clustered { tree, .. } => tree.destroy(pool)?,
+                    TableStorage::Clustered { tree, .. } | TableStorage::Segmented { tree, .. } => {
+                        tree.destroy(pool)?
+                    }
                 }
                 for idx in table.indexes {
                     idx.tree.destroy(pool)?;
@@ -1118,6 +1659,14 @@ impl Catalog {
             .ok_or_else(|| SqlError::Catalog(format!("no such table {}", stmt.table)))?;
         let cols = resolve_cols(&table.schema, &stmt.columns)?;
 
+        if table.is_segmented() {
+            // Segment rows have no per-row locators for a secondary index
+            // to point at, and the fid access path already exists.
+            return Err(SqlError::Catalog(format!(
+                "table {} is segment-compressed and cannot be indexed",
+                stmt.table
+            )));
+        }
         if stmt.clustered {
             if table.is_clustered() {
                 return Err(SqlError::Catalog(format!(
@@ -1498,6 +2047,258 @@ mod tests {
         assert!(!cat.has_table("tedges"));
         assert!(cat.drop_table(&mut pool, "tedges", false).is_err());
         cat.drop_table(&mut pool, "tedges", true).unwrap();
+    }
+
+    fn edge_cols() -> Vec<ColumnDef> {
+        ["fid", "tid", "cost"]
+            .iter()
+            .map(|n| ColumnDef {
+                name: (*n).into(),
+                dtype: DataType::Int,
+            })
+            .collect()
+    }
+
+    /// 600 edges for fid 7 forces its run across multiple segments, and
+    /// fids sharing segments with neighbours exercise the last-fid keying.
+    fn segmented_fixture(pool: &mut BufferPool, cat: &mut Catalog) -> Vec<(i64, i64, i64)> {
+        cat.create_segmented_table(pool, "TSeg", edge_cols())
+            .unwrap();
+        let mut edges: Vec<(i64, i64, i64)> = Vec::new();
+        for f in 0..40i64 {
+            let fanout = if f == 7 { 600 } else { 20 };
+            for t in 0..fanout {
+                edges.push((f, t, 1 + (f + t) % 9));
+            }
+        }
+        let t = cat.table_mut("TSeg").unwrap();
+        let n = t.bulk_load_segments(pool, edges.iter().copied()).unwrap();
+        assert_eq!(n, edges.len() as u64);
+        edges
+    }
+
+    #[test]
+    fn segmented_scan_and_len_match_input() {
+        let (mut pool, mut cat) = setup();
+        let edges = segmented_fixture(&mut pool, &mut cat);
+        let t = cat.table("TSeg").unwrap();
+        assert_eq!(t.len(), edges.len() as u64);
+        let mut seen = Vec::new();
+        t.scan(&mut pool, |_, r| {
+            seen.push((
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            ));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, edges);
+    }
+
+    #[test]
+    fn segmented_lookup_eq_spans_segments() {
+        let (mut pool, mut cat) = setup();
+        let edges = segmented_fixture(&mut pool, &mut cat);
+        let t = cat.table("TSeg").unwrap();
+        for probe in [0i64, 6, 7, 8, 39, 40, -1] {
+            let expect: Vec<(i64, i64, i64)> =
+                edges.iter().copied().filter(|e| e.0 == probe).collect();
+            let mut got = Vec::new();
+            let used = t
+                .lookup_eq(&mut pool, &[0], &[Value::Int(probe)], |_, r| {
+                    got.push((
+                        r[0].as_i64().unwrap(),
+                        r[1].as_i64().unwrap(),
+                        r[2].as_i64().unwrap(),
+                    ));
+                    true
+                })
+                .unwrap();
+            assert!(used, "fid probe must use the segment path");
+            assert_eq!(got, expect, "probe fid={probe}");
+            // Chunk probe agrees with the row probe.
+            let mut chunk = Chunk::with_width(3);
+            assert!(t
+                .lookup_eq_chunk(&mut pool, &[0], &[Value::Int(probe)], &mut chunk)
+                .unwrap());
+            let chunk_rows: Vec<(i64, i64, i64)> = (0..chunk.len())
+                .map(|r| {
+                    (
+                        chunk.get(0, r).as_i64().unwrap(),
+                        chunk.get(1, r).as_i64().unwrap(),
+                        chunk.get(2, r).as_i64().unwrap(),
+                    )
+                })
+                .collect();
+            assert_eq!(chunk_rows, expect, "chunk probe fid={probe}");
+        }
+    }
+
+    #[test]
+    fn segmented_batch_cursor_resumes_mid_segment() {
+        let (mut pool, mut cat) = setup();
+        let edges = segmented_fixture(&mut pool, &mut cat);
+        let t = cat.table("TSeg").unwrap();
+        // A max far smaller than one segment forces mid-segment resumes.
+        for max in [7usize, 256, 1024] {
+            let mut cursor = t.batch_cursor(&mut pool).unwrap();
+            let mut seen = Vec::new();
+            loop {
+                let mut chunk = Chunk::with_width(3);
+                let more = t
+                    .next_batch(&mut pool, &mut cursor, &mut chunk, None, max)
+                    .unwrap();
+                for r in 0..chunk.len() {
+                    seen.push((
+                        chunk.get(0, r).as_i64().unwrap(),
+                        chunk.get(1, r).as_i64().unwrap(),
+                        chunk.get(2, r).as_i64().unwrap(),
+                    ));
+                }
+                if !more {
+                    break;
+                }
+            }
+            assert_eq!(seen, edges, "batched scan with max={max}");
+        }
+    }
+
+    #[test]
+    fn segmented_rejects_dml_and_indexing() {
+        let (mut pool, mut cat) = setup();
+        segmented_fixture(&mut pool, &mut cat);
+        {
+            let t = cat.table_mut("TSeg").unwrap();
+            assert!(t.insert_row(&mut pool, &row(1, 2, 3)).is_err());
+            let loc = RowLoc::Heap(RecordId::from_u64(0));
+            assert!(t.delete_row(&mut pool, &loc, &row(1, 2, 3)).is_err());
+            assert!(t
+                .update_row(&mut pool, &loc, &row(1, 2, 3), &row(4, 5, 6))
+                .is_err());
+            let chunk = chunk_of(&[(1, 2, 3)]);
+            assert!(t.insert_chunk(&mut pool, &chunk).is_err());
+            // Double bulk load is rejected.
+            assert!(t.bulk_load_segments(&mut pool, [(0, 0, 1)]).is_err());
+            // Unsorted input is rejected.
+        }
+        cat.create_segmented_table(&mut pool, "TSeg2", edge_cols())
+            .unwrap();
+        assert!(cat
+            .table_mut("TSeg2")
+            .unwrap()
+            .bulk_load_segments(&mut pool, [(5, 0, 1), (4, 0, 1)])
+            .is_err());
+        // No secondary or clustered indexes on segmented tables.
+        assert!(cat
+            .create_index(
+                &mut pool,
+                &CreateIndex {
+                    name: "idx_seg".into(),
+                    table: "TSeg".into(),
+                    columns: vec!["fid".into()],
+                    unique: false,
+                    clustered: false,
+                },
+            )
+            .is_err());
+        // TRUNCATE and DROP still work.
+        cat.table_mut("TSeg").unwrap().truncate(&mut pool).unwrap();
+        assert!(cat.table("TSeg").unwrap().is_empty());
+        cat.drop_table(&mut pool, "TSeg", false).unwrap();
+    }
+
+    fn chunk_of(edges: &[(i64, i64, i64)]) -> Chunk {
+        let mut c = Chunk::with_width(3);
+        for &(f, t, w) in edges {
+            c.push_row(&[Value::Int(f), Value::Int(t), Value::Int(w)]);
+        }
+        c
+    }
+
+    #[test]
+    fn bulk_load_rows_matches_insert_path_heap_with_index() {
+        let (mut pool, mut cat) = setup();
+        cat.create_index(
+            &mut pool,
+            &CreateIndex {
+                name: "idx_fid".into(),
+                table: "TEdges".into(),
+                columns: vec!["fid".into()],
+                unique: false,
+                clustered: false,
+            },
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..500).map(|i| row(i / 5, i % 97, 1 + i % 7)).collect();
+        let t = cat.table_mut("TEdges").unwrap();
+        let n = t.bulk_load_rows(&mut pool, rows.clone()).unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(t.len(), 500);
+        // Index probes return exactly the matching rows.
+        let mut hits = Vec::new();
+        let used = t
+            .lookup_eq(&mut pool, &[0], &[Value::Int(3)], |_, r| {
+                hits.push(r);
+                true
+            })
+            .unwrap();
+        assert!(used);
+        assert_eq!(hits.len(), 5);
+        // A second bulk load into the now non-empty table is rejected.
+        assert!(t.bulk_load_rows(&mut pool, rows).is_err());
+    }
+
+    #[test]
+    fn bulk_load_rows_clustered_and_unique_violations() {
+        let (mut pool, mut cat) = setup();
+        cat.create_index(
+            &mut pool,
+            &CreateIndex {
+                name: "clu_fid".into(),
+                table: "TEdges".into(),
+                columns: vec!["fid".into()],
+                unique: false,
+                clustered: true,
+            },
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..300).map(|i| row(i % 30, i, 1)).collect();
+        let t = cat.table_mut("TEdges").unwrap();
+        t.bulk_load_rows(&mut pool, rows).unwrap();
+        assert_eq!(t.len(), 300);
+        let mut hits = 0;
+        t.lookup_eq(&mut pool, &[0], &[Value::Int(4)], |_, _| {
+            hits += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(hits, 10);
+        // Later per-row inserts coexist with the bulk-built tree.
+        t.insert_row(&mut pool, &row(4, 999, 1)).unwrap();
+        assert_eq!(t.len(), 301);
+
+        // Unique PK violation inside the batch is caught up front.
+        cat.create_table(
+            &mut pool,
+            "TNodes",
+            vec![ColumnDef {
+                name: "nid".into(),
+                dtype: DataType::Int,
+            }],
+            Some(vec!["nid".into()]),
+        )
+        .unwrap();
+        let tn = cat.table_mut("TNodes").unwrap();
+        let err = tn.bulk_load_rows(
+            &mut pool,
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(1)],
+            ],
+        );
+        assert!(matches!(err, Err(SqlError::DuplicateKey { .. })));
     }
 
     #[test]

@@ -823,6 +823,42 @@ impl Database {
         }
     }
 
+    /// Creates a read-only segment-compressed edge table (see
+    /// [`crate::catalog::Catalog::create_segmented_table`]); fill it with
+    /// [`Database::bulk_load_segments`].
+    pub fn create_segmented_table(
+        &mut self,
+        name: &str,
+        columns: Vec<crate::ast::ColumnDef>,
+    ) -> Result<()> {
+        self.catalog
+            .create_segmented_table(&mut self.pool, name, columns)
+    }
+
+    /// Bulk-fills an empty segmented table from `(fid, tid, cost)` edges
+    /// sorted ascending — delta-encoded segments, bottom-up tree build.
+    pub fn bulk_load_segments(
+        &mut self,
+        table: &str,
+        edges: impl IntoIterator<Item = (i64, i64, i64)>,
+    ) -> Result<u64> {
+        self.catalog
+            .table_mut(table)?
+            .bulk_load_segments(&mut self.pool, edges)
+    }
+
+    /// Bulk-loads an empty table (heap or clustered) bottom-up, bypassing
+    /// per-row INSERT (see [`crate::catalog::Table::bulk_load_rows`]).
+    pub fn bulk_load_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<u64> {
+        self.catalog
+            .table_mut(table)?
+            .bulk_load_rows(&mut self.pool, rows)
+    }
+
     /// Number of rows currently in `table`.
     pub fn table_len(&self, table: &str) -> Result<u64> {
         Ok(self.catalog.table(table)?.len())
@@ -867,6 +903,18 @@ impl Database {
     /// Current buffer-pool capacity in pages.
     pub fn buffer_capacity(&self) -> usize {
         self.pool.capacity()
+    }
+
+    /// Pages currently resident in the buffer pool (peak occupancy is
+    /// bounded by [`Database::buffer_capacity`]).
+    pub fn buffer_resident(&self) -> usize {
+        self.pool.resident()
+    }
+
+    /// Total pages allocated in the backing store — the on-disk data size
+    /// in pages, independent of what is cached.
+    pub fn data_pages(&self) -> u64 {
+        self.pool.num_disk_pages()
     }
 
     /// Flushes dirty pages and drops the cache, forcing cold reads — used

@@ -640,7 +640,7 @@ fn equi_probe_plan(
                 best = Some(picks);
             }
         };
-        if let crate::catalog::TableStorage::Clustered { key_cols, .. } = &tbl.storage {
+        if let Some(key_cols) = tbl.clustered_key_cols() {
             consider(key_cols);
         }
         for idx in &tbl.indexes {

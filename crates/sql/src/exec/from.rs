@@ -166,7 +166,7 @@ pub(crate) fn choose_access_path(
             best = Some((cols, used));
         }
     };
-    if let crate::catalog::TableStorage::Clustered { key_cols, .. } = &table.storage {
+    if let Some(key_cols) = table.clustered_key_cols() {
         consider(key_cols);
     }
     for idx in &table.indexes {
@@ -410,7 +410,7 @@ fn join(
                         best = Some(cols[..n].to_vec());
                     }
                 };
-                if let crate::catalog::TableStorage::Clustered { key_cols, .. } = &table.storage {
+                if let Some(key_cols) = table.clustered_key_cols() {
                     consider(key_cols);
                 }
                 for idx in &table.indexes {

@@ -494,8 +494,7 @@ fn plan_join(
                             best = Some(cols[..n].to_vec());
                         }
                     };
-                    if let crate::catalog::TableStorage::Clustered { key_cols, .. } = &table.storage
-                    {
+                    if let Some(key_cols) = table.clustered_key_cols() {
                         consider(key_cols);
                     }
                     for idx in &table.indexes {
@@ -779,7 +778,7 @@ fn plan_equi_probe(
                 best = Some(picks);
             }
         };
-        if let crate::catalog::TableStorage::Clustered { key_cols, .. } = &tbl.storage {
+        if let Some(key_cols) = tbl.clustered_key_cols() {
             consider(key_cols);
         }
         for idx in &tbl.indexes {

@@ -431,6 +431,39 @@ impl BTree {
         Ok(BTreeScanCursor { pid: pid.0, idx: 0 })
     }
 
+    /// Builds the tree bottom-up from strictly-increasing `(key, value)`
+    /// entries: leaves fill left-to-right at maximum density and interior
+    /// levels grow above them, with no per-key root-to-leaf descent. The
+    /// tree must be empty; the root page id stays stable (catalog entries
+    /// keep pointing at it). Errors if keys are out of order or duplicated.
+    pub fn bulk_build(
+        &mut self,
+        pool: &mut BufferPool,
+        entries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Result<u64> {
+        let mut b = BTreeBulkBuilder::for_tree(self, pool)?;
+        for (k, v) in entries {
+            b.push(pool, &k, &v)?;
+        }
+        self.bulk_finish(pool, b)
+    }
+
+    /// Completes a streamed bulk build: the caller drove
+    /// [`BTreeBulkBuilder::push`] itself (typically with reusable key/value
+    /// buffers, avoiding a per-entry allocation) and hands the builder back
+    /// so the tree's length is accounted. The builder must have been created
+    /// by [`BTreeBulkBuilder::for_tree`] on this tree.
+    pub fn bulk_finish(&mut self, pool: &mut BufferPool, builder: BTreeBulkBuilder) -> Result<u64> {
+        if builder.root != self.root {
+            return Err(StorageError::Corrupt(
+                "bulk_finish: builder targets a different tree".into(),
+            ));
+        }
+        let n = builder.finish(pool)?;
+        self.len = n;
+        Ok(n)
+    }
+
     /// Tree height (1 = root is a leaf); used by tests and diagnostics.
     pub fn height(&self, pool: &mut BufferPool) -> Result<usize> {
         let mut h = 1;
@@ -531,6 +564,194 @@ impl BTreeScanCursor {
             }
         }
         Ok(false)
+    }
+}
+
+/// One partially-built interior node during a bulk build.
+struct BulkLevel {
+    img: Box<node::Buf>,
+    /// Separator that will accompany this node's page id when it is
+    /// attached to its parent; `None` for the leftmost node of its level.
+    pending_sep: Option<Vec<u8>>,
+    cells: usize,
+}
+
+/// Streaming bottom-up B+tree builder (see [`BTree::bulk_build`]).
+///
+/// Keeps O(height) memory: one in-progress page image per level. Leaves
+/// are emitted left-to-right and chained as they flush; each flush pushes
+/// `(first-key-of-subtree, page-id)` one level up, so no key ever takes a
+/// root-to-leaf descent. `push` and `finish` borrow the pool per call, so
+/// callers can interleave building with other pool work (e.g. reading the
+/// source heap).
+pub struct BTreeBulkBuilder {
+    root: PageId,
+    leaf: Box<node::Buf>,
+    leaf_cells: usize,
+    leaf_pending_sep: Option<Vec<u8>>,
+    prev_leaf: Option<PageId>,
+    levels: Vec<BulkLevel>,
+    last_key: Option<Vec<u8>>,
+    count: u64,
+}
+
+impl BTreeBulkBuilder {
+    /// A builder targeting `tree`'s (stable) root page. The tree must be
+    /// empty; until [`finish`](Self::finish) runs it stays an empty leaf.
+    pub fn for_tree(tree: &BTree, pool: &mut BufferPool) -> Result<BTreeBulkBuilder> {
+        if !tree.is_empty() {
+            return Err(StorageError::Corrupt(
+                "bulk_build requires an empty tree".into(),
+            ));
+        }
+        // Ensure the root really is an empty leaf (a cleared tree is).
+        let ok = pool.read_page(tree.root, |b| node::is_leaf(b) && node::num_cells(b) == 0)?;
+        if !ok {
+            return Err(StorageError::Corrupt(
+                "bulk_build requires an empty leaf root".into(),
+            ));
+        }
+        let mut leaf: Box<node::Buf> = Box::new([0u8; PAGE_SIZE]);
+        node::init_leaf(&mut leaf);
+        Ok(BTreeBulkBuilder {
+            root: tree.root,
+            leaf,
+            leaf_cells: 0,
+            leaf_pending_sep: None,
+            prev_leaf: None,
+            levels: Vec::new(),
+            last_key: None,
+            count: 0,
+        })
+    }
+
+    /// Appends the next entry; keys must arrive strictly increasing.
+    pub fn push(&mut self, pool: &mut BufferPool, key: &[u8], val: &[u8]) -> Result<()> {
+        if key.len() + val.len() > MAX_CELL_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                size: key.len() + val.len(),
+                max: MAX_CELL_PAYLOAD,
+            });
+        }
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(StorageError::Corrupt(
+                    "bulk_build keys must be strictly increasing".into(),
+                ));
+            }
+        }
+        if !node::leaf_insert_at(&mut self.leaf, self.leaf_cells, key, val) {
+            self.flush_leaf(pool)?;
+            node::init_leaf(&mut self.leaf);
+            self.leaf_cells = 0;
+            self.leaf_pending_sep = Some(key.to_vec());
+            let ok = node::leaf_insert_at(&mut self.leaf, 0, key, val);
+            debug_assert!(ok, "fresh leaf must fit one bounded cell");
+        }
+        self.leaf_cells += 1;
+        // Reuse the last-key buffer: one allocation for the whole build
+        // instead of one per entry.
+        match &mut self.last_key {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(key);
+            }
+            slot => *slot = Some(key.to_vec()),
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Writes the current leaf image out and links it into the leaf chain.
+    fn flush_leaf(&mut self, pool: &mut BufferPool) -> Result<()> {
+        let pid = pool.allocate_page()?;
+        let img = self.leaf.clone();
+        pool.write_page(pid, move |b| *b = *img)?;
+        if let Some(prev) = self.prev_leaf {
+            pool.write_page(prev, |b| node::set_next_leaf(b, pid.0))?;
+        }
+        self.prev_leaf = Some(pid);
+        let sep = self.leaf_pending_sep.take();
+        self.attach(pool, 0, sep, pid)
+    }
+
+    /// Attaches a flushed child page to the in-progress node at `level`,
+    /// creating the level (a new tree tier) or flushing it upward when
+    /// full.
+    fn attach(
+        &mut self,
+        pool: &mut BufferPool,
+        level: usize,
+        sep: Option<Vec<u8>>,
+        child: PageId,
+    ) -> Result<()> {
+        if level == self.levels.len() {
+            // First child flushed from below: starts a new top tier, with
+            // the child as the leftmost subtree (no separator yet).
+            debug_assert!(sep.is_none(), "first flush at a level carries no separator");
+            let mut img: Box<node::Buf> = Box::new([0u8; PAGE_SIZE]);
+            node::init_interior(&mut img, child.0);
+            self.levels.push(BulkLevel {
+                img,
+                pending_sep: None,
+                cells: 0,
+            });
+            return Ok(());
+        }
+        let sep = sep.expect("non-first child must carry its subtree's first key");
+        let lvl = &mut self.levels[level];
+        if node::interior_insert_at(&mut lvl.img, lvl.cells, &sep, child.0) {
+            lvl.cells += 1;
+            return Ok(());
+        }
+        // Full: emit this node, promote it, and restart the level with the
+        // incoming child as the new node's leftmost subtree. `sep` becomes
+        // the new node's pending separator for *its* eventual promotion.
+        self.flush_level(pool, level)?;
+        let lvl = &mut self.levels[level];
+        node::init_interior(&mut lvl.img, child.0);
+        lvl.cells = 0;
+        lvl.pending_sep = Some(sep);
+        Ok(())
+    }
+
+    /// Writes the in-progress node at `level` out and attaches it one
+    /// level up.
+    fn flush_level(&mut self, pool: &mut BufferPool, level: usize) -> Result<()> {
+        let pid = pool.allocate_page()?;
+        let img = self.levels[level].img.clone();
+        pool.write_page(pid, move |b| *b = *img)?;
+        let sep = self.levels[level].pending_sep.take();
+        self.attach(pool, level + 1, sep, pid)
+    }
+
+    /// Completes the build: flushes the partial right spine bottom-up and
+    /// installs the top node's image into the (stable) root page. Returns
+    /// the number of entries built.
+    pub fn finish(mut self, pool: &mut BufferPool) -> Result<u64> {
+        if self.count == 0 {
+            return Ok(0);
+        }
+        if self.prev_leaf.is_none() {
+            // Everything fit in one leaf: it becomes the root.
+            let img = self.leaf;
+            pool.write_page(self.root, move |b| *b = *img)?;
+            return Ok(self.count);
+        }
+        self.flush_leaf(pool)?;
+        let mut i = 0;
+        while i + 1 < self.levels.len() {
+            self.flush_level(pool, i)?;
+            i += 1;
+        }
+        let top = self.levels.pop().expect("multi-leaf build has a top level");
+        debug_assert!(
+            top.cells > 0,
+            "top level always receives the right spine's last child"
+        );
+        let img = top.img;
+        pool.write_page(self.root, move |b| *b = *img)?;
+        Ok(self.count)
     }
 }
 
@@ -1034,6 +1255,120 @@ mod tests {
     }
 
     #[test]
+    fn bulk_build_matches_insert_built_tree() {
+        for n in [0u64, 1, 3, 150, 151, 2000, 12345] {
+            let mut p = BufferPool::in_memory(64);
+            let mut t = BTree::create(&mut p).unwrap();
+            let root_before = t.root();
+            let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+                .map(|i| (k(i), format!("v{i}").into_bytes()))
+                .collect();
+            let built = t.bulk_build(&mut p, entries.clone()).unwrap();
+            assert_eq!(built, n);
+            assert_eq!(t.len(), n);
+            assert_eq!(t.root(), root_before, "root pid must stay stable");
+            // Full scan returns exactly the input, in order.
+            let mut seen = Vec::new();
+            t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |key, v| {
+                seen.push((key.to_vec(), v.to_vec()));
+                true
+            })
+            .unwrap();
+            assert_eq!(seen, entries, "n={n}");
+            // Point lookups route correctly through the built interiors.
+            for i in (0..n).step_by(97) {
+                assert_eq!(
+                    t.get(&mut p, &k(i)).unwrap().unwrap(),
+                    format!("v{i}").into_bytes()
+                );
+            }
+            assert!(t.get(&mut p, &k(n)).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn bulk_build_leaves_are_denser_than_split_built() {
+        let n = 20_000u64;
+        let mut p1 = BufferPool::in_memory(64);
+        let mut bulk = BTree::create(&mut p1).unwrap();
+        bulk.bulk_build(&mut p1, (0..n).map(|i| (k(i), k(i))))
+            .unwrap();
+        let mut p2 = BufferPool::in_memory(64);
+        let mut split = BTree::create(&mut p2).unwrap();
+        for i in 0..n {
+            split.insert(&mut p2, &k(i), &k(i)).unwrap();
+        }
+        let bulk_pages = bulk.reachable_pages(&mut p1).unwrap();
+        let split_pages = split.reachable_pages(&mut p2).unwrap();
+        assert!(
+            bulk_pages * 3 <= split_pages * 2,
+            "bulk {bulk_pages} pages vs split {split_pages}"
+        );
+    }
+
+    #[test]
+    fn bulk_build_tree_accepts_later_inserts_and_deletes() {
+        let mut p = BufferPool::in_memory(64);
+        let mut t = BTree::create(&mut p).unwrap();
+        t.bulk_build(&mut p, (0..5000u64).map(|i| (k(i * 2), k(i))))
+            .unwrap();
+        // Odd keys insert into full leaves, forcing splits everywhere.
+        for i in 0..2000u64 {
+            assert!(t.insert(&mut p, &k(i * 2 + 1), b"odd").unwrap().is_none());
+        }
+        assert_eq!(t.len(), 7000);
+        assert_eq!(t.get(&mut p, &k(1999)).unwrap().unwrap(), b"odd");
+        assert_eq!(t.get(&mut p, &k(4000)).unwrap().unwrap(), k(2000));
+        for i in 0..1000u64 {
+            assert!(t.delete(&mut p, &k(i * 2)).unwrap().is_some());
+        }
+        assert_eq!(t.len(), 6000);
+        let mut count = 0u64;
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |_, _| {
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, 6000);
+    }
+
+    #[test]
+    fn bulk_build_rejects_unsorted_and_nonempty() {
+        let mut p = pool();
+        let mut t = BTree::create(&mut p).unwrap();
+        let err = t.bulk_build(&mut p, vec![(k(5), vec![]), (k(5), vec![])]);
+        assert!(err.is_err(), "duplicate keys must be rejected");
+        // The failed build leaves the tree unusable only transiently; a
+        // fresh tree builds fine.
+        let mut t2 = BTree::create(&mut p).unwrap();
+        t2.insert(&mut p, &k(1), b"x").unwrap();
+        let err = t2.bulk_build(&mut p, vec![(k(2), vec![])]);
+        assert!(err.is_err(), "non-empty tree must be rejected");
+        let mut t3 = BTree::create(&mut p).unwrap();
+        let err = t3.bulk_build(&mut p, vec![(k(9), vec![]), (k(3), vec![])]);
+        assert!(err.is_err(), "descending keys must be rejected");
+    }
+
+    #[test]
+    fn bulk_build_through_tiny_pool_spills_cleanly() {
+        let mut p = BufferPool::in_memory(3);
+        let mut t = BTree::create(&mut p).unwrap();
+        let n = 8000u64;
+        t.bulk_build(&mut p, (0..n).map(|i| (k(i), k(i * 7))))
+            .unwrap();
+        let mut seen = 0u64;
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |key, v| {
+            let i = u64::from_be_bytes(key.try_into().unwrap());
+            assert_eq!(i, seen);
+            assert_eq!(v, k(i * 7));
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, n);
+    }
+
+    #[test]
     fn works_through_tiny_buffer_pool() {
         // Exercise eviction paths during structural changes.
         let mut p = BufferPool::in_memory(3);
@@ -1062,5 +1397,36 @@ mod tests {
         })
         .unwrap();
         assert_eq!(count, oracle.len() as u64);
+    }
+    #[test]
+    fn full_scan_keeps_root_resident() {
+        // The 2Q pool's reason to exist, seen from the tree: point probes
+        // heat the root into the protected tier, and a full-table scan —
+        // which parades every leaf through the probationary tier exactly
+        // once — must not evict it.
+        let mut p = BufferPool::in_memory(8);
+        let mut t = BTree::create(&mut p).unwrap();
+        for i in 0..4000u64 {
+            t.insert(&mut p, &k(i), &k(i)).unwrap();
+        }
+        assert!(t.height(&mut p).unwrap() >= 2, "need a real interior");
+        for i in (0..4000u64).step_by(997) {
+            t.get(&mut p, &k(i)).unwrap().unwrap(); // every probe re-touches the root
+        }
+        let mut count = 0u64;
+        t.scan_range(&mut p, Bound::Unbounded, Bound::Unbounded, |_, _| {
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, 4000);
+        p.reset_stats();
+        p.read_page(t.root, |_| ()).unwrap();
+        let s = p.stats();
+        assert_eq!(
+            s.buffer_misses, 0,
+            "the scan must not have evicted the hot root"
+        );
+        assert_eq!(s.buffer_hits, 1);
     }
 }

@@ -1,4 +1,4 @@
-//! LRU buffer pool.
+//! Scan-resistant (two-tier, 2Q-style) buffer pool.
 //!
 //! All page access in the engine funnels through [`BufferPool::read_page`] /
 //! [`BufferPool::write_page`]. Because both take `&mut self` and hand the
@@ -6,10 +6,22 @@
 //! page operation is in flight — which is exactly the discipline a
 //! single-connection engine needs, and it removes any need for pin counts.
 //!
-//! Eviction is true LRU, maintained with an intrusive doubly-linked list
-//! over frame indices (O(1) touch/evict). The capacity is dynamic
-//! ([`BufferPool::set_capacity`]) so experiments can sweep buffer sizes the
-//! way the paper sweeps its RDB buffer (Fig 8(b), Fig 9(g)).
+//! Eviction uses two intrusive LRU lists over frame indices (O(1)
+//! touch/promote/evict):
+//!
+//! * **probationary** — pages enter here on first reference. A sequential
+//!   scan larger than the pool cycles through this tier only, evicting its
+//!   own once-touched pages.
+//! * **protected** — a probationary page that is referenced *again* is
+//!   promoted here (B+tree roots, inner nodes, hot working-table pages).
+//!   The tier is capped at ~5/8 of capacity; overflow demotes its LRU
+//!   frame back to the probationary MRU end, giving it one more chance.
+//!
+//! Victims come from the probationary LRU end first, so working sets far
+//! larger than memory no longer wipe the hot set (DESIGN.md §14). The
+//! capacity is dynamic ([`BufferPool::set_capacity`]) so experiments can
+//! sweep buffer sizes the way the paper sweeps its RDB buffer (Fig 8(b),
+//! Fig 9(g)).
 
 use crate::disk::{DiskBackend, FileDisk, MemDisk, SnapshotDisk, SnapshotPages};
 use crate::error::{Result, StorageError};
@@ -20,10 +32,16 @@ use std::sync::Arc;
 
 const NIL: usize = usize::MAX;
 
+/// Probationary tier index.
+const PROB: usize = 0;
+/// Protected tier index.
+const PROT: usize = 1;
+
 struct Frame {
     page: Page,
     pid: PageId,
     dirty: bool,
+    tier: usize,
     prev: usize,
     next: usize,
 }
@@ -33,10 +51,12 @@ pub struct BufferPool {
     disk: Box<dyn DiskBackend>,
     frames: Vec<Frame>,
     page_table: HashMap<PageId, usize>,
-    /// Most-recently-used frame index (head of the LRU list).
-    head: usize,
-    /// Least-recently-used frame index (tail of the LRU list).
-    tail: usize,
+    /// Most-recently-used frame per tier (list heads).
+    head: [usize; 2],
+    /// Least-recently-used frame per tier (list tails).
+    tail: [usize; 2],
+    /// Number of frames currently in the protected tier.
+    protected: usize,
     capacity: usize,
     stats: IoStats,
     /// Pages returned via [`BufferPool::free_page`], recycled before the
@@ -52,8 +72,9 @@ impl BufferPool {
             disk,
             frames: Vec::new(),
             page_table: HashMap::new(),
-            head: NIL,
-            tail: NIL,
+            head: [NIL; 2],
+            tail: [NIL; 2],
+            protected: 0,
             capacity: capacity.max(1),
             stats: IoStats::default(),
             free_pages: Vec::new(),
@@ -100,18 +121,38 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Number of frames currently resident (≤ capacity).
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frames currently in the protected tier.
+    pub fn protected_len(&self) -> usize {
+        self.protected
+    }
+
+    /// Size target for the protected tier at the current capacity.
+    fn protected_target(&self) -> usize {
+        (self.capacity * 5 / 8).max(1)
+    }
+
     /// Number of pages allocated on the underlying disk.
     pub fn num_disk_pages(&self) -> u64 {
         self.disk.num_pages()
     }
 
-    /// Resizes the pool, evicting (and flushing) LRU pages if shrinking.
+    /// Resizes the pool, evicting (and flushing) victim pages if
+    /// shrinking — probationary LRU frames first, then protected ones.
     pub fn set_capacity(&mut self, capacity: usize) -> Result<()> {
         self.capacity = capacity.max(1);
         while self.frames.len() > self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
+            let victim = self.pick_victim()?;
             self.detach(victim);
+            if self.frames[victim].tier == PROT {
+                self.protected -= 1;
+            } else {
+                self.stats.probationary_evictions += 1;
+            }
             let frame = &self.frames[victim];
             self.page_table.remove(&frame.pid);
             if frame.dirty {
@@ -126,20 +167,26 @@ impl BufferPool {
             if victim != last {
                 let moved_pid = self.frames[victim].pid;
                 self.page_table.insert(moved_pid, victim);
-                let (p, n) = (self.frames[victim].prev, self.frames[victim].next);
+                let (p, n, t) = (
+                    self.frames[victim].prev,
+                    self.frames[victim].next,
+                    self.frames[victim].tier,
+                );
                 if p != NIL {
                     self.frames[p].next = victim;
-                } else if self.head == last {
-                    self.head = victim;
+                } else if self.head[t] == last {
+                    self.head[t] = victim;
                 }
                 if n != NIL {
                     self.frames[n].prev = victim;
-                } else if self.tail == last {
-                    self.tail = victim;
+                } else if self.tail[t] == last {
+                    self.tail[t] = victim;
                 }
             }
             self.stats.evictions += 1;
         }
+        // A smaller pool also means a smaller protected tier.
+        self.rebalance();
         Ok(())
     }
 
@@ -169,7 +216,8 @@ impl BufferPool {
         // win if this frame is ever evicted.
         self.frames[idx].dirty = recycled;
         self.page_table.insert(pid, idx);
-        self.attach_front(idx);
+        self.frames[idx].tier = PROB;
+        self.attach_front(PROB, idx);
         Ok(pid)
     }
 
@@ -178,11 +226,15 @@ impl BufferPool {
     pub fn free_page(&mut self, pid: PageId) {
         if let Some(idx) = self.page_table.remove(&pid) {
             self.detach(idx);
+            if self.frames[idx].tier == PROT {
+                self.protected -= 1;
+            }
             self.frames[idx].dirty = false;
             self.frames[idx].pid = PageId::INVALID;
-            // Park the frame at the LRU tail so it is the next eviction
-            // victim; it holds no page, so evicting it is free.
-            self.attach_back(idx);
+            // Park the frame at the probationary LRU end so it is the next
+            // eviction victim; it holds no page, so evicting it is free.
+            self.frames[idx].tier = PROB;
+            self.attach_back(PROB, idx);
         }
         self.free_pages.push(pid);
     }
@@ -227,16 +279,30 @@ impl BufferPool {
         self.flush_all()?;
         self.frames.clear();
         self.page_table.clear();
-        self.head = NIL;
-        self.tail = NIL;
+        self.head = [NIL; 2];
+        self.tail = [NIL; 2];
+        self.protected = 0;
         Ok(())
     }
 
-    /// Ensures `pid` is resident and returns its frame index (MRU-touched).
+    /// Ensures `pid` is resident and returns its frame index. A hit on a
+    /// probationary frame promotes it to the protected tier (its second
+    /// reference proves it is not scan traffic); a hit on a protected
+    /// frame refreshes its recency.
     fn fetch(&mut self, pid: PageId) -> Result<usize> {
         if let Some(&idx) = self.page_table.get(&pid) {
             self.stats.buffer_hits += 1;
-            self.touch(idx);
+            if self.frames[idx].tier == PROB {
+                self.detach(idx);
+                self.frames[idx].tier = PROT;
+                self.attach_front(PROT, idx);
+                self.protected += 1;
+                self.stats.promotions += 1;
+                self.rebalance();
+            } else if self.head[PROT] != idx {
+                self.detach(idx);
+                self.attach_front(PROT, idx);
+            }
             return Ok(idx);
         }
         self.stats.buffer_misses += 1;
@@ -249,28 +315,59 @@ impl BufferPool {
         }
         self.stats.disk_reads += 1;
         self.page_table.insert(pid, idx);
-        self.attach_front(idx);
+        self.frames[idx].tier = PROB;
+        self.attach_front(PROB, idx);
         Ok(idx)
     }
 
+    /// Demotes protected LRU frames until the tier is back under target.
+    /// Demoted frames re-enter the probationary MRU end, so they get one
+    /// more chance before eviction.
+    fn rebalance(&mut self) {
+        while self.protected > self.protected_target() {
+            let idx = self.tail[PROT];
+            debug_assert_ne!(idx, NIL);
+            self.detach(idx);
+            self.frames[idx].tier = PROB;
+            self.attach_front(PROB, idx);
+            self.protected -= 1;
+            self.stats.demotions += 1;
+        }
+    }
+
+    /// The next eviction victim: the probationary LRU frame, falling back
+    /// to the protected LRU frame when the probationary tier is empty.
+    fn pick_victim(&self) -> Result<usize> {
+        if self.tail[PROB] != NIL {
+            return Ok(self.tail[PROB]);
+        }
+        if self.tail[PROT] != NIL {
+            return Ok(self.tail[PROT]);
+        }
+        Err(StorageError::BufferExhausted)
+    }
+
     /// Gets an unattached frame: grows the pool when below capacity,
-    /// otherwise evicts the LRU frame.
+    /// otherwise evicts a victim (probationary first).
     fn acquire_frame(&mut self) -> Result<usize> {
         if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 page: Page::zeroed(),
                 pid: PageId::INVALID,
                 dirty: false,
+                tier: PROB,
                 prev: NIL,
                 next: NIL,
             });
             return Ok(self.frames.len() - 1);
         }
-        let victim = self.tail;
-        if victim == NIL {
-            return Err(StorageError::BufferExhausted);
-        }
+        let victim = self.pick_victim()?;
         self.detach(victim);
+        if self.frames[victim].tier == PROT {
+            self.protected -= 1;
+        } else {
+            self.stats.probationary_evictions += 1;
+        }
         let frame = &self.frames[victim];
         self.page_table.remove(&frame.pid);
         if frame.dirty {
@@ -282,51 +379,44 @@ impl BufferPool {
         Ok(victim)
     }
 
-    fn touch(&mut self, idx: usize) {
-        if self.head == idx {
-            return;
-        }
-        self.detach(idx);
-        self.attach_front(idx);
-    }
-
     fn detach(&mut self, idx: usize) {
+        let t = self.frames[idx].tier;
         let (p, n) = (self.frames[idx].prev, self.frames[idx].next);
         if p != NIL {
             self.frames[p].next = n;
-        } else if self.head == idx {
-            self.head = n;
+        } else if self.head[t] == idx {
+            self.head[t] = n;
         }
         if n != NIL {
             self.frames[n].prev = p;
-        } else if self.tail == idx {
-            self.tail = p;
+        } else if self.tail[t] == idx {
+            self.tail[t] = p;
         }
         self.frames[idx].prev = NIL;
         self.frames[idx].next = NIL;
     }
 
-    fn attach_front(&mut self, idx: usize) {
+    fn attach_front(&mut self, t: usize, idx: usize) {
         self.frames[idx].prev = NIL;
-        self.frames[idx].next = self.head;
-        if self.head != NIL {
-            self.frames[self.head].prev = idx;
+        self.frames[idx].next = self.head[t];
+        if self.head[t] != NIL {
+            self.frames[self.head[t]].prev = idx;
         }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
+        self.head[t] = idx;
+        if self.tail[t] == NIL {
+            self.tail[t] = idx;
         }
     }
 
-    fn attach_back(&mut self, idx: usize) {
+    fn attach_back(&mut self, t: usize, idx: usize) {
         self.frames[idx].next = NIL;
-        self.frames[idx].prev = self.tail;
-        if self.tail != NIL {
-            self.frames[self.tail].next = idx;
+        self.frames[idx].prev = self.tail[t];
+        if self.tail[t] != NIL {
+            self.frames[self.tail[t]].next = idx;
         }
-        self.tail = idx;
-        if self.head == NIL {
-            self.head = idx;
+        self.tail[t] = idx;
+        if self.head[t] == NIL {
+            self.head[t] = idx;
         }
     }
 }
@@ -351,7 +441,7 @@ mod tests {
         for (i, &pid) in pids.iter().enumerate() {
             pool.write_page(pid, |b| b[0] = i as u8 + 1).unwrap();
         }
-        // Capacity 2, so pids[0]/pids[1] were evicted. Reading them must
+        // Capacity 2, so earlier pages were evicted. Reading them must
         // bring back the written data from disk.
         for (i, &pid) in pids.iter().enumerate() {
             let v = pool.read_page(pid, |b| b[0]).unwrap();
@@ -366,7 +456,7 @@ mod tests {
         let mut pool = BufferPool::in_memory(2);
         let a = pool.allocate_page().unwrap();
         let b = pool.allocate_page().unwrap();
-        let c = pool.allocate_page().unwrap(); // evicts a (LRU)
+        let c = pool.allocate_page().unwrap(); // evicts a (probationary LRU)
         pool.reset_stats();
         pool.read_page(b, |_| ()).unwrap(); // hit
         pool.read_page(c, |_| ()).unwrap(); // hit
@@ -374,6 +464,67 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.buffer_hits, 2);
         assert_eq!(s.buffer_misses, 1);
+    }
+
+    #[test]
+    fn second_touch_promotes_to_protected() {
+        let mut pool = BufferPool::in_memory(8);
+        let a = pool.allocate_page().unwrap();
+        assert_eq!(pool.protected_len(), 0, "first reference is probationary");
+        pool.read_page(a, |_| ()).unwrap();
+        assert_eq!(pool.protected_len(), 1, "second reference promotes");
+        assert_eq!(pool.stats().promotions, 1);
+        pool.read_page(a, |_| ()).unwrap();
+        assert_eq!(pool.stats().promotions, 1, "already protected: no-op");
+    }
+
+    #[test]
+    fn scan_does_not_evict_hot_pages() {
+        // Pool of 16; 4 hot pages referenced repeatedly, then a "table
+        // scan" of 200 cold pages touched once each. The hot set must
+        // survive in the protected tier.
+        let mut pool = BufferPool::in_memory(16);
+        let hot: Vec<_> = (0..4).map(|_| pool.allocate_page().unwrap()).collect();
+        for &pid in &hot {
+            pool.read_page(pid, |_| ()).unwrap(); // promote to protected
+        }
+        let cold: Vec<_> = (0..200).map(|_| pool.allocate_page().unwrap()).collect();
+        pool.reset_stats();
+        for &pid in &cold {
+            pool.read_page(pid, |_| ()).unwrap();
+        }
+        let s = pool.stats();
+        for &pid in &hot {
+            pool.read_page(pid, |_| ()).unwrap();
+        }
+        let after = pool.stats();
+        assert_eq!(
+            after.buffer_misses, s.buffer_misses,
+            "hot pages must still be resident after the scan"
+        );
+        assert_eq!(
+            s.probationary_evictions, s.evictions,
+            "the scan must evict only probationary (touched-once) frames"
+        );
+    }
+
+    #[test]
+    fn protected_tier_is_capped_and_demotes() {
+        let mut pool = BufferPool::in_memory(8); // target = 8*5/8 = 5
+        let pids: Vec<_> = (0..8).map(|_| pool.allocate_page().unwrap()).collect();
+        for &pid in &pids {
+            pool.read_page(pid, |_| ()).unwrap(); // all promoted
+        }
+        assert!(pool.protected_len() <= 5, "protected tier must stay capped");
+        assert!(pool.stats().demotions >= 3);
+        // Everything is still resident (no evictions — pool not over
+        // capacity), just spread across tiers.
+        assert_eq!(pool.stats().evictions, 0);
+        pool.reset_stats();
+        for &pid in &pids {
+            pool.read_page(pid, |_| ()).unwrap();
+        }
+        assert_eq!(pool.stats().buffer_misses, 0);
     }
 
     #[test]
@@ -402,6 +553,56 @@ mod tests {
             let v = pool.read_page(pid, |b| b[1]).unwrap();
             assert_eq!(v, 10 + i as u8);
         }
+    }
+
+    #[test]
+    fn shrink_mid_workload_prefers_probationary_victims() {
+        // A hot protected set plus a tail of touched-once pages; shrinking
+        // mid-workload must evict cleanly (no leaked frames, consistent
+        // counters), taking probationary frames first so the hot set
+        // survives the resize.
+        let mut pool = BufferPool::in_memory(16);
+        let hot: Vec<_> = (0..5).map(|_| pool.allocate_page().unwrap()).collect();
+        for &pid in &hot {
+            pool.read_page(pid, |_| ()).unwrap(); // second touch: protected
+        }
+        let cold: Vec<_> = (0..11).map(|_| pool.allocate_page().unwrap()).collect();
+        assert_eq!(pool.resident(), 16);
+        pool.reset_stats();
+
+        pool.set_capacity(8).unwrap();
+        let s = pool.stats();
+        assert_eq!(
+            pool.resident(),
+            8,
+            "shrink must release exactly the excess frames"
+        );
+        assert_eq!(pool.capacity(), 8);
+        assert_eq!(s.evictions, 8);
+        assert_eq!(
+            s.probationary_evictions, 8,
+            "all victims must come from the probationary tier while it has frames"
+        );
+        assert!(pool.protected_len() <= pool.capacity());
+
+        // The protected hot set survived; the workload continues unharmed.
+        pool.reset_stats();
+        for &pid in &hot {
+            pool.read_page(pid, |_| ()).unwrap();
+        }
+        assert_eq!(
+            pool.stats().buffer_misses,
+            0,
+            "hot set must survive the shrink"
+        );
+        for &pid in &cold {
+            pool.read_page(pid, |b| b[0]).unwrap();
+        }
+        assert_eq!(
+            pool.resident(),
+            pool.capacity(),
+            "no frames leaked past the new cap"
+        );
     }
 
     #[test]
@@ -450,9 +651,11 @@ mod tests {
                 pool.read_page(pids[i], |_| ()).unwrap();
             }
         }
-        // Every page still readable; LRU list intact.
+        // Every page still readable; both LRU lists intact.
         for &pid in &pids {
             pool.read_page(pid, |_| ()).unwrap();
         }
+        assert_eq!(pool.resident(), pool.capacity());
+        assert!(pool.protected_len() <= pool.capacity());
     }
 }

@@ -30,18 +30,25 @@ pub mod error;
 pub mod heap;
 pub mod page;
 pub mod row;
+pub mod segment;
 pub mod stats;
 pub mod value;
 
 pub mod btree;
 
-pub use btree::{BTree, BTreeScanCursor};
+pub use btree::{BTree, BTreeBulkBuilder, BTreeScanCursor};
 pub use buffer::BufferPool;
 pub use chunk::{chunk_from_rows, Chunk, Column, NullMask, CHUNK_CAPACITY};
 pub use disk::{DiskBackend, FileDisk, MemDisk, SnapshotDisk, SnapshotPages};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, HeapScanCursor, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use row::{decode_row, decode_row_into_chunk, encode_row, encode_row_from_chunk};
+pub use row::{
+    decode_row, decode_row_into_chunk, encode_row, encode_row_from_chunk, encode_row_into,
+};
+pub use segment::{
+    decode_edge_segment, decode_edge_segment_into_chunk, decode_edge_segment_with,
+    encode_edge_segment, segment_edge_count, SegmentWriter, SEG_MAX_BYTES, SEG_MAX_EDGES,
+};
 pub use stats::IoStats;
 pub use value::{decode_key, encode_key, encode_key_into, DataType, Value};

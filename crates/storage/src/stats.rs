@@ -21,6 +21,16 @@ pub struct IoStats {
     pub disk_writes: u64,
     /// Pages allocated.
     pub allocations: u64,
+    /// Probationary frames re-referenced and moved to the protected tier
+    /// (the 2Q policy's "second touch" signal).
+    pub promotions: u64,
+    /// Protected frames pushed back to probationary to hold the tier's
+    /// size target.
+    pub demotions: u64,
+    /// Evictions that took a probationary (touched-once) frame — a high
+    /// share here means scans are absorbing their own evictions instead
+    /// of wiping the hot set.
+    pub probationary_evictions: u64,
 }
 
 impl IoStats {
@@ -47,6 +57,9 @@ impl IoStats {
             disk_reads: self.disk_reads - earlier.disk_reads,
             disk_writes: self.disk_writes - earlier.disk_writes,
             allocations: self.allocations - earlier.allocations,
+            promotions: self.promotions - earlier.promotions,
+            demotions: self.demotions - earlier.demotions,
+            probationary_evictions: self.probationary_evictions - earlier.probationary_evictions,
         }
     }
 }
@@ -80,6 +93,9 @@ mod tests {
             disk_reads: 4,
             disk_writes: 2,
             allocations: 3,
+            promotions: 5,
+            demotions: 4,
+            probationary_evictions: 1,
         };
         let b = IoStats {
             buffer_hits: 4,
@@ -88,6 +104,9 @@ mod tests {
             disk_reads: 1,
             disk_writes: 1,
             allocations: 1,
+            promotions: 2,
+            demotions: 1,
+            probationary_evictions: 0,
         };
         let d = a.since(&b);
         assert_eq!(d.buffer_hits, 6);
@@ -96,5 +115,8 @@ mod tests {
         assert_eq!(d.disk_reads, 3);
         assert_eq!(d.disk_writes, 1);
         assert_eq!(d.allocations, 2);
+        assert_eq!(d.promotions, 3);
+        assert_eq!(d.demotions, 3);
+        assert_eq!(d.probationary_evictions, 1);
     }
 }

@@ -1,0 +1,138 @@
+//! Property-based tests of the adjacency-segment codec (DESIGN.md §14):
+//! encode/decode round-trips over arbitrary edge multisets — duplicates,
+//! weight extremes, single-edge and empty segments — plus the
+//! [`SegmentWriter`] splitting invariants (size caps, global order, and
+//! lossless reassembly).
+//!
+//! Run with `PROPTEST_CASES=512` (the CI setting) for the heavyweight
+//! sweep; the local default keeps `cargo test` fast.
+
+use fempath::storage::{
+    decode_edge_segment, decode_edge_segment_into_chunk, encode_edge_segment, segment_edge_count,
+    Chunk, SegmentWriter, SEG_MAX_BYTES, SEG_MAX_EDGES,
+};
+use proptest::prelude::*;
+
+/// Honour `PROPTEST_CASES` explicitly so CI can raise the sweep without a
+/// code change (`ProptestConfig::with_cases` overrides the environment).
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Edges with every interesting magnitude: small dense ids, duplicates
+/// (forced by tiny domains), and extreme weights up to `i64::MAX`.
+fn arb_edges(max_len: usize) -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    let edge = prop_oneof![
+        // Dense small ids — adjacent deltas, duplicate-prone.
+        (0i64..50, 0i64..50, 1i64..100),
+        // Sparse ids and extreme weights — worst-case varints.
+        (
+            prop_oneof![Just(0i64), 0i64..1_000_000_000, Just(i64::MAX / 2)],
+            prop_oneof![Just(0i64), 0i64..1_000_000_000, Just(i64::MAX / 2)],
+            prop_oneof![
+                Just(0i64),
+                Just(1i64),
+                Just(i64::MAX),
+                Just(i64::MIN),
+                any::<i64>()
+            ],
+        ),
+    ];
+    prop::collection::vec(edge, 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// encode → decode is the identity on the sorted edge multiset.
+    #[test]
+    fn roundtrip_arbitrary_edges(mut edges in arb_edges(SEG_MAX_EDGES)) {
+        let blob = encode_edge_segment(&edges);
+        let decoded = decode_edge_segment(&blob).unwrap();
+        edges.sort_unstable();
+        prop_assert_eq!(decoded, edges);
+    }
+
+    /// The stored edge count is readable without a full decode.
+    #[test]
+    fn edge_count_header(edges in arb_edges(SEG_MAX_EDGES)) {
+        let blob = encode_edge_segment(&edges);
+        prop_assert_eq!(segment_edge_count(&blob).unwrap(), edges.len());
+    }
+
+    /// Columnar decode matches the row decode exactly (the FEM expansion
+    /// join consumes segments through this path).
+    #[test]
+    fn chunk_decode_matches_row_decode(edges in arb_edges(SEG_MAX_EDGES)) {
+        let blob = encode_edge_segment(&edges);
+        let rows = decode_edge_segment(&blob).unwrap();
+        let mut chunk = Chunk::new();
+        chunk.set_width(3);
+        let n = decode_edge_segment_into_chunk(&blob, &mut chunk).unwrap();
+        prop_assert_eq!(n, rows.len());
+        prop_assert_eq!(chunk.len(), rows.len());
+        for (r, &(f, t, c)) in rows.iter().enumerate() {
+            prop_assert_eq!(chunk.get(0, r).as_i64(), Some(f));
+            prop_assert_eq!(chunk.get(1, r).as_i64(), Some(t));
+            prop_assert_eq!(chunk.get(2, r).as_i64(), Some(c));
+        }
+    }
+
+    /// A sorted stream pushed through the writer reassembles losslessly,
+    /// every blob respects the size caps, and the segments partition the
+    /// stream in order (first fids never decrease).
+    #[test]
+    fn writer_splits_respect_caps_and_order(mut edges in arb_edges(4 * SEG_MAX_EDGES)) {
+        edges.sort_unstable();
+        let mut segs: Vec<(i64, i64, Vec<u8>)> = Vec::new();
+        let mut w = SegmentWriter::new(|first, last, blob| {
+            segs.push((first, last, blob));
+            Ok(())
+        });
+        for &(f, t, c) in &edges {
+            w.push(f, t, c).unwrap();
+        }
+        w.flush().unwrap();
+        let mut reassembled = Vec::new();
+        let mut prev_first = i64::MIN;
+        for (first, last, blob) in &segs {
+            let dec = decode_edge_segment(blob).unwrap();
+            prop_assert!(!dec.is_empty(), "writer must not emit empty segments");
+            prop_assert!(dec.len() <= SEG_MAX_EDGES);
+            prop_assert!(blob.len() <= SEG_MAX_BYTES, "blob {} bytes", blob.len());
+            prop_assert_eq!(dec.first().unwrap().0, *first);
+            prop_assert_eq!(dec.last().unwrap().0, *last);
+            prop_assert!(*first >= prev_first, "segment first fids must not decrease");
+            prev_first = *first;
+            reassembled.extend(dec);
+        }
+        prop_assert_eq!(reassembled, edges);
+    }
+
+    /// Single-edge segments — the smallest non-empty case.
+    #[test]
+    fn single_edge_roundtrip(f in any::<i64>(), t in any::<i64>(), c in any::<i64>()) {
+        let blob = encode_edge_segment(&[(f, t, c)]);
+        prop_assert_eq!(decode_edge_segment(&blob).unwrap(), vec![(f, t, c)]);
+    }
+}
+
+/// The degenerate empty segment encodes and decodes cleanly.
+#[test]
+fn empty_segment_roundtrip() {
+    let blob = encode_edge_segment(&[]);
+    assert_eq!(segment_edge_count(&blob).unwrap(), 0);
+    assert!(decode_edge_segment(&blob).unwrap().is_empty());
+}
+
+/// Trailing garbage after a valid segment is an error, not silently
+/// ignored — a truncation/corruption guard.
+#[test]
+fn trailing_bytes_rejected() {
+    let mut blob = encode_edge_segment(&[(1, 2, 3)]);
+    blob.push(0x7f);
+    assert!(decode_edge_segment(&blob).is_err());
+}

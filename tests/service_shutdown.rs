@@ -161,7 +161,10 @@ fn repeated_panics_do_not_poison_the_pool() {
         // queues drained.
         let stats = svc.stats();
         assert_eq!(stats.workers.len(), 2);
-        assert!(stats.total_executed() >= 37, "6 panics + 30 queries + warmup");
+        assert!(
+            stats.total_executed() >= 37,
+            "6 panics + 30 queries + warmup"
+        );
         for w in &stats.workers {
             assert_eq!(w.queue_depth, 0, "queues must drain after the storm");
         }
