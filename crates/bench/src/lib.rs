@@ -13,6 +13,8 @@
 //! so absolute numbers differ while the comparative *shapes* are preserved.
 //! `--scale` grows sizes toward the paper's.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 

@@ -32,7 +32,7 @@
 //! [`DEFAULT_BATCH_CHUNK`] in-flight queries, where per-statement savings
 //! outweigh the larger working set.
 
-use super::{walk_links, Path, Runner};
+use super::{need, walk_links, Path, Runner};
 use crate::graphdb::{GraphDb, INF};
 use crate::sqlgen::{
     batch_delete_done_bounds, batch_delete_done_visited, batch_fused_stats,
@@ -377,13 +377,13 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
                 runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::Aux,
-                    shared.truncate_exp.as_ref().expect("temp-exp mode"),
+                    need(&shared.truncate_exp, "truncate_exp")?,
                     &[],
                 )?;
                 runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::E,
-                    stmts.expand_into_exp.as_ref().expect("temp-exp mode"),
+                    need(&stmts.expand_into_exp, "expand_into_exp")?,
                     &[],
                 )?;
                 if let Some(merge) = &stmts.merge_from_exp {
@@ -392,13 +392,13 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
                     runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        stmts.update_from_exp.as_ref().expect("no-MERGE mode"),
+                        need(&stmts.update_from_exp, "update_from_exp")?,
                         &[],
                     )?;
                     runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        stmts.insert_from_exp.as_ref().expect("no-MERGE mode"),
+                        need(&stmts.insert_from_exp, "insert_from_exp")?,
                         &[Value::Int(n), Value::Int(n)],
                     )?;
                 }
@@ -420,7 +420,7 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
             runner.exec_prepared(
                 Phase::PathExpansion,
                 FemOperator::F,
-                shared.reset_both.as_ref().expect("bidi mode"),
+                need(&shared.reset_both, "reset_both")?,
                 &[],
             )?;
         }
@@ -434,14 +434,14 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
             runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                shared.fused_stats.as_ref().expect("bidi mode"),
+                need(&shared.fused_stats, "fused_stats")?,
                 &[],
             )?;
             runner
                 .exec_prepared(
                     Phase::StatsCollection,
                     FemOperator::Aux,
-                    shared.mark_done_met.as_ref().expect("bidi mode"),
+                    need(&shared.mark_done_met, "mark_done_met")?,
                     &[],
                 )?
                 .rows_affected
@@ -449,7 +449,7 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
                     .exec_prepared(
                         Phase::StatsCollection,
                         FemOperator::Aux,
-                        shared.mark_done_drained.as_ref().expect("bidi mode"),
+                        need(&shared.mark_done_drained, "mark_done_drained")?,
                         &[],
                     )?
                     .rows_affected
@@ -457,20 +457,20 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
             runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                shared.clear_stats.as_ref().expect("single-dir mode"),
+                need(&shared.clear_stats, "clear_stats")?,
                 &[],
             )?;
             runner.exec_prepared(
                 Phase::StatsCollection,
                 FemOperator::Aux,
-                shared.refresh_stats.as_ref().expect("single-dir mode"),
+                need(&shared.refresh_stats, "refresh_stats")?,
                 &[],
             )?;
             runner
                 .exec_prepared(
                     Phase::StatsCollection,
                     FemOperator::Aux,
-                    shared.mark_done_target.as_ref().expect("single-dir mode"),
+                    need(&shared.mark_done_target, "mark_done_target")?,
                     &[],
                 )?
                 .rows_affected
@@ -478,10 +478,7 @@ fn run_batch(gdb: &mut GraphDb, pairs: &[(i64, i64)], spec: BatchSpec) -> Result
                     .exec_prepared(
                         Phase::StatsCollection,
                         FemOperator::Aux,
-                        shared
-                            .mark_done_exhausted
-                            .as_ref()
-                            .expect("single-dir mode"),
+                        need(&shared.mark_done_exhausted, "mark_done_exhausted")?,
                         &[],
                     )?
                     .rows_affected
@@ -566,7 +563,7 @@ fn retire_done(
                 .scalar_prepared(
                     Phase::FullPathRecovery,
                     FemOperator::Aux,
-                    shared.meet_node.as_ref().expect("bidi mode"),
+                    need(&shared.meet_node, "meet_node")?,
                     &[Value::Int(qid), Value::Int(min_cost)],
                 )?
                 .ok_or_else(|| {
@@ -577,7 +574,9 @@ fn retire_done(
             nodes.push(meet);
             nodes.extend(walk_links(
                 runner,
-                &bwd_stmts.expect("bidi mode").pred_of,
+                &bwd_stmts
+                    .ok_or_else(|| SqlError::Eval("batch mode bug: bwd statements missing".into()))?
+                    .pred_of,
                 Some(qid),
                 meet,
                 t,

@@ -20,7 +20,7 @@
 //! from the very first iteration; `min_cost` itself is never seeded — it
 //! must stay realized by a `TVisited` row for meet-node recovery.
 
-use super::{recover_bidi_path, trivial_case, PathOutcome, Runner, ShortestPathFinder};
+use super::{need, recover_bidi_path, trivial_case, PathOutcome, Runner, ShortestPathFinder};
 use crate::graphdb::{GraphDb, INF};
 use crate::sqlgen::{
     expand_params, meet_node, min_cost as min_cost_sql, truncate_exp, Dir, EdgeSource,
@@ -218,7 +218,7 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
                 match runner.scalar_prepared(
                     Phase::StatsCollection,
                     FemOperator::Aux,
-                    stmts.select_mid.as_ref().expect("prepared for SingleMin"),
+                    need(&stmts.select_mid, "select_mid")?,
                     &[],
                 )? {
                     None => 0,
@@ -286,20 +286,20 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
         } else {
             (0, INF)
         };
-        let params = expand_params(spec.style, FrontierPred::Marked, None, lo, mc);
+        let params = expand_params(spec.style, FrontierPred::Marked, None, lo, mc)?;
         if let Some(expand) = &stmts.expand_merge {
             runner.exec_prepared(Phase::PathExpansion, FemOperator::E, expand, &params)?;
         } else {
             runner.exec_prepared(
                 Phase::PathExpansion,
                 FemOperator::Aux,
-                truncate_exp_stmt.as_ref().expect("prepared for temp-exp"),
+                need(&truncate_exp_stmt, "truncate_exp")?,
                 &[],
             )?;
             runner.exec_prepared(
                 Phase::PathExpansion,
                 FemOperator::E,
-                stmts.expand_into_exp.as_ref().expect("temp-exp mode"),
+                need(&stmts.expand_into_exp, "expand_into_exp")?,
                 &params,
             )?;
             if let Some(merge) = &stmts.merge_from_exp {
@@ -308,13 +308,13 @@ pub(crate) fn run_bidi(gdb: &mut GraphDb, s: i64, t: i64, spec: BidiSpec) -> Res
                 runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::M,
-                    stmts.update_from_exp.as_ref().expect("no-MERGE mode"),
+                    need(&stmts.update_from_exp, "update_from_exp")?,
                     &[],
                 )?;
                 runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::M,
-                    stmts.insert_from_exp.as_ref().expect("no-MERGE mode"),
+                    need(&stmts.insert_from_exp, "insert_from_exp")?,
                     &[],
                 )?;
             }

@@ -6,7 +6,7 @@
 //! The paper runs this only up to 20 K nodes (Table 2: ">600 s" beyond) —
 //! node-at-a-time evaluation is the point being criticised.
 
-use super::{trivial_case, walk_links, Path, PathOutcome, Runner, ShortestPathFinder};
+use super::{need, trivial_case, walk_links, Path, PathOutcome, Runner, ShortestPathFinder};
 use crate::graphdb::{GraphDb, INF};
 use crate::sqlgen::{expand_params, truncate_exp, Dir, EdgeSource, FrontierPred, SqlGen};
 use crate::stats::{FemOperator, Phase, SqlStyle};
@@ -106,14 +106,14 @@ impl ShortestPathFinder for DjFinder {
             runner.scalar_prepared(Phase::StatsCollection, FemOperator::F, &select_mid, &[])?
         {
             // E + M operators with `q.nid = mid` (Listing 2(3)/(4)).
-            let params = expand_params(self.style, FrontierPred::ByNid, Some(mid), 0, bound);
+            let params = expand_params(self.style, FrontierPred::ByNid, Some(mid), 0, bound)?;
             if use_merge {
                 runner.exec_prepared(Phase::PathExpansion, FemOperator::E, &expand, &params)?;
             } else {
                 runner.exec_prepared(
                     Phase::PathExpansion,
                     FemOperator::Aux,
-                    truncate.as_ref().expect("temp-exp mode"),
+                    need(&truncate, "truncate_exp")?,
                     &[],
                 )?;
                 runner.exec_prepared(Phase::PathExpansion, FemOperator::E, &expand, &params)?;
@@ -123,13 +123,13 @@ impl ShortestPathFinder for DjFinder {
                     runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        update_from.as_ref().expect("no-MERGE mode"),
+                        need(&update_from, "update_from_exp")?,
                         &[],
                     )?;
                     runner.exec_prepared(
                         Phase::PathExpansion,
                         FemOperator::M,
-                        insert_from.as_ref().expect("no-MERGE mode"),
+                        need(&insert_from, "insert_from_exp")?,
                         &[],
                     )?;
                 }
@@ -172,7 +172,9 @@ impl ShortestPathFinder for DjFinder {
                     &dist_of,
                     &[Value::Int(t)],
                 )?
-                .expect("settled target must have a distance");
+                .ok_or_else(|| {
+                    fempath_sql::SqlError::Eval("settled target has no distance row".into())
+                })?;
             let node_limit = runner.gdb.num_nodes() + 1;
             let mut nodes = walk_links(&mut runner, &pred_of, None, t, s, node_limit)?;
             nodes.reverse();

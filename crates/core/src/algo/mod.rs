@@ -165,6 +165,17 @@ impl<'a> Runner<'a> {
 /// search (the handle then expects `(qid, nid)` parameters); `None` is
 /// the single-query form. Returns the chain **excluding** `from` itself,
 /// ordered from the node nearest `from` to `anchor`.
+/// The prepared statement the current mode is required to carry. Absence
+/// is a wiring bug between prepare-time and run-time mode flags —
+/// surfaced as a typed error, not a panic.
+pub(crate) fn need<'a>(
+    stmt: &'a Option<PreparedStmt>,
+    name: &'static str,
+) -> Result<&'a PreparedStmt> {
+    stmt.as_ref()
+        .ok_or_else(|| SqlError::Eval(format!("mode bug: {name} statement not prepared")))
+}
+
 pub(crate) fn walk_links(
     runner: &mut Runner<'_>,
     pred_of: &PreparedStmt,

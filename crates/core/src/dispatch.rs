@@ -115,6 +115,8 @@ impl<T> Slot<T> {
 
     fn record_wait(&self, queued_at: Instant) {
         let us = queued_at.elapsed().as_micros() as u64;
+        // ORDERING: Relaxed — monotonic histogram counter, read racily
+        // for reporting; nothing is ordered against it.
         self.wait[WaitHistogram::bucket(us)].fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -170,6 +172,8 @@ impl<T> StealQueues<T> {
     /// — batch submission spreads its tiles from here so two concurrent
     /// batches don't pile onto the same workers.
     pub fn reserve_targets(&self, n: usize) -> usize {
+        // ORDERING: Relaxed — the cursor only spreads load; any
+        // interleaving of the RMWs yields distinct, valid targets.
         self.rr.fetch_add(n, Ordering::Relaxed) % self.slots.len()
     }
 
@@ -190,6 +194,8 @@ impl<T> StealQueues<T> {
         {
             let mut q = lock(&slot.queue);
             q.push_back((job, Instant::now()));
+            // ORDERING: Relaxed — diagnostic high-water mark; the queue
+            // mutex already orders the len() read it records.
             slot.depth_hwm.fetch_max(q.len() as u64, Ordering::Relaxed);
         }
         if self.idle.load(Ordering::SeqCst) > 0 {
@@ -240,6 +246,8 @@ impl<T> StealQueues<T> {
             if let Some((job, queued_at)) = taken {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 self.slots[victim].record_wait(queued_at);
+                // ORDERING: Relaxed — monotonic diagnostic counters read
+                // racily by `queue_stats`; nothing is ordered against them.
                 self.slots[me].executed.fetch_add(1, Ordering::Relaxed);
                 if victim != me {
                     self.slots[me].stolen.fetch_add(1, Ordering::Relaxed);
@@ -266,6 +274,8 @@ impl<T> StealQueues<T> {
     /// Counter snapshot for worker `i`'s queue.
     pub fn queue_stats(&self, i: usize) -> WorkerQueueStats {
         let slot = &self.slots[i];
+        // ORDERING: Relaxed — racy snapshot of diagnostic counters; a
+        // torn view across counters is acceptable for reporting.
         WorkerQueueStats {
             executed: slot.executed.load(Ordering::Relaxed),
             stolen: slot.stolen.load(Ordering::Relaxed),

@@ -321,6 +321,108 @@ impl GraphDb {
         self.db.dialect().supports_merge
     }
 
+    /// The steady-state reset statements (every table already exists after
+    /// the first query, so resets are TRUNCATEs — DESIGN.md §9).
+    fn reset_statement_corpus(&self) -> Vec<crate::sqlgen::AnnotatedSql> {
+        use crate::sqlgen::AnnotatedSql;
+        vec![
+            AnnotatedSql::cold("rst/truncate_visited", "TRUNCATE TABLE TVisited"),
+            AnnotatedSql::cold("rst/truncate_exp", "TRUNCATE TABLE TExp"),
+            AnnotatedSql::cold("rst/truncate_tbvisited", "TRUNCATE TABLE TBVisited"),
+            AnnotatedSql::cold("rst/truncate_tbounds", "TRUNCATE TABLE TBounds"),
+            AnnotatedSql::cold("rst/truncate_tbexp", "TRUNCATE TABLE TBExp"),
+        ]
+    }
+
+    /// Statically analyzes every statement the finders (DJ/BDJ/BSDJ/BBFS/
+    /// BSEG and the batched variants), the landmark index, the SegTable
+    /// build, and the working-table resets can issue — under **both**
+    /// supported dialects — and returns one `(name, report)` pair per
+    /// statement. Names are `"<dialect>::<corpus path>"`, e.g.
+    /// `"DBMS-X::fwd/edges/nsql/merge_from_exp"`.
+    ///
+    /// Working tables are (re)created first through the idempotent resets.
+    /// Corpora that reference optional structures are gated on their
+    /// tables existing: the SegTable-sourced finder statements and the
+    /// build corpus need `TOutSegs`/`TInSegs`, the landmark corpus needs
+    /// `TLandmarks`. The build's own `TSegV`/`TSegExp` (dropped after a
+    /// real build) are resurrected for the duration of the walk.
+    ///
+    /// This is the femcheck corpus gate: `tests/analyze_corpus.rs` pins
+    /// every returned report to zero diagnostics.
+    pub fn analyze_all_statements(&mut self) -> Result<Vec<(String, fempath_sql::Report)>> {
+        use crate::sqlgen::{AnnotatedSql, BatchSqlGen, Dir, EdgeSource, SqlGen};
+        use crate::stats::SqlStyle;
+
+        self.reset_visited()?;
+        self.reset_exp()?;
+        self.reset_batch_tables()?;
+        self.reset_batch_exp()?;
+        let has_segs = self.db.has_table("TOutSegs") && self.db.has_table("TInSegs");
+        let has_lms = self.db.has_table("TLandmarks");
+        let temp_segv = has_segs && !self.db.has_table("TSegV");
+        if temp_segv {
+            crate::segtable::create_working_tables(&mut self.db)?;
+        }
+
+        let mut out = Vec::new();
+        for dialect in [Dialect::DBMS_X, Dialect::POSTGRES] {
+            let merge = dialect.supports_merge;
+            let mut corpus: Vec<AnnotatedSql> = self.reset_statement_corpus();
+            for dir in [Dir::Fwd, Dir::Bwd] {
+                for style in [SqlStyle::New, SqlStyle::Traditional] {
+                    corpus
+                        .extend(SqlGen::new(dir, EdgeSource::Edges, style).annotated_corpus(merge));
+                    if has_segs {
+                        corpus.extend(
+                            SqlGen::new(dir, EdgeSource::SegTable, style).annotated_corpus(merge),
+                        );
+                    }
+                    for prune in [false, true] {
+                        corpus.extend(
+                            BatchSqlGen::new(dir, EdgeSource::Edges, style, prune)
+                                .annotated_corpus(merge),
+                        );
+                        if has_segs {
+                            corpus.extend(
+                                BatchSqlGen::new(dir, EdgeSource::SegTable, style, prune)
+                                    .annotated_corpus(merge),
+                            );
+                        }
+                    }
+                }
+            }
+            corpus.extend(crate::sqlgen::free_statement_corpus(has_lms));
+            if has_lms {
+                corpus.extend(crate::landmarks::statement_corpus());
+            }
+            if has_segs {
+                corpus.extend(crate::segtable::build_statement_corpus(
+                    SqlStyle::New,
+                    merge,
+                ));
+                corpus.extend(crate::segtable::build_statement_corpus(
+                    SqlStyle::Traditional,
+                    false,
+                ));
+            }
+            for a in corpus {
+                let opts = fempath_sql::AnalyzeOptions {
+                    hot_path: a.hot_path,
+                };
+                let report =
+                    fempath_sql::analyze::analyze_sql(self.db.catalog(), dialect, &a.sql, &opts)?;
+                out.push((format!("{}::{}", dialect.name, a.name), report));
+            }
+        }
+
+        if temp_segv {
+            self.db.execute("DROP TABLE TSegV")?;
+            self.db.execute("DROP TABLE TSegExp")?;
+        }
+        Ok(out)
+    }
+
     /// Switches the SQL engine between the vectorized (default) and the
     /// row-at-a-time plan executor — the experiments use this to record
     /// before/after numbers on identical plans (DESIGN.md §11).

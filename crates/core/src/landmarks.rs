@@ -26,9 +26,83 @@
 
 use crate::algo::Path;
 use crate::graphdb::{GraphDb, LandmarkInfo, INF, NO_NODE};
+use crate::sqlgen::AnnotatedSql;
 use crate::sssp::single_source;
 use fempath_sql::{Result, SqlError};
 use fempath_storage::Value;
+
+// The statement texts live in consts/helpers shared with
+// [`statement_corpus`], so the analyzed corpus is byte-for-byte what the
+// serving and build paths execute.
+const CREATE_SQL: &str = "CREATE TABLE TLandmarks (lm INT, nid INT, d INT, p INT)";
+const INDEX_SQL: &str = "CREATE CLUSTERED INDEX idx_tlandmarks ON TLandmarks(nid)";
+const CAND_UNCHOSEN: &str = "(SELECT fid, COUNT(*) AS deg FROM TEdges \
+                             WHERE fid NOT IN (SELECT lm FROM TLandmarks WHERE lm IS NOT NULL) \
+                             GROUP BY fid) cand";
+const CAND_UNCOVERED: &str = "(SELECT fid, COUNT(*) AS deg FROM TEdges \
+                              WHERE fid NOT IN (SELECT nid FROM TLandmarks WHERE nid IS NOT NULL) \
+                              GROUP BY fid) cand";
+const COV: &str = "(SELECT nid, MIN(d) AS md FROM TLandmarks GROUP BY nid) cov";
+const UPPER_SQL: &str = "SELECT MIN(a.d + b.d) FROM TLandmarks a, TLandmarks b \
+                         WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm";
+const LOWER_FWD_SQL: &str = "SELECT MAX(a.d - b.d) FROM TLandmarks a, TLandmarks b \
+                             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm";
+const LOWER_REV_SQL: &str = "SELECT MAX(b.d - a.d) FROM TLandmarks a, TLandmarks b \
+                             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm";
+const COMMON_SQL: &str = "SELECT MIN(a.lm) FROM TLandmarks a, TLandmarks b \
+                          WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm";
+const WITNESS_SQL: &str = "SELECT MIN(a.lm) FROM TLandmarks a, TLandmarks b \
+                           WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm AND a.d + b.d = ?";
+const WALK_SQL: &str = "SELECT p FROM TLandmarks WHERE lm = ? AND nid = ?";
+
+fn store_tree_sql(lm: i64) -> String {
+    format!(
+        "INSERT INTO TLandmarks (lm, nid, d, p) \
+         SELECT {lm}, nid, d2s, p2s FROM TVisited WHERE d2s < {INF}"
+    )
+}
+
+/// Every statement the landmark subsystem issues, annotated for the static
+/// analyzer. All statements reference `TLandmarks`, so the corpus walker
+/// only includes them once the index is built. The serving probes
+/// ([`estimate_distance`], [`upper_bound`], [`common_landmark`], the
+/// [`exact_path`] witness and [`walk_tree`]) are hot: each must ride the
+/// clustered `nid` index. Build and selection statements are cold — they
+/// run once per index build.
+pub fn statement_corpus() -> Vec<AnnotatedSql> {
+    vec![
+        AnnotatedSql::cold("lm/create_table", CREATE_SQL),
+        AnnotatedSql::cold("lm/store_tree", store_tree_sql(0)),
+        AnnotatedSql::cold("lm/create_index", INDEX_SQL),
+        AnnotatedSql::cold(
+            "lm/pick_unchosen/max",
+            format!("SELECT MAX(deg) FROM {CAND_UNCHOSEN}"),
+        ),
+        AnnotatedSql::cold(
+            "lm/pick_unchosen/argmin",
+            format!("SELECT MIN(fid) FROM {CAND_UNCHOSEN} WHERE deg = ?"),
+        ),
+        AnnotatedSql::cold(
+            "lm/pick_uncovered/max",
+            format!("SELECT MAX(deg) FROM {CAND_UNCOVERED}"),
+        ),
+        AnnotatedSql::cold(
+            "lm/pick_uncovered/argmin",
+            format!("SELECT MIN(fid) FROM {CAND_UNCOVERED} WHERE deg = ?"),
+        ),
+        AnnotatedSql::cold("lm/pick_farthest/max", format!("SELECT MAX(md) FROM {COV}")),
+        AnnotatedSql::cold(
+            "lm/pick_farthest/argmin",
+            format!("SELECT MIN(nid) FROM {COV} WHERE md = ?"),
+        ),
+        AnnotatedSql::hot("lm/estimate/upper", UPPER_SQL),
+        AnnotatedSql::hot("lm/estimate/lower_fwd", LOWER_FWD_SQL),
+        AnnotatedSql::hot("lm/estimate/lower_rev", LOWER_REV_SQL),
+        AnnotatedSql::hot("lm/common_landmark", COMMON_SQL),
+        AnnotatedSql::hot("lm/exact_path/witness", WITNESS_SQL),
+        AnnotatedSql::hot("lm/walk_tree", WALK_SQL),
+    ]
+}
 
 /// Bounds on δ(s, t) derived from the landmark table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,8 +207,7 @@ pub fn build_landmark_index(
 
 fn reset_table(gdb: &mut GraphDb) -> Result<()> {
     gdb.db.execute("DROP TABLE IF EXISTS TLandmarks")?;
-    gdb.db
-        .execute("CREATE TABLE TLandmarks (lm INT, nid INT, d INT, p INT)")?;
+    gdb.db.execute(CREATE_SQL)?;
     Ok(())
 }
 
@@ -144,18 +217,14 @@ fn reset_table(gdb: &mut GraphDb) -> Result<()> {
 /// Returns the SSSP iteration count.
 fn store_tree(gdb: &mut GraphDb, lm: i64) -> Result<u64> {
     let res = single_source(gdb, lm)?;
-    gdb.db.execute(&format!(
-        "INSERT INTO TLandmarks (lm, nid, d, p) \
-         SELECT {lm}, nid, d2s, p2s FROM TVisited WHERE d2s < {INF}"
-    ))?;
+    gdb.db.execute(&store_tree_sql(lm))?;
     Ok(res.iterations)
 }
 
 /// Creates the clustered `nid` index (after all inserts, so the bulk loads
 /// hit the heap path) and records the index on the [`GraphDb`].
 fn finish_build(gdb: &mut GraphDb, k: usize) -> Result<u64> {
-    gdb.db
-        .execute("CREATE CLUSTERED INDEX idx_tlandmarks ON TLandmarks(nid)")?;
+    gdb.db.execute(INDEX_SQL)?;
     let pairs = gdb.db.table_len("TLandmarks")?;
     gdb.set_landmarks(LandmarkInfo { k, pairs });
     Ok(pairs)
@@ -165,19 +234,16 @@ fn finish_build(gdb: &mut GraphDb, k: usize) -> Result<u64> {
 /// via two aggregates (the engine has no ORDER BY … LIMIT idiom we rely
 /// on): first the maximal degree, then the minimal node realizing it.
 fn pick_max_degree_unchosen(gdb: &mut GraphDb) -> Result<Option<i64>> {
-    const CAND: &str = "(SELECT fid, COUNT(*) AS deg FROM TEdges \
-                        WHERE fid NOT IN (SELECT lm FROM TLandmarks) \
-                        GROUP BY fid) cand";
     let Some(maxdeg) = gdb
         .db
-        .query(&format!("SELECT MAX(deg) FROM {CAND}"))?
+        .query(&format!("SELECT MAX(deg) FROM {CAND_UNCHOSEN}"))?
         .scalar_i64()
     else {
         return Ok(None);
     };
     gdb.db
         .query_params(
-            &format!("SELECT MIN(fid) FROM {CAND} WHERE deg = ?"),
+            &format!("SELECT MIN(fid) FROM {CAND_UNCHOSEN} WHERE deg = ?"),
             &[Value::Int(maxdeg)],
         )
         .map(|rs| rs.scalar_i64())
@@ -185,19 +251,16 @@ fn pick_max_degree_unchosen(gdb: &mut GraphDb) -> Result<Option<i64>> {
 
 /// Highest-degree node no existing landmark tree reaches.
 fn pick_max_degree_uncovered(gdb: &mut GraphDb) -> Result<Option<i64>> {
-    const CAND: &str = "(SELECT fid, COUNT(*) AS deg FROM TEdges \
-                        WHERE fid NOT IN (SELECT nid FROM TLandmarks) \
-                        GROUP BY fid) cand";
     let Some(maxdeg) = gdb
         .db
-        .query(&format!("SELECT MAX(deg) FROM {CAND}"))?
+        .query(&format!("SELECT MAX(deg) FROM {CAND_UNCOVERED}"))?
         .scalar_i64()
     else {
         return Ok(None);
     };
     gdb.db
         .query_params(
-            &format!("SELECT MIN(fid) FROM {CAND} WHERE deg = ?"),
+            &format!("SELECT MIN(fid) FROM {CAND_UNCOVERED} WHERE deg = ?"),
             &[Value::Int(maxdeg)],
         )
         .map(|rs| rs.scalar_i64())
@@ -206,7 +269,6 @@ fn pick_max_degree_uncovered(gdb: &mut GraphDb) -> Result<Option<i64>> {
 /// The covered node farthest from its nearest landmark; `None` once only
 /// landmarks themselves remain (their min-distance is 0).
 fn pick_farthest_covered(gdb: &mut GraphDb) -> Result<Option<i64>> {
-    const COV: &str = "(SELECT nid, MIN(d) AS md FROM TLandmarks GROUP BY nid) cov";
     let Some(maxd) = gdb
         .db
         .query(&format!("SELECT MAX(md) FROM {COV}"))?
@@ -240,11 +302,7 @@ pub fn estimate_distance(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<Dis
     }
     let upper = gdb
         .db
-        .query_params(
-            "SELECT MIN(a.d + b.d) FROM TLandmarks a, TLandmarks b \
-             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
-            &[Value::Int(s), Value::Int(t)],
-        )?
+        .query_params(UPPER_SQL, &[Value::Int(s), Value::Int(t)])?
         .scalar_i64();
     let Some(upper) = upper else {
         return Ok(None);
@@ -253,20 +311,12 @@ pub fn estimate_distance(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<Dis
     // paper's SQL stays within basic arithmetic too).
     let lower = gdb
         .db
-        .query_params(
-            "SELECT MAX(a.d - b.d) FROM TLandmarks a, TLandmarks b \
-             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
-            &[Value::Int(s), Value::Int(t)],
-        )?
+        .query_params(LOWER_FWD_SQL, &[Value::Int(s), Value::Int(t)])?
         .scalar_i64()
         .unwrap_or(0);
     let lower_rev = gdb
         .db
-        .query_params(
-            "SELECT MAX(b.d - a.d) FROM TLandmarks a, TLandmarks b \
-             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
-            &[Value::Int(s), Value::Int(t)],
-        )?
+        .query_params(LOWER_REV_SQL, &[Value::Int(s), Value::Int(t)])?
         .scalar_i64()
         .unwrap_or(0);
     Ok(Some(DistanceBounds {
@@ -289,11 +339,7 @@ pub fn upper_bound(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<i64>> {
     }
     Ok(gdb
         .db
-        .query_params(
-            "SELECT MIN(a.d + b.d) FROM TLandmarks a, TLandmarks b \
-             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
-            &[Value::Int(s), Value::Int(t)],
-        )?
+        .query_params(UPPER_SQL, &[Value::Int(s), Value::Int(t)])?
         .scalar_i64())
 }
 
@@ -307,11 +353,7 @@ pub fn common_landmark(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<i64>>
     }
     Ok(gdb
         .db
-        .query_params(
-            "SELECT MIN(a.lm) FROM TLandmarks a, TLandmarks b \
-             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm",
-            &[Value::Int(s), Value::Int(t)],
-        )?
+        .query_params(COMMON_SQL, &[Value::Int(s), Value::Int(t)])?
         .scalar_i64())
 }
 
@@ -351,11 +393,7 @@ pub fn exact_path(gdb: &mut GraphDb, s: i64, t: i64) -> Result<Option<Path>> {
     let d = b.upper;
     let lm = gdb
         .db
-        .query_params(
-            "SELECT MIN(a.lm) FROM TLandmarks a, TLandmarks b \
-             WHERE a.nid = ? AND b.nid = ? AND a.lm = b.lm AND a.d + b.d = ?",
-            &[Value::Int(s), Value::Int(t), Value::Int(d)],
-        )?
+        .query_params(WITNESS_SQL, &[Value::Int(s), Value::Int(t), Value::Int(d)])?
         .scalar_i64()
         .ok_or_else(|| SqlError::Eval("landmark upper bound has no witness row".into()))?;
     let limit = gdb.num_nodes() + 1;
@@ -377,10 +415,7 @@ fn walk_tree(gdb: &mut GraphDb, lm: i64, from: i64, limit: usize) -> Result<Vec<
     while cur != lm {
         let p = gdb
             .db
-            .query_params(
-                "SELECT p FROM TLandmarks WHERE lm = ? AND nid = ?",
-                &[Value::Int(lm), Value::Int(cur)],
-            )?
+            .query_params(WALK_SQL, &[Value::Int(lm), Value::Int(cur)])?
             .scalar_i64()
             .ok_or_else(|| SqlError::Eval(format!("broken landmark parent chain at node {cur}")))?;
         if p == NO_NODE || p == cur {

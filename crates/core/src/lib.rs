@@ -32,6 +32,8 @@
 //! assert_eq!(path.nodes.last(), Some(&35));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod dispatch;
 pub mod fem;

@@ -9,7 +9,7 @@
 
 use crate::fem::{run_fem, FemSearch};
 use crate::graphdb::GraphDb;
-use fempath_sql::{Database, Result};
+use fempath_sql::{Database, Result, SqlError};
 use fempath_storage::Value;
 
 /// Result of the relational Prim run.
@@ -61,7 +61,9 @@ impl FemSearch for PrimSearch {
     }
 
     fn expand_and_merge(&mut self, db: &mut Database, _k: u64) -> Result<u64> {
-        let mid = self.mid.expect("select_frontier succeeded");
+        let mid = self.mid.ok_or_else(|| {
+            SqlError::Eval("expand_and_merge called without a selected frontier node".into())
+        })?;
         // Relax the neighbours of the newly added node. Unlike shortest
         // paths, the comparison key is the single edge weight.
         Ok(db
@@ -94,11 +96,12 @@ pub fn prim_mst(gdb: &mut GraphDb, start: i64) -> Result<MstResult> {
     let mut edges = Vec::with_capacity(rs.len());
     let mut total = 0i64;
     for row in &rs.rows {
-        let (n, p, w) = (
-            row[0].as_i64().unwrap(),
-            row[1].as_i64().unwrap(),
-            row[2].as_i64().unwrap(),
-        );
+        let col = |i: usize| {
+            row[i]
+                .as_i64()
+                .ok_or_else(|| SqlError::Eval("TMst holds non-integer columns".into()))
+        };
+        let (n, p, w) = (col(0)?, col(1)?, col(2)?);
         edges.push((n, p, w));
         total += w;
     }

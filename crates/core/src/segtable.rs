@@ -12,11 +12,153 @@
 //! strategy.
 
 use crate::graphdb::{GraphDb, SegTableInfo};
+use crate::sqlgen::AnnotatedSql;
 use crate::stats::SqlStyle;
 use fempath_graph::IndexKind;
 use fempath_sql::{Result, SqlError};
 use fempath_storage::{IoStats, Value};
 use std::time::{Duration, Instant};
+
+// Statement texts shared between [`build_segtable_with`] and
+// [`build_statement_corpus`], so the analyzed corpus is byte-for-byte what
+// the build executes.
+const CREATE_TSEGV: &str = "CREATE TABLE TSegV (src INT, nid INT, d2s INT, p2s INT, f INT)";
+const CREATE_TSEGV_IDX: &str = "CREATE UNIQUE CLUSTERED INDEX idx_tsegv ON TSegV(src, nid)";
+const SEED_TSEGV: &str =
+    "INSERT INTO TSegV (src, nid, d2s, p2s, f) SELECT nid, nid, 0, nid, 0 FROM TNodes";
+const CREATE_TSEGEXP: &str = "CREATE TABLE TSegExp (src INT, nid INT, p2s INT, cost INT)";
+const MARK: &str = "UPDATE TSegV SET f = 2 WHERE f = 0 AND (d2s < ? OR d2s = \
+                    (SELECT MIN(d2s) FROM TSegV WHERE f = 0))";
+const UPDATE_FROM: &str = "UPDATE TSegV SET d2s = TSegExp.cost, p2s = TSegExp.p2s, f = 0 \
+                           FROM TSegExp WHERE TSegV.src = TSegExp.src AND TSegV.nid = TSegExp.nid \
+                           AND TSegV.d2s > TSegExp.cost";
+// Composite-key anti-join via single-value encoding (src·n + nid).
+const INSERT_NEW: &str = "INSERT INTO TSegV (src, nid, d2s, p2s, f) \
+                          SELECT src, nid, cost, p2s, 0 FROM TSegExp \
+                          WHERE src * ? + nid NOT IN (SELECT src * ? + nid FROM TSegV \
+                          WHERE src IS NOT NULL AND nid IS NOT NULL)";
+const RESET: &str = "UPDATE TSegV SET f = 1 WHERE f = 2";
+const CREATE_TOUTSEGS: &str = "CREATE TABLE TOutSegs (fid INT, tid INT, pid INT, cost INT)";
+const COPY_SEGMENTS: &str = "INSERT INTO TOutSegs (fid, tid, pid, cost) \
+                             SELECT src, nid, p2s, d2s FROM TSegV WHERE nid <> src";
+const RESIDUAL_MERGE: &str = "MERGE INTO TOutSegs AS target USING TEdges AS source \
+     ON source.fid = target.fid AND source.tid = target.tid \
+     WHEN NOT MATCHED THEN \
+       INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.fid, source.cost)";
+// No MERGE (PostgreSQL 9.0 dialect or TSQL style): composite-key anti-join
+// via the single-value encoding fid·n + tid.
+const RESIDUAL_ANTIJOIN: &str = "INSERT INTO TOutSegs (fid, tid, pid, cost) \
+                                 SELECT fid, tid, fid, cost FROM TEdges \
+                                 WHERE fid * ? + tid NOT IN (SELECT fid * ? + tid FROM TOutSegs \
+                                 WHERE fid IS NOT NULL AND tid IS NOT NULL)";
+const CREATE_TINSEGS: &str = "CREATE TABLE TInSegs (fid INT, tid INT, pid INT, cost INT)";
+const MIRROR_TINSEGS: &str =
+    "INSERT INTO TInSegs (fid, tid, pid, cost) SELECT fid, tid, pid, cost FROM TOutSegs";
+
+fn e_source_sql(style: SqlStyle) -> &'static str {
+    match style {
+        SqlStyle::New => {
+            "SELECT src, nid, np, cost FROM ( \
+               SELECT q.src AS src, e.tid AS nid, e.fid AS np, e.cost + q.d2s AS cost, \
+                      ROW_NUMBER() OVER (PARTITION BY q.src, e.tid ORDER BY e.cost + q.d2s) AS rownum \
+               FROM TSegV q, TEdges e \
+               WHERE q.nid = e.fid AND q.f = 2 AND e.cost + q.d2s <= ? AND e.tid <> q.src \
+             ) tmp WHERE rownum = 1"
+        }
+        SqlStyle::Traditional => {
+            "SELECT q2.src AS src, e2.tid AS nid, MIN(e2.fid) AS np, m.c AS cost \
+             FROM TSegV q2, TEdges e2, ( \
+                SELECT q.src AS msrc, e.tid AS mtid, MIN(e.cost + q.d2s) AS c \
+                FROM TSegV q, TEdges e \
+                WHERE q.nid = e.fid AND q.f = 2 AND e.cost + q.d2s <= ? AND e.tid <> q.src \
+                GROUP BY q.src, e.tid \
+             ) m \
+             WHERE q2.nid = e2.fid AND q2.f = 2 AND q2.src = m.msrc AND e2.tid = m.mtid \
+               AND e2.cost + q2.d2s = m.c AND e2.tid <> q2.src \
+             GROUP BY q2.src, e2.tid, m.c"
+        }
+    }
+}
+
+fn expand_merge_sql(style: SqlStyle) -> String {
+    let e_source = e_source_sql(style);
+    format!(
+        "MERGE INTO TSegV AS target USING ({e_source}) AS source (src, nid, np, cost) \
+         ON source.src = target.src AND source.nid = target.nid \
+         WHEN MATCHED AND target.d2s > source.cost THEN \
+           UPDATE SET d2s = source.cost, p2s = source.np, f = 0 \
+         WHEN NOT MATCHED THEN \
+           INSERT (src, nid, d2s, p2s, f) VALUES (source.src, source.nid, source.cost, source.np, 0)"
+    )
+}
+
+fn expand_into_sql(style: SqlStyle) -> String {
+    let e_source = e_source_sql(style);
+    format!("INSERT INTO TSegExp (src, nid, p2s, cost) {e_source}")
+}
+
+/// Recreates the build's working tables so the build corpus resolves when
+/// analyzed after a real build (which drops them). The corpus walker calls
+/// this, analyzes, and drops the tables again.
+pub(crate) fn create_working_tables(db: &mut fempath_sql::Database) -> Result<()> {
+    db.execute(CREATE_TSEGV)?;
+    db.execute(CREATE_TSEGV_IDX)?;
+    db.execute(CREATE_TSEGEXP)?;
+    Ok(())
+}
+
+/// Every statement one SegTable build configuration issues, annotated for
+/// the static analyzer. All statements are cold — the build runs once per
+/// database, offline. `TSegV`/`TSegExp` are dropped after a real build, so
+/// the corpus walker recreates them while analyzing.
+pub fn build_statement_corpus(style: SqlStyle, use_merge: bool) -> Vec<AnnotatedSql> {
+    let t = match style {
+        SqlStyle::New => "seg/nsql",
+        SqlStyle::Traditional => "seg/tsql",
+    };
+    let m = if use_merge { "merge" } else { "nomerge" };
+    let mut out = vec![
+        AnnotatedSql::cold(format!("{t}/{m}/create_tsegv"), CREATE_TSEGV),
+        AnnotatedSql::cold(format!("{t}/{m}/create_tsegv_idx"), CREATE_TSEGV_IDX),
+        AnnotatedSql::cold(format!("{t}/{m}/seed_tsegv"), SEED_TSEGV),
+        AnnotatedSql::cold(format!("{t}/{m}/mark"), MARK),
+        AnnotatedSql::cold(format!("{t}/{m}/reset"), RESET),
+        AnnotatedSql::cold(format!("{t}/{m}/copy_segments"), COPY_SEGMENTS),
+        AnnotatedSql::cold(format!("{t}/{m}/mirror_tinsegs"), MIRROR_TINSEGS),
+    ];
+    if use_merge {
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/expand_merge"),
+            expand_merge_sql(style),
+        ));
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/residual_merge"),
+            RESIDUAL_MERGE,
+        ));
+    } else {
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/create_tsegexp"),
+            CREATE_TSEGEXP,
+        ));
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/expand_into"),
+            expand_into_sql(style),
+        ));
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/update_from"),
+            UPDATE_FROM,
+        ));
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/insert_new"),
+            INSERT_NEW,
+        ));
+        out.push(AnnotatedSql::cold(
+            format!("{t}/{m}/residual_antijoin"),
+            RESIDUAL_ANTIJOIN,
+        ));
+    }
+    out
+}
 
 /// Measurements of one SegTable build (Fig 9 reports size and time).
 #[derive(Debug, Clone, Copy)]
@@ -57,70 +199,24 @@ pub fn build_segtable_with(gdb: &mut GraphDb, lthd: i64, style: SqlStyle) -> Res
     gdb.db.execute("DROP TABLE IF EXISTS TSegExp")?;
     gdb.db.execute("DROP TABLE IF EXISTS TOutSegs")?;
     gdb.db.execute("DROP TABLE IF EXISTS TInSegs")?;
-    gdb.db
-        .execute("CREATE TABLE TSegV (src INT, nid INT, d2s INT, p2s INT, f INT)")?;
-    gdb.db
-        .execute("CREATE UNIQUE CLUSTERED INDEX idx_tsegv ON TSegV(src, nid)")?;
-    gdb.db.execute(
-        "INSERT INTO TSegV (src, nid, d2s, p2s, f) SELECT nid, nid, 0, nid, 0 FROM TNodes",
-    )?;
+    gdb.db.execute(CREATE_TSEGV)?;
+    gdb.db.execute(CREATE_TSEGV_IDX)?;
+    gdb.db.execute(SEED_TSEGV)?;
 
     let use_merge = gdb.merge_supported() && style == SqlStyle::New;
     if !use_merge {
-        gdb.db
-            .execute("CREATE TABLE TSegExp (src INT, nid INT, p2s INT, cost INT)")?;
+        gdb.db.execute(CREATE_TSEGEXP)?;
     }
 
-    let mark = "UPDATE TSegV SET f = 2 WHERE f = 0 AND (d2s < ? OR d2s = \
-                (SELECT MIN(d2s) FROM TSegV WHERE f = 0))";
-    let e_source = match style {
-        SqlStyle::New => {
-            "SELECT src, nid, np, cost FROM ( \
-               SELECT q.src AS src, e.tid AS nid, e.fid AS np, e.cost + q.d2s AS cost, \
-                      ROW_NUMBER() OVER (PARTITION BY q.src, e.tid ORDER BY e.cost + q.d2s) AS rownum \
-               FROM TSegV q, TEdges e \
-               WHERE q.nid = e.fid AND q.f = 2 AND e.cost + q.d2s <= ? AND e.tid <> q.src \
-             ) tmp WHERE rownum = 1"
-                .to_string()
-        }
-        SqlStyle::Traditional => {
-            "SELECT q2.src AS src, e2.tid AS nid, MIN(e2.fid) AS np, m.c AS cost \
-             FROM TSegV q2, TEdges e2, ( \
-                SELECT q.src AS msrc, e.tid AS mtid, MIN(e.cost + q.d2s) AS c \
-                FROM TSegV q, TEdges e \
-                WHERE q.nid = e.fid AND q.f = 2 AND e.cost + q.d2s <= ? AND e.tid <> q.src \
-                GROUP BY q.src, e.tid \
-             ) m \
-             WHERE q2.nid = e2.fid AND q2.f = 2 AND q2.src = m.msrc AND e2.tid = m.mtid \
-               AND e2.cost + q2.d2s = m.c AND e2.tid <> q2.src \
-             GROUP BY q2.src, e2.tid, m.c"
-                .to_string()
-        }
-    };
-    let expand_merge = format!(
-        "MERGE INTO TSegV AS target USING ({e_source}) AS source (src, nid, np, cost) \
-         ON source.src = target.src AND source.nid = target.nid \
-         WHEN MATCHED AND target.d2s > source.cost THEN \
-           UPDATE SET d2s = source.cost, p2s = source.np, f = 0 \
-         WHEN NOT MATCHED THEN \
-           INSERT (src, nid, d2s, p2s, f) VALUES (source.src, source.nid, source.cost, source.np, 0)"
-    );
-    let expand_into = format!("INSERT INTO TSegExp (src, nid, p2s, cost) {e_source}");
-    let update_from = "UPDATE TSegV SET d2s = TSegExp.cost, p2s = TSegExp.p2s, f = 0 \
-                       FROM TSegExp WHERE TSegV.src = TSegExp.src AND TSegV.nid = TSegExp.nid \
-                       AND TSegV.d2s > TSegExp.cost";
-    // Composite-key anti-join via single-value encoding (src·n + nid).
-    let insert_new = "INSERT INTO TSegV (src, nid, d2s, p2s, f) \
-                      SELECT src, nid, cost, p2s, 0 FROM TSegExp \
-                      WHERE src * ? + nid NOT IN (SELECT src * ? + nid FROM TSegV)";
-    let reset = "UPDATE TSegV SET f = 1 WHERE f = 2";
+    let expand_merge = expand_merge_sql(style);
+    let expand_into = expand_into_sql(style);
 
     let mut iterations = 0u64;
     let mut k = 1i64;
     loop {
         let marked = gdb
             .db
-            .execute_params(mark, &[Value::Int(k.saturating_mul(wmin))])?
+            .execute_params(MARK, &[Value::Int(k.saturating_mul(wmin))])?
             .rows_affected;
         if marked == 0 {
             break;
@@ -130,11 +226,11 @@ pub fn build_segtable_with(gdb: &mut GraphDb, lthd: i64, style: SqlStyle) -> Res
         } else {
             gdb.db.execute("TRUNCATE TABLE TSegExp")?;
             gdb.db.execute_params(&expand_into, &[Value::Int(lthd)])?;
-            gdb.db.execute(update_from)?;
+            gdb.db.execute(UPDATE_FROM)?;
             gdb.db
-                .execute_params(insert_new, &[Value::Int(n), Value::Int(n)])?;
+                .execute_params(INSERT_NEW, &[Value::Int(n), Value::Int(n)])?;
         }
-        gdb.db.execute(reset)?;
+        gdb.db.execute(RESET)?;
         iterations += 1;
         k += 1;
         if iterations > 4 * lthd.max(4) as u64 + gdb.num_nodes() as u64 {
@@ -145,12 +241,8 @@ pub fn build_segtable_with(gdb: &mut GraphDb, lthd: i64, style: SqlStyle) -> Res
     }
 
     // Step 2: materialize TOutSegs = segments + residual original edges.
-    gdb.db
-        .execute("CREATE TABLE TOutSegs (fid INT, tid INT, pid INT, cost INT)")?;
-    gdb.db.execute(
-        "INSERT INTO TOutSegs (fid, tid, pid, cost) \
-         SELECT src, nid, p2s, d2s FROM TSegV WHERE nid <> src",
-    )?;
+    gdb.db.execute(CREATE_TOUTSEGS)?;
+    gdb.db.execute(COPY_SEGMENTS)?;
     // Index before the residual-edge MERGE so its probes are index lookups.
     let (create_index, drop_after): (&str, bool) = match gdb.edges_index() {
         IndexKind::Clustered => (
@@ -163,32 +255,18 @@ pub fn build_segtable_with(gdb: &mut GraphDb, lthd: i64, style: SqlStyle) -> Res
     gdb.db.execute(create_index)?;
     // Definition 4 case 2: original edges whose endpoints have no segment.
     if use_merge {
-        gdb.db.execute(
-            "MERGE INTO TOutSegs AS target USING TEdges AS source \
-             ON source.fid = target.fid AND source.tid = target.tid \
-             WHEN NOT MATCHED THEN \
-               INSERT (fid, tid, pid, cost) VALUES (source.fid, source.tid, source.fid, source.cost)",
-        )?;
+        gdb.db.execute(RESIDUAL_MERGE)?;
     } else {
-        // No MERGE (PostgreSQL 9.0 dialect or TSQL style): composite-key
-        // anti-join via the single-value encoding fid·n + tid.
-        gdb.db.execute_params(
-            "INSERT INTO TOutSegs (fid, tid, pid, cost) \
-             SELECT fid, tid, fid, cost FROM TEdges \
-             WHERE fid * ? + tid NOT IN (SELECT fid * ? + tid FROM TOutSegs)",
-            &[Value::Int(n), Value::Int(n)],
-        )?;
+        gdb.db
+            .execute_params(RESIDUAL_ANTIJOIN, &[Value::Int(n), Value::Int(n)])?;
     }
     if drop_after {
         gdb.db.execute("DROP INDEX idx_toutsegs_fid")?;
     }
 
     // TInSegs: identical content for symmetric graphs (DESIGN.md §4).
-    gdb.db
-        .execute("CREATE TABLE TInSegs (fid INT, tid INT, pid INT, cost INT)")?;
-    gdb.db.execute(
-        "INSERT INTO TInSegs (fid, tid, pid, cost) SELECT fid, tid, pid, cost FROM TOutSegs",
-    )?;
+    gdb.db.execute(CREATE_TINSEGS)?;
+    gdb.db.execute(MIRROR_TINSEGS)?;
     match gdb.edges_index() {
         IndexKind::Clustered => {
             gdb.db

@@ -19,6 +19,43 @@
 use crate::graphdb::{INF, NO_NODE};
 use crate::stats::SqlStyle;
 
+/// One generated statement plus the metadata the static analyzer needs:
+/// a stable corpus name and whether the statement is *hot-path* — executed
+/// per search iteration (or per result-path probe), where a full scan of
+/// an indexed working table is a plan-shape regression (rule FC201).
+///
+/// The annotation policy (DESIGN.md §15): point probes (`dist_of`,
+/// `pred_of`, `settled`, `walk_tree`) and the M-operator statements that
+/// probe the visited table per expansion row are hot; the F-operator
+/// aggregate scans (`select_mid`, `candidate_stats`), frontier marks and
+/// whole-table resets are *expected* to scan and stay cold.
+#[derive(Debug, Clone)]
+pub struct AnnotatedSql {
+    /// Stable corpus name, e.g. `fwd/edges/nsql/merge_from_exp`.
+    pub name: String,
+    pub sql: String,
+    /// Analyze with [`fempath_sql::AnalyzeOptions::hot_path`] set.
+    pub hot_path: bool,
+}
+
+impl AnnotatedSql {
+    pub(crate) fn hot(name: impl Into<String>, sql: impl Into<String>) -> AnnotatedSql {
+        AnnotatedSql {
+            name: name.into(),
+            sql: sql.into(),
+            hot_path: true,
+        }
+    }
+
+    pub(crate) fn cold(name: impl Into<String>, sql: impl Into<String>) -> AnnotatedSql {
+        AnnotatedSql {
+            name: name.into(),
+            sql: sql.into(),
+            hot_path: false,
+        }
+    }
+}
+
 /// Search direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dir {
@@ -295,7 +332,7 @@ impl SqlGen {
         format!(
             "INSERT INTO TVisited (nid, {dist}, {pred}, {flag}, {odist}, {opred}, {oflag}) \
              SELECT nid, cost, p2s, 0, {INF}, {NO_NODE}, 0 FROM TExp \
-             WHERE nid NOT IN (SELECT nid FROM TVisited)"
+             WHERE nid NOT IN (SELECT nid FROM TVisited WHERE nid IS NOT NULL)"
         )
     }
 
@@ -317,6 +354,76 @@ impl SqlGen {
         let (_, _, flag, ..) = self.dir.cols();
         format!("SELECT nid FROM TVisited WHERE {flag} = 1 AND nid = ?")
     }
+
+    /// Stable corpus prefix for this generator configuration.
+    fn tag(&self) -> String {
+        let d = match self.dir {
+            Dir::Fwd => "fwd",
+            Dir::Bwd => "bwd",
+        };
+        let e = match self.edges {
+            EdgeSource::Edges => "edges",
+            EdgeSource::SegTable => "seg",
+        };
+        let s = match self.style {
+            SqlStyle::New => "nsql",
+            SqlStyle::Traditional => "tsql",
+        };
+        format!("{d}/{e}/{s}")
+    }
+
+    /// Every statement this generator can emit, annotated for the static
+    /// analyzer ([`AnnotatedSql`]). MERGE statements are included only when
+    /// `merge_supported` — the finders make the same dialect choice.
+    ///
+    /// Hot statements: the ByNid expansions (one index probe per expanded
+    /// node), the three M-operator statements (probe `TVisited` per
+    /// expansion row) and the per-node result probes. The F-operator
+    /// aggregates and frontier marks intentionally scan and stay cold.
+    pub fn annotated_corpus(&self, merge_supported: bool) -> Vec<AnnotatedSql> {
+        let t = self.tag();
+        let mut out = vec![
+            AnnotatedSql::cold(format!("{t}/init"), SqlGen::init(self.dir)),
+            AnnotatedSql::cold(format!("{t}/select_mid"), self.select_mid()),
+            AnnotatedSql::cold(format!("{t}/min_candidate"), self.min_candidate()),
+            AnnotatedSql::cold(format!("{t}/candidate_count"), self.candidate_count()),
+            AnnotatedSql::cold(format!("{t}/candidate_stats"), self.candidate_stats()),
+            AnnotatedSql::cold(format!("{t}/mark_by_nid"), self.mark_by_nid()),
+            AnnotatedSql::cold(format!("{t}/mark_by_dist"), self.mark_by_dist()),
+            AnnotatedSql::cold(format!("{t}/mark_all"), self.mark_all()),
+            AnnotatedSql::cold(format!("{t}/mark_threshold"), self.mark_threshold()),
+            AnnotatedSql::cold(format!("{t}/reset_frontier"), self.reset_frontier()),
+            AnnotatedSql::cold(format!("{t}/settle_by_nid"), self.settle_by_nid()),
+            AnnotatedSql::hot(
+                format!("{t}/expand_into_exp/by_nid"),
+                self.expand_into_exp(FrontierPred::ByNid),
+            ),
+            AnnotatedSql::cold(
+                format!("{t}/expand_into_exp/marked"),
+                self.expand_into_exp(FrontierPred::Marked),
+            ),
+            AnnotatedSql::hot(format!("{t}/update_from_exp"), self.update_from_exp()),
+            AnnotatedSql::hot(format!("{t}/insert_from_exp"), self.insert_from_exp()),
+            AnnotatedSql::hot(format!("{t}/pred_of"), self.pred_of()),
+            AnnotatedSql::hot(format!("{t}/dist_of"), self.dist_of()),
+            AnnotatedSql::hot(format!("{t}/settled"), self.settled()),
+        ];
+        if merge_supported {
+            out.push(AnnotatedSql::hot(
+                format!("{t}/expand_merge/by_nid"),
+                self.expand_merge(FrontierPred::ByNid),
+            ));
+            out.push(AnnotatedSql::cold(
+                format!("{t}/expand_merge/marked"),
+                self.expand_merge(FrontierPred::Marked),
+            ));
+            out.push(AnnotatedSql::hot(
+                format!("{t}/merge_from_exp"),
+                self.merge_from_exp(),
+            ));
+        }
+        out
+    }
 }
 
 /// Builds the positional parameter list for [`SqlGen::expand_merge`] /
@@ -330,18 +437,20 @@ pub fn expand_params(
     nid: Option<i64>,
     l_other: i64,
     min_cost: i64,
-) -> Vec<fempath_storage::Value> {
+) -> fempath_sql::Result<Vec<fempath_storage::Value>> {
     use fempath_storage::Value;
+    let node =
+        || nid.ok_or_else(|| fempath_sql::SqlError::Eval("ByNid frontier needs a node id".into()));
     let mut p = Vec::with_capacity(4);
     if frontier == FrontierPred::ByNid {
-        p.push(Value::Int(nid.expect("ByNid frontier needs a node id")));
+        p.push(Value::Int(node()?));
     }
     p.push(Value::Int(l_other));
     p.push(Value::Int(min_cost));
     if style == SqlStyle::Traditional && frontier == FrontierPred::ByNid {
-        p.push(Value::Int(nid.unwrap()));
+        p.push(Value::Int(node()?));
     }
-    p
+    Ok(p)
 }
 
 /// How the batched F-operator picks each query's frontier (the per-qid
@@ -614,7 +723,8 @@ impl BatchSqlGen {
         format!(
             "INSERT INTO TBVisited (qid, nid, {dist}, {pred}, {flag}, {odist}, {opred}, {oflag}) \
              SELECT qid, nid, cost, p2s, 0, {INF}, {NO_NODE}, 0 FROM TBExp \
-             WHERE qid * ? + nid NOT IN (SELECT qid * ? + nid FROM TBVisited)"
+             WHERE qid * ? + nid NOT IN (SELECT qid * ? + nid FROM TBVisited \
+             WHERE qid IS NOT NULL AND nid IS NOT NULL)"
         )
     }
 
@@ -678,6 +788,117 @@ impl BatchSqlGen {
         let (_, pred, ..) = self.dir.cols();
         format!("SELECT {pred} FROM TBVisited WHERE qid = ? AND nid = ?")
     }
+
+    /// Stable corpus prefix for this generator configuration.
+    fn tag(&self) -> String {
+        let d = match self.dir {
+            Dir::Fwd => "fwd",
+            Dir::Bwd => "bwd",
+        };
+        let s = match self.style {
+            SqlStyle::New => "nsql",
+            SqlStyle::Traditional => "tsql",
+        };
+        let e = match self.edges {
+            EdgeSource::Edges => "edges",
+            EdgeSource::SegTable => "seg",
+        };
+        let p = if self.prune { "prune" } else { "noprune" };
+        format!("batch/{d}/{e}/{s}/{p}")
+    }
+
+    /// Every statement this batch generator can emit, annotated for the
+    /// static analyzer. MERGE statements only when `merge_supported`.
+    ///
+    /// Unlike the single-query generator, the batched *expansions* stay
+    /// cold: their frontier predicate is `flag = 2` over the whole batch,
+    /// an intentional scan of `TBVisited` (that one scan advancing every
+    /// in-flight query is the point of batching). The M-operator halves
+    /// and the per-(qid, nid) probes are hot — they must go through the
+    /// composite `(qid, nid)` index.
+    pub fn annotated_corpus(&self, merge_supported: bool) -> Vec<AnnotatedSql> {
+        let t = self.tag();
+        let mut out = vec![
+            AnnotatedSql::cold(
+                format!("{t}/mark_frontier/min"),
+                self.mark_frontier(BatchFrontier::PerQueryMin, false),
+            ),
+            AnnotatedSql::cold(
+                format!("{t}/mark_frontier/min_alt"),
+                self.mark_frontier(BatchFrontier::PerQueryMin, true),
+            ),
+            AnnotatedSql::cold(
+                format!("{t}/mark_frontier/all"),
+                self.mark_frontier(BatchFrontier::All, false),
+            ),
+            AnnotatedSql::cold(
+                format!("{t}/mark_frontier/all_alt"),
+                self.mark_frontier(BatchFrontier::All, true),
+            ),
+            AnnotatedSql::cold(format!("{t}/expand_into_exp"), self.expand_into_exp()),
+            AnnotatedSql::hot(format!("{t}/update_from_exp"), self.update_from_exp()),
+            AnnotatedSql::hot(format!("{t}/insert_from_exp"), self.insert_from_exp()),
+            AnnotatedSql::cold(format!("{t}/reset_frontier"), self.reset_frontier()),
+            AnnotatedSql::cold(format!("{t}/clear_stats"), self.clear_stats()),
+            AnnotatedSql::cold(format!("{t}/refresh_stats"), self.refresh_stats()),
+            AnnotatedSql::cold(
+                format!("{t}/mark_done_target_settled"),
+                self.mark_done_target_settled(),
+            ),
+            AnnotatedSql::cold(
+                format!("{t}/mark_done_exhausted"),
+                self.mark_done_exhausted(),
+            ),
+            AnnotatedSql::hot(format!("{t}/dist_of"), self.dist_of()),
+            AnnotatedSql::hot(format!("{t}/pred_of"), self.pred_of()),
+        ];
+        if merge_supported {
+            out.push(AnnotatedSql::cold(
+                format!("{t}/expand_merge"),
+                self.expand_merge(),
+            ));
+            out.push(AnnotatedSql::hot(
+                format!("{t}/merge_from_exp"),
+                self.merge_from_exp(),
+            ));
+        }
+        out
+    }
+}
+
+/// The free-function statements of the batch driver (plus the single-query
+/// temp-table helpers), annotated for the static analyzer. Statements
+/// referencing `TLandmarks` are included only when `has_landmarks`.
+pub fn free_statement_corpus(has_landmarks: bool) -> Vec<AnnotatedSql> {
+    let live = [(0i64, 0i64, 0i64), (1, 0, 0)];
+    let mut out = vec![
+        AnnotatedSql::cold("batch/init_fwd", BatchSqlGen::init_batch(Dir::Fwd, &live)),
+        AnnotatedSql::cold("batch/init_bwd", BatchSqlGen::init_batch(Dir::Bwd, &live)),
+        AnnotatedSql::cold(
+            "batch/init_bounds/bidi",
+            BatchSqlGen::init_bounds_batch(&live, true),
+        ),
+        AnnotatedSql::cold(
+            "batch/init_bounds/single",
+            BatchSqlGen::init_bounds_batch(&live, false),
+        ),
+        AnnotatedSql::cold("batch/reset_both", batch_reset_both()),
+        AnnotatedSql::cold("batch/fused_stats", batch_fused_stats()),
+        AnnotatedSql::cold("batch/mark_done_drained", batch_mark_done_drained()),
+        AnnotatedSql::cold("batch/mark_done_met", batch_mark_done_met()),
+        AnnotatedSql::cold("batch/read_done_bounds", batch_read_done_bounds()),
+        AnnotatedSql::cold("batch/delete_done_visited", batch_delete_done_visited()),
+        AnnotatedSql::cold("batch/delete_done_bounds", batch_delete_done_bounds()),
+        AnnotatedSql::hot("batch/meet_node", batch_meet_node()),
+        AnnotatedSql::cold("batch/truncate_exp", truncate_batch_exp()),
+        AnnotatedSql::cold("single/min_cost", min_cost()),
+        AnnotatedSql::cold("single/meet_node", meet_node()),
+        AnnotatedSql::cold("single/truncate_exp", truncate_exp()),
+    ];
+    if has_landmarks {
+        out.push(AnnotatedSql::cold("batch/seed_bounds", seed_bounds_batch()));
+    }
+    out
 }
 
 /// Seeds every in-flight query's landmark pruning bound in one statement

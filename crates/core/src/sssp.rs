@@ -57,7 +57,7 @@ pub fn single_source(gdb: &mut GraphDb, s: i64) -> Result<SsspResult> {
         if marked == 0 {
             break;
         }
-        let params = expand_params(SqlStyle::New, FrontierPred::Marked, None, 0, INF);
+        let params = expand_params(SqlStyle::New, FrontierPred::Marked, None, 0, INF)?;
         if use_merge {
             gdb.db
                 .execute_params(&gen.expand_merge(FrontierPred::Marked), &params)?;

@@ -12,6 +12,8 @@
 //!   strategies;
 //! * [`io`] — edge-list files.
 
+#![forbid(unsafe_code)]
+
 pub mod generate;
 pub mod graph;
 pub mod io;

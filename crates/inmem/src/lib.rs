@@ -5,6 +5,8 @@
 //! MST. These are both benchmark competitors (Fig 8(d)) and the correctness
 //! oracles every relational algorithm is tested against.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod bidijkstra;
 pub mod dijkstra;

@@ -35,13 +35,17 @@ impl RowLoc {
         }
     }
 
-    fn from_bytes(bytes: &[u8], clustered: bool) -> RowLoc {
+    fn from_bytes(bytes: &[u8], clustered: bool) -> Result<RowLoc> {
         if clustered {
-            RowLoc::Clustered(bytes.to_vec())
+            Ok(RowLoc::Clustered(bytes.to_vec()))
         } else {
-            RowLoc::Heap(RecordId::from_u64(u64::from_be_bytes(
-                bytes.try_into().expect("heap locator must be 8 bytes"),
-            )))
+            let raw: [u8; 8] = bytes.try_into().map_err(|_| {
+                SqlError::Catalog(format!(
+                    "corrupt index entry: heap locator must be 8 bytes, got {}",
+                    bytes.len()
+                ))
+            })?;
+            Ok(RowLoc::Heap(RecordId::from_u64(u64::from_be_bytes(raw))))
         }
     }
 }
@@ -730,14 +734,25 @@ impl Table {
         {
             let prefix = encode_key(key_vals)?;
             let mut locs: Vec<RowLoc> = Vec::new();
+            // Decode errors inside the scan callbacks (which can only
+            // continue/stop) are parked and surfaced after the scan.
+            let mut decode_err: Option<SqlError> = None;
             if idx.unique && cols.len() == idx.cols.len() {
                 if let Some(v) = idx.tree.get(pool, &prefix)? {
-                    locs.push(RowLoc::from_bytes(&v, clustered));
+                    locs.push(RowLoc::from_bytes(&v, clustered)?);
                 }
             } else if idx.unique {
                 idx.tree.scan_prefix(pool, &prefix, |_, v| {
-                    locs.push(RowLoc::from_bytes(v, clustered));
-                    true
+                    match RowLoc::from_bytes(v, clustered) {
+                        Ok(loc) => {
+                            locs.push(loc);
+                            true
+                        }
+                        Err(e) => {
+                            decode_err = Some(e);
+                            false
+                        }
+                    }
                 })?;
             } else {
                 idx.tree.scan_prefix(pool, &prefix, |k, _| {
@@ -745,9 +760,20 @@ impl Table {
                     // column values; recover it by decoding the indexed
                     // part and taking the rest. For prefix lookups we must
                     // decode col-count values to find the boundary.
-                    locs.push(extract_loc_from_index_key(k, idx.cols.len(), clustered));
-                    true
+                    match extract_loc_from_index_key(k, idx.cols.len(), clustered) {
+                        Ok(loc) => {
+                            locs.push(loc);
+                            true
+                        }
+                        Err(e) => {
+                            decode_err = Some(e);
+                            false
+                        }
+                    }
                 })?;
+            }
+            if let Some(e) = decode_err {
+                return Err(e);
             }
             return Ok(EqAccessPath::Secondary(locs));
         }
@@ -1456,10 +1482,11 @@ impl Table {
 
 /// Recovers the locator suffix from a non-unique index key by skipping the
 /// encoded index-column values.
-fn extract_loc_from_index_key(key: &[u8], n_cols: usize, clustered: bool) -> RowLoc {
+fn extract_loc_from_index_key(key: &[u8], n_cols: usize, clustered: bool) -> Result<RowLoc> {
     let mut rest = key;
     for _ in 0..n_cols {
-        let (_, r) = fempath_storage::value::decode_key_one(rest).expect("index key must decode");
+        let (_, r) = fempath_storage::value::decode_key_one(rest)
+            .map_err(|e| SqlError::Catalog(format!("corrupt index key: {e}")))?;
         rest = r;
     }
     RowLoc::from_bytes(rest, clustered)
@@ -1741,7 +1768,10 @@ impl Catalog {
             .index_owner
             .remove(&idx_key)
             .ok_or_else(|| SqlError::Catalog(format!("no such index {name}")))?;
-        let table = self.tables.get_mut(&owner).expect("owner must exist");
+        let table = self
+            .tables
+            .get_mut(&owner)
+            .ok_or_else(|| SqlError::Catalog(format!("index {name} points at a dropped table")))?;
         let pos = table
             .indexes
             .iter()

@@ -248,6 +248,11 @@ impl RcuShard {
     /// lifetime of `&self` because every published version stays alive
     /// until `Drop`.
     fn map(&self) -> &HashMap<String, Arc<PreparedPlan>> {
+        // SAFETY: `current` always points at a map owned by `versions`,
+        // which frees its maps only in `Drop` (`&mut self`), so the
+        // pointee outlives this `&self` borrow.
+        // ORDERING: Acquire pairs with the Release store in `publish` so
+        // the map's contents are visible before the pointer is.
         unsafe { &*self.current.load(Ordering::Acquire) }
     }
 
@@ -263,7 +268,11 @@ impl RcuShard {
     /// worker compiles the same statement, one publish wins).
     fn publish(&self, plan: &Arc<PreparedPlan>) -> bool {
         let mut versions = self.versions.lock().unwrap_or_else(|e| e.into_inner());
-        // `current` only changes under the lock we now hold.
+        // SAFETY: same lifetime argument as `map` — the pointee is owned
+        // by `versions` and freed only in `Drop`.
+        // ORDERING: Relaxed suffices because `current` is only stored
+        // under the `versions` lock we now hold; the lock acquisition
+        // already synchronized us with the previous publisher.
         let cur = unsafe { &*self.current.load(Ordering::Relaxed) };
         if let Some(existing) = cur.get(plan.sql()) {
             if existing.catalog_version() == plan.catalog_version() {
@@ -280,6 +289,8 @@ impl RcuShard {
         }
         next.insert(plan.sql().to_string(), plan.clone());
         let ptr = Box::into_raw(Box::new(next));
+        // ORDERING: Release publishes the fully-built map to the Acquire
+        // load in `map` — readers never see a half-initialized pointee.
         self.current.store(ptr, Ordering::Release);
         versions.push(ptr);
         true
@@ -356,6 +367,8 @@ impl SharedPlanCache {
     fn get(&self, sql: &str, version: u64) -> Option<Arc<PreparedPlan>> {
         let found = self.shard(sql).get(sql, version);
         match found {
+            // ORDERING: Relaxed — monotonic diagnostic counters, read
+            // racily by `stats`; no other memory depends on them.
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
@@ -364,6 +377,7 @@ impl SharedPlanCache {
 
     fn insert(&self, plan: &Arc<PreparedPlan>) {
         if self.shard(plan.sql()).publish(plan) {
+            // ORDERING: Relaxed — diagnostic counter, see `get`.
             self.publishes.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -381,6 +395,8 @@ impl SharedPlanCache {
     /// Consult/publish counters (diagnostics, surfaced by the
     /// service-throughput experiment).
     pub fn stats(&self) -> SharedPlanCacheStats {
+        // ORDERING: Relaxed — racy snapshot of diagnostic counters; a
+        // slightly stale read is fine and nothing is ordered against it.
         SharedPlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -931,5 +947,29 @@ impl Database {
     /// Direct catalog access (diagnostics, the SQL shell example).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Statically analyzes `sql` against the current catalog under the
+    /// database's dialect without executing it: name resolution, type
+    /// checks, 3VL lints and a plan-shape verdict per table access. `Err`
+    /// only on parse failure; semantic findings come back in the report.
+    pub fn analyze(&self, sql: &str) -> Result<crate::analyze::Report> {
+        crate::analyze::analyze_sql(
+            &self.catalog,
+            self.dialect,
+            sql,
+            &crate::analyze::AnalyzeOptions::default(),
+        )
+    }
+
+    /// Like [`Database::analyze`], with the statement annotated *hot-path*:
+    /// a full scan of an indexed table becomes an FC201 error.
+    pub fn analyze_hot_path(&self, sql: &str) -> Result<crate::analyze::Report> {
+        crate::analyze::analyze_sql(
+            &self.catalog,
+            self.dialect,
+            sql,
+            &crate::analyze::AnalyzeOptions { hot_path: true },
+        )
     }
 }

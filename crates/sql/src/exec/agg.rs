@@ -180,10 +180,9 @@ pub(crate) fn rewrite(
     }
     if let Expr::Aggregate { func, arg } = expr {
         let spec = (*func, arg.as_deref().cloned());
-        let j = aggs
-            .iter()
-            .position(|s| s == &spec)
-            .expect("collected beforehand");
+        let j = aggs.iter().position(|s| s == &spec).ok_or_else(|| {
+            SqlError::Bind("aggregate expression missing from the collected specs".into())
+        })?;
         return Ok(Expr::Column {
             table: Some("#agg".into()),
             name: format!("a{j}"),
@@ -319,7 +318,9 @@ pub fn run_group_by(
     }
     let mut rows = Vec::with_capacity(order.len());
     for key in order {
-        let (mut key_vals, states) = groups.remove(&key).expect("key recorded");
+        let (mut key_vals, states) = groups.remove(&key).ok_or_else(|| {
+            SqlError::Eval("group key vanished between collection and output".into())
+        })?;
         for s in states {
             key_vals.push(s.finish());
         }

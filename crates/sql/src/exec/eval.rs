@@ -251,7 +251,8 @@ pub fn bind_expr(ctx: &mut ExecCtx<'_>, schema: &Schema, expr: &Expr) -> Result<
                             "IN subquery must return exactly one column".into(),
                         ));
                     }
-                    Ok(r.pop().unwrap())
+                    r.pop()
+                        .ok_or_else(|| SqlError::Eval("IN subquery returned an empty row".into()))
                 })
                 .collect::<Result<_>>()?;
             // SQL three-valued logic: NULLs in the list never *match*, but

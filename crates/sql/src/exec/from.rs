@@ -434,7 +434,9 @@ fn join(
                             p.right_col == pc
                                 && !used_pairs.iter().any(|&(u, _)| u == p.conjunct_idx)
                         })
-                        .expect("path built from pairs");
+                        .ok_or_else(|| {
+                            SqlError::Eval("index path column has no matching join pair".into())
+                        })?;
                     used_pairs.push((pairs[p].conjunct_idx, p));
                 }
                 let key_exprs: Vec<BExpr> = used_pairs

@@ -9,7 +9,7 @@ use super::eval::{bind_expr, eval, BExpr, ExecCtx, SchemaCol};
 use super::select::OutItem;
 use super::Relation;
 use crate::ast::{Expr, WindowFunc};
-use crate::error::Result;
+use crate::error::{Result, SqlError};
 use fempath_storage::Value;
 
 /// One distinct window specification found in the projection.
@@ -46,8 +46,8 @@ pub(crate) fn collect_windows(expr: &Expr, out: &mut Vec<WinSpec>) {
     }
 }
 
-pub(crate) fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
-    match expr {
+pub(crate) fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Result<Expr> {
+    Ok(match expr {
         Expr::Window {
             func,
             partition_by,
@@ -58,7 +58,9 @@ pub(crate) fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
                 partition_by: partition_by.clone(),
                 order_by: order_by.clone(),
             };
-            let i = specs.iter().position(|s| s == &spec).expect("collected");
+            let i = specs.iter().position(|s| s == &spec).ok_or_else(|| {
+                SqlError::Bind("window expression missing from the collected specs".into())
+            })?;
             Expr::Column {
                 table: Some("#win".into()),
                 name: format!("w{i}"),
@@ -66,19 +68,19 @@ pub(crate) fn rewrite(expr: &Expr, specs: &[WinSpec]) -> Expr {
         }
         Expr::Unary { op, expr } => Expr::Unary {
             op: *op,
-            expr: Box::new(rewrite(expr, specs)),
+            expr: Box::new(rewrite(expr, specs)?),
         },
         Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(rewrite(left, specs)),
+            left: Box::new(rewrite(left, specs)?),
             op: *op,
-            right: Box::new(rewrite(right, specs)),
+            right: Box::new(rewrite(right, specs)?),
         },
         Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(rewrite(expr, specs)),
+            expr: Box::new(rewrite(expr, specs)?),
             negated: *negated,
         },
         other => other.clone(),
-    }
+    })
 }
 
 /// Computes one window function's per-row values from pre-evaluated
@@ -208,10 +210,12 @@ pub fn run_windows(
 
     let new_items = items
         .into_iter()
-        .map(|i| OutItem {
-            name: i.name,
-            expr: rewrite(&i.expr, &specs),
+        .map(|i| {
+            Ok(OutItem {
+                name: i.name,
+                expr: rewrite(&i.expr, &specs)?,
+            })
         })
-        .collect();
+        .collect::<Result<_>>()?;
     Ok((rel, new_items))
 }

@@ -217,9 +217,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             break;
                         }
                         Some(_) => {
-                            // Track UTF-8 boundaries via str indexing.
+                            // Track UTF-8 boundaries via str indexing; the
+                            // byte peek guarantees a character is present.
                             let rest = &input[i..];
-                            let ch = rest.chars().next().unwrap();
+                            let Some(ch) = rest.chars().next() else {
+                                return Err(err("string literal ends mid-character", i));
+                            };
                             s.push(ch);
                             i += ch.len_utf8();
                         }
@@ -284,13 +287,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 });
             }
             _ => {
-                return Err(err(
-                    &format!(
-                        "unexpected character {:?}",
-                        input[i..].chars().next().unwrap()
-                    ),
-                    i,
-                ))
+                let ch = input[i..].chars().next().unwrap_or('\u{fffd}');
+                return Err(err(&format!("unexpected character {ch:?}"), i));
             }
         }
     }

@@ -34,6 +34,9 @@
 //! assert_eq!(rs.len(), 2);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod analyze;
 pub mod ast;
 pub mod catalog;
 pub mod dialect;
@@ -44,6 +47,9 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
+pub use analyze::{
+    AccessKind, AnalyzeOptions, Diagnostic, JoinKind, Report, Rule, Severity, TableAccess,
+};
 pub use catalog::{Catalog, RowLoc, Table, TableBatchCursor, TableSchema};
 pub use dialect::Dialect;
 pub use engine::{

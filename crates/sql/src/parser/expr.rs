@@ -139,29 +139,24 @@ impl Parser {
                     };
                 } else {
                     // Value list: desugar `e IN (a, b, …)` into an OR chain
-                    // of equalities (and negate for NOT IN).
-                    let mut values = vec![self.expr()?];
+                    // of equalities (and negate for NOT IN). The grammar
+                    // guarantees a first value, which seeds the chain.
+                    let mk_eq = |v| Expr::Binary {
+                        left: Box::new(left.clone()),
+                        op: BinaryOp::Eq,
+                        right: Box::new(v),
+                    };
+                    let first = self.expr()?;
+                    let mut chain = mk_eq(first);
                     while self.eat(&TokenKind::Comma) {
-                        values.push(self.expr()?);
+                        let v = self.expr()?;
+                        chain = Expr::Binary {
+                            left: Box::new(chain),
+                            op: BinaryOp::Or,
+                            right: Box::new(mk_eq(v)),
+                        };
                     }
                     self.expect(&TokenKind::RParen)?;
-                    let mut chain: Option<Expr> = None;
-                    for v in values {
-                        let eq = Expr::Binary {
-                            left: Box::new(left.clone()),
-                            op: BinaryOp::Eq,
-                            right: Box::new(v),
-                        };
-                        chain = Some(match chain {
-                            Some(c) => Expr::Binary {
-                                left: Box::new(c),
-                                op: BinaryOp::Or,
-                                right: Box::new(eq),
-                            },
-                            None => eq,
-                        });
-                    }
-                    let chain = chain.expect("at least one value");
                     left = if negated {
                         Expr::Unary {
                             op: UnaryOp::Not,

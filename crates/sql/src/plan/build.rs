@@ -258,11 +258,13 @@ pub(crate) fn plan_select(catalog: &Catalog, sel: &Select) -> Result<SelectPlan>
         }
         items = items
             .into_iter()
-            .map(|i| OutItem {
-                name: i.name,
-                expr: win_rewrite(&i.expr, &specs),
+            .map(|i| {
+                Ok(OutItem {
+                    name: i.name,
+                    expr: win_rewrite(&i.expr, &specs)?,
+                })
             })
-            .collect();
+            .collect::<Result<_>>()?;
     }
 
     let having = having_ast
@@ -512,7 +514,9 @@ fn plan_join(
                                 p.right_col == pc
                                     && !used_pairs.iter().any(|&(u, _)| u == p.conjunct_idx)
                             })
-                            .expect("path built from pairs");
+                            .ok_or_else(|| {
+                                SqlError::Eval("index path column has no matching join pair".into())
+                            })?;
                         used_pairs.push((pairs[p].conjunct_idx, p));
                     }
                     let keys: Vec<PExpr> = used_pairs

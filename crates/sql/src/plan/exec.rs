@@ -188,7 +188,9 @@ fn build_env<'a>(
                                 "scalar subquery must return exactly one column".into(),
                             ));
                         }
-                        SubResult::Scalar(row.pop().unwrap())
+                        SubResult::Scalar(row.pop().ok_or_else(|| {
+                            SqlError::Eval("scalar subquery returned an empty row".into())
+                        })?)
                     }
                     None => SubResult::Scalar(Value::Null),
                 }
@@ -203,7 +205,9 @@ fn build_env<'a>(
                                 "IN subquery must return exactly one column".into(),
                             ));
                         }
-                        Ok(r.pop().unwrap())
+                        r.pop().ok_or_else(|| {
+                            SqlError::Eval("IN subquery returned an empty row".into())
+                        })
                     })
                     .collect::<Result<_>>()?;
                 let n = list.len();
@@ -408,7 +412,9 @@ fn drive(
         }
         return sink(buf);
     };
-    let (rt, rts_rest) = rts.split_first_mut().expect("one runtime per stage");
+    let (rt, rts_rest) = rts
+        .split_first_mut()
+        .ok_or_else(|| SqlError::Eval("join executor has fewer runtimes than stages".into()))?;
     match (join, rt) {
         (
             JoinPlan::IndexLoop {
@@ -690,7 +696,9 @@ pub(crate) fn run_select_rows(
         // here carries at least one key column.)
         let mut rows = Vec::with_capacity(order.len());
         for key in order {
-            let (mut key_vals, states) = groups.remove(&key).expect("key recorded");
+            let (mut key_vals, states) = groups.remove(&key).ok_or_else(|| {
+                SqlError::Eval("group key vanished between collection and output".into())
+            })?;
             for s in states {
                 key_vals.push(s.finish());
             }

@@ -954,7 +954,9 @@ fn apply_stage(
                     }
                 }
             } else {
-                let ht = gen_ht.as_ref().expect("one table per hash stage");
+                let ht = gen_ht.as_ref().ok_or_else(|| {
+                    SqlError::Eval("hash stage is missing its build table".into())
+                })?;
                 let mut vals = Vec::with_capacity(kcols.len());
                 'probe: for (k, &r) in sel.iter().enumerate() {
                     vals.clear();
@@ -1005,7 +1007,9 @@ fn apply_stage(
                         }
                     }
                 }
-                let c = comb.as_ref().expect("just filled");
+                let c = comb
+                    .as_ref()
+                    .ok_or_else(|| SqlError::Eval("loop join produced no combined chunk".into()))?;
                 let mut s: Vec<u32> = (0..c.len() as u32).collect();
                 apply_filter(residual, c, &mut s, env)?;
                 *emitted += s.len() as u64;
@@ -1067,7 +1071,9 @@ fn run_from_v(
             }
         }
         if !sel.is_empty() {
-            let out = owned.as_ref().expect("at least one stage ran");
+            let out = owned.as_ref().ok_or_else(|| {
+                SqlError::Eval("join pipeline finished without producing a chunk".into())
+            })?;
             apply_filter(&fp.residual, out, &mut sel, env)?;
             if !sel.is_empty() && !sink(out, &sel)? {
                 return Ok(());
@@ -1108,7 +1114,9 @@ fn build_env_v<'a>(
                                 "scalar subquery must return exactly one column".into(),
                             ));
                         }
-                        SubResult::Scalar(row.pop().unwrap())
+                        SubResult::Scalar(row.pop().ok_or_else(|| {
+                            SqlError::Eval("scalar subquery returned an empty row".into())
+                        })?)
                     }
                     None => SubResult::Scalar(Value::Null),
                 }
@@ -1123,7 +1131,9 @@ fn build_env_v<'a>(
                                 "IN subquery must return exactly one column".into(),
                             ));
                         }
-                        Ok(r.pop().unwrap())
+                        r.pop().ok_or_else(|| {
+                            SqlError::Eval("IN subquery returned an empty row".into())
+                        })
                     })
                     .collect::<Result<_>>()?;
                 let n = list.len();
@@ -1419,7 +1429,9 @@ pub(crate) fn run_select_chunks(
         })?;
         let mut rows = Vec::with_capacity(order.len());
         for key in order {
-            let (mut key_vals, states) = groups.remove(&key).expect("key recorded");
+            let (mut key_vals, states) = groups.remove(&key).ok_or_else(|| {
+                SqlError::Eval("group key vanished between collection and output".into())
+            })?;
             for s in states {
                 key_vals.push(s.finish());
             }

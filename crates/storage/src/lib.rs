@@ -23,6 +23,8 @@
 //! [`SnapshotDisk`] gives each session a private copy-on-write view over
 //! it (DESIGN.md §10).
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod chunk;
 pub mod disk;

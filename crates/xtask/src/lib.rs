@@ -1,0 +1,370 @@
+//! femcheck layer 2 — the workspace *source* auditor (DESIGN.md §15).
+//!
+//! Where the SQL analyzer (`fempath_sql::analyze`) checks the statements
+//! the engine generates, this crate checks the engine's own source. Four
+//! plain-text, line-level rules, no dependencies, no proc macros:
+//!
+//! 1. **safety-comment** — every `unsafe` occurrence needs a `SAFETY:`
+//!    comment on the same line or within the preceding lines.
+//! 2. **ordering-comment** — every `Ordering::Relaxed`/`Acquire`/
+//!    `Release`/`AcqRel` in the two lock-free hot spots (`engine.rs`,
+//!    `dispatch.rs`) needs an `ORDERING:` comment justifying why that
+//!    ordering suffices. (`SeqCst` is exempt: it is the conservative
+//!    default, not a claim that needs defending.)
+//! 3. **unwrap-ratchet** — library code (`src/`, outside `#[cfg(test)]`
+//!    regions) must not call `.unwrap()` / `.expect("…")` except where
+//!    `unwrap-allowlist.txt` says so — and the allowlist must match
+//!    reality *exactly*, so fixing an unwrap without tightening the
+//!    allowlist also fails. The ratchet only goes down.
+//! 4. **no-debug-macros** — `todo!(` and `dbg!(` appear nowhere, tests
+//!    included.
+//!
+//! The rule needles are assembled at runtime from fragments so this
+//! crate's own source never contains them verbatim (the auditor audits
+//! itself too).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line, or 0 for whole-file findings (allowlist mismatches).
+    pub line: usize,
+    /// Stable rule identifier, e.g. `unwrap-ratchet`.
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.msg)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.msg
+            )
+        }
+    }
+}
+
+/// How many lines above an `unsafe` occurrence the `SAFETY:` comment may
+/// sit. Wide enough for a multi-line justification above a pair of
+/// `unsafe impl`s.
+const SAFETY_WINDOW: usize = 8;
+/// Same for `ORDERING:` above an atomic access — wide enough for one
+/// comment to cover a counter-snapshot struct literal.
+const ORDERING_WINDOW: usize = 8;
+
+/// The needles, built from fragments so they never appear verbatim in
+/// this crate's own (audited) source.
+struct Needles {
+    unsafe_kw: String,
+    safety_tag: String,
+    ordering_prefixes: Vec<String>,
+    ordering_tag: String,
+    unwrap_call: String,
+    expect_call: String,
+    todo_macro: String,
+    dbg_macro: String,
+    cfg_test: String,
+}
+
+impl Needles {
+    fn new() -> Needles {
+        let bang = "!(";
+        Needles {
+            unsafe_kw: ["uns", "afe"].concat(),
+            safety_tag: ["SAF", "ETY:"].concat(),
+            ordering_prefixes: ["Relaxed", "Acquire", "Release", "AcqRel"]
+                .iter()
+                .map(|o| format!("{}::{o}", ["Ord", "ering"].concat()))
+                .collect(),
+            ordering_tag: ["ORD", "ERING:"].concat(),
+            unwrap_call: [".unw", "rap()"].concat(),
+            expect_call: [".exp", "ect(\""].concat(),
+            todo_macro: format!("{}{bang}", ["to", "do"].concat()),
+            dbg_macro: format!("{}{bang}", ["d", "bg"].concat()),
+            cfg_test: format!("#[cfg({}]", ["te", "st)"].concat()),
+        }
+    }
+}
+
+/// `needle` occurs in `hay` delimited by non-identifier characters.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = !hay[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// The code part of a line: everything before the first `//`. Good enough
+/// for this codebase — no string literal here contains a double slash.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// True when any of `lines[from.saturating_sub(window)..=from]` mentions
+/// `tag` (typically inside a comment).
+fn tagged_nearby(lines: &[&str], from: usize, window: usize, tag: &str) -> bool {
+    let lo = from.saturating_sub(window);
+    lines[lo..=from].iter().any(|l| l.contains(tag))
+}
+
+/// Parses `unwrap-allowlist.txt`: one `path count` pair per line, `#`
+/// comments and blank lines ignored.
+fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("allowlist line {}: expected `path count`", i + 1));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count {count}", i + 1))?;
+        if map.insert(path.to_string(), count).is_some() {
+            return Err(format!("allowlist line {}: duplicate entry {path}", i + 1));
+        }
+    }
+    Ok(map)
+}
+
+fn is_rs(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "rs")
+}
+
+/// Collects every `.rs` file under `crates/`, sorted for stable output.
+fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                // `target/` never appears under crates/, but guard anyway.
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if is_rs(&path) {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs every rule over the workspace at `root` (the directory holding
+/// the top-level `Cargo.toml`). Returns all violations, sorted by file.
+pub fn lint(root: &Path) -> io::Result<Vec<Violation>> {
+    let needles = Needles::new();
+    let allowlist_path = root.join("crates/xtask/unwrap-allowlist.txt");
+    let allowlist = match fs::read_to_string(&allowlist_path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(BTreeMap::new()),
+        Err(e) => return Err(e),
+    };
+    let mut violations = Vec::new();
+    let allowlist = match allowlist {
+        Ok(map) => map,
+        Err(msg) => {
+            violations.push(Violation {
+                file: "crates/xtask/unwrap-allowlist.txt".into(),
+                line: 0,
+                rule: "unwrap-ratchet",
+                msg,
+            });
+            BTreeMap::new()
+        }
+    };
+
+    let mut unwrap_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&path)?;
+        let lines: Vec<&str> = text.lines().collect();
+        let is_library_src = rel.contains("/src/");
+        let wants_ordering = rel.ends_with("/engine.rs") || rel.ends_with("/dispatch.rs");
+        let mut in_test_region = false;
+
+        for (i, &line) in lines.iter().enumerate() {
+            if line.contains(&needles.cfg_test) {
+                // Test modules sit at the bottom of each file; treat the
+                // rest of the file as test code for the ratchet rules.
+                in_test_region = true;
+            }
+            let code = code_part(line);
+            let lineno = i + 1;
+
+            // Rule 4: debug macros, everywhere (tests included).
+            for (needle, what) in [
+                (&needles.todo_macro, "unfinished-code marker"),
+                (&needles.dbg_macro, "debug print"),
+            ] {
+                if code.contains(needle.as_str()) {
+                    violations.push(Violation {
+                        file: rel.clone(),
+                        line: lineno,
+                        rule: "no-debug-macros",
+                        msg: format!("{what} `{needle}` must not be committed"),
+                    });
+                }
+            }
+
+            // Rule 1: unsafe needs a SAFETY: comment nearby. Test regions
+            // are exempt (test fixtures may spell the keyword in strings).
+            if !in_test_region
+                && contains_word(code, &needles.unsafe_kw)
+                && !tagged_nearby(&lines, i, SAFETY_WINDOW, &needles.safety_tag)
+            {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line: lineno,
+                    rule: "safety-comment",
+                    msg: format!(
+                        "`{}` without a `{}` comment within {} lines",
+                        needles.unsafe_kw, needles.safety_tag, SAFETY_WINDOW
+                    ),
+                });
+            }
+
+            // Rule 2: subtle atomic orderings need an ORDERING: comment.
+            if wants_ordering
+                && !in_test_region
+                && needles
+                    .ordering_prefixes
+                    .iter()
+                    .any(|p| code.contains(p.as_str()))
+                && !tagged_nearby(&lines, i, ORDERING_WINDOW, &needles.ordering_tag)
+            {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line: lineno,
+                    rule: "ordering-comment",
+                    msg: format!(
+                        "relaxed/acquire/release atomic without a `{}` comment within {} lines",
+                        needles.ordering_tag, ORDERING_WINDOW
+                    ),
+                });
+            }
+
+            // Rule 3 (counting pass): unwraps in library code.
+            if is_library_src
+                && !in_test_region
+                && (code.contains(needles.unwrap_call.as_str())
+                    || code.contains(needles.expect_call.as_str()))
+            {
+                *unwrap_counts.entry(rel.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Rule 3 (ratchet pass): counts must match the allowlist exactly.
+    for (file, &count) in &unwrap_counts {
+        let allowed = allowlist.get(file).copied().unwrap_or(0);
+        if count > allowed {
+            violations.push(Violation {
+                file: file.clone(),
+                line: 0,
+                rule: "unwrap-ratchet",
+                msg: format!(
+                    "{count} unwrap/expect call(s) in library code, allowlist permits {allowed} \
+                     — return a typed error instead"
+                ),
+            });
+        }
+    }
+    for (file, &allowed) in &allowlist {
+        let actual = unwrap_counts.get(file).copied().unwrap_or(0);
+        if actual < allowed {
+            violations.push(Violation {
+                file: file.clone(),
+                line: 0,
+                rule: "unwrap-ratchet",
+                msg: format!(
+                    "allowlist permits {allowed} unwrap/expect call(s) but only {actual} remain \
+                     — tighten crates/xtask/unwrap-allowlist.txt (the ratchet only goes down)"
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+/// The workspace root, from this crate's own manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe { x }", "unsafe"));
+        assert!(contains_word("unsafe impl Send for T {}", "unsafe"));
+        assert!(!contains_word("deny(unsafe_op_in_unsafe_fn)", "unsafe"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+    }
+
+    #[test]
+    fn comment_part_is_ignored() {
+        assert_eq!(code_part("let x = 1; // .unwr"), "let x = 1; ");
+        assert_eq!(code_part("plain code"), "plain code");
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects() {
+        let map = parse_allowlist("# hi\ncrates/a/src/x.rs 3\n\ncrates/b/src/y.rs 1\n").unwrap();
+        assert_eq!(map.get("crates/a/src/x.rs"), Some(&3));
+        assert_eq!(map.len(), 2);
+        assert!(parse_allowlist("too many words here 3").is_err());
+        assert!(parse_allowlist("crates/a.rs NaN").is_err());
+        assert!(parse_allowlist("crates/a.rs 1\ncrates/a.rs 2").is_err());
+    }
+}

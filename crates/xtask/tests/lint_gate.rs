@@ -1,0 +1,22 @@
+//! Tier-1 gate: the workspace source auditor must be clean.
+//!
+//! Failing here means a source change introduced an undocumented `unsafe`
+//! block, an uncommented atomic ordering in the concurrency hot spots, a
+//! `todo!`/`dbg!` left behind, or an unwrap-budget drift in either
+//! direction (see `crates/xtask/unwrap-allowlist.txt`).
+
+#[test]
+fn workspace_sources_pass_the_auditor() {
+    let root = xtask::workspace_root();
+    let violations = xtask::lint(&root).expect("lint walks the workspace");
+    assert!(
+        violations.is_empty(),
+        "xtask lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
