@@ -10,6 +10,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod landmark;
 pub mod service;
+pub mod service_cached;
 pub mod table2;
 pub mod table3;
 
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "landmark-ablation",
     "batch-throughput",
     "service-throughput",
+    "service-cached",
 ];
 
 /// Runs one experiment by id. With `cfg.json` set, the experiment's
@@ -92,6 +94,7 @@ fn dispatch(id: &str, cfg: &BenchConfig) -> Result<()> {
         "landmark-ablation" => landmark::ablation(cfg),
         "batch-throughput" => batch::throughput(cfg),
         "service-throughput" => service::throughput(cfg),
+        "service-cached" => service_cached::run(cfg),
         other => Err(fempath_sql::SqlError::Eval(format!(
             "unknown experiment {other}; known: {}",
             ALL.join(", ")

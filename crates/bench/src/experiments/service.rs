@@ -128,6 +128,8 @@ pub fn throughput(cfg: &BenchConfig) -> Result<()> {
             format!("{}", stats.wait_quantile_us(0.50)),
             format!("{}", stats.wait_quantile_us(0.99)),
             format!("{}", plans.publishes),
+            format!("{}", stats.lm_fast_path_hits),
+            format!("{:.0}%", stats.cache_hit_rate() * 100.0),
             format!("{reachable}"),
         ]);
     }
@@ -145,6 +147,8 @@ pub fn throughput(cfg: &BenchConfig) -> Result<()> {
         "qwait p50 (us)",
         "qwait p99 (us)",
         "plan pubs",
+        "lm hits",
+        "cache hit%",
         "reachable",
     ];
     print_table(

@@ -16,6 +16,15 @@ pub const INF: i64 = 4_000_000_000_000_000;
 /// Sentinel for "no predecessor/successor".
 pub const NO_NODE: i64 = -1;
 
+/// Row-tier edge insert template ([`GraphDb::insert_edge`]). Module-level
+/// const so the femcheck corpus ([`GraphDb::analyze_all_statements`])
+/// analyzes exactly the statement the mutation path executes.
+pub(crate) const INSERT_EDGE_SQL: &str = "INSERT INTO TEdges (fid, tid, cost) VALUES (?, ?, ?)";
+
+/// Row-tier edge delete template ([`GraphDb::delete_edge`]): removes every
+/// parallel `(fid, tid)` edge in one direction.
+pub(crate) const DELETE_EDGE_SQL: &str = "DELETE FROM TEdges WHERE fid = ? AND tid = ?";
+
 /// Configuration for a [`GraphDb`].
 #[derive(Debug, Clone)]
 pub struct GraphDbOptions {
@@ -84,6 +93,10 @@ pub struct GraphDb {
     edges_index: IndexKind,
     segtable: Option<SegTableInfo>,
     landmarks: Option<LandmarkInfo>,
+    /// A landmark index disabled by an edge mutation (stale bounds would
+    /// break admissibility — DESIGN.md §16). Remembered so
+    /// [`GraphDb::rebuild_landmarks`] knows the previous `k`.
+    stale_landmarks: Option<LandmarkInfo>,
 }
 
 impl GraphDb {
@@ -125,6 +138,7 @@ impl GraphDb {
             edges_index: opts.edges_index,
             segtable: None,
             landmarks: None,
+            stale_landmarks: None,
         })
     }
 
@@ -187,6 +201,7 @@ impl GraphDb {
 
     pub(crate) fn set_landmarks(&mut self, info: LandmarkInfo) {
         self.landmarks = Some(info);
+        self.stale_landmarks = None;
     }
 
     /// Builds (or rebuilds) a `k`-landmark distance index with the default
@@ -206,6 +221,128 @@ impl GraphDb {
         selection: LandmarkSelection,
     ) -> Result<LandmarkStats> {
         crate::landmarks::build_landmark_index(self, k, selection)
+    }
+
+    /// Monotone graph-content version. Starts at 0 and is bumped by every
+    /// [`GraphDb::insert_edge`] / [`GraphDb::delete_edge`]; frozen into
+    /// [`GraphSnapshot::graph_version`]. Result caches key on it so a
+    /// mutation invalidates exactly the entries computed before it
+    /// (DESIGN.md §16). Prepared plans are *not* invalidated — the schema
+    /// never changes, only row content.
+    pub fn graph_version(&self) -> u64 {
+        self.db.data_version()
+    }
+
+    /// True when `TEdges` lives in the segment-compressed tier, where
+    /// mutations go through the row-store delta overlay.
+    fn edges_segmented(&self) -> bool {
+        self.db
+            .catalog()
+            .table("TEdges")
+            .is_ok_and(|t| t.is_segmented())
+    }
+
+    /// Disables the landmark index after a mutation: its distances
+    /// describe the pre-mutation graph, and an edge *delete* can increase
+    /// true distances, so Theorem-1 "upper" bounds and
+    /// [`crate::landmarks::exact_path`] answers could both understate —
+    /// admissibility would be violated. Disabled, not rebuilt: the gate
+    /// is O(1) and [`GraphDb::rebuild_landmarks`] restores the fast path
+    /// when the caller chooses to pay for it.
+    fn invalidate_landmarks(&mut self) {
+        if let Some(info) = self.landmarks.take() {
+            self.stale_landmarks = Some(info);
+        }
+    }
+
+    /// Rebuilds the landmark index disabled by an edge mutation (same `k`
+    /// as before), re-enabling the landmark fast path and Theorem-1 bound
+    /// seeding. Errors when no landmark index was ever built. Intended
+    /// for the primary [`GraphDb`] (it issues DDL internally, which
+    /// frozen-snapshot sessions should never do).
+    pub fn rebuild_landmarks(&mut self) -> Result<LandmarkStats> {
+        let info = self
+            .landmarks
+            .or(self.stale_landmarks)
+            .ok_or_else(|| SqlError::Eval("no landmark index to rebuild".into()))?;
+        let stats = self.build_landmarks(info.k)?;
+        self.stale_landmarks = None;
+        Ok(stats)
+    }
+
+    /// Inserts an undirected edge `{u, v}` with weight `w`, storing both
+    /// directed arcs (one when `u == v`) to match the paper's symmetric
+    /// `TEdges` layout. Works on both storage tiers: row-tier tables take
+    /// the SQL INSERT directly, segmented tables route it into their
+    /// delta overlay. Bumps [`GraphDb::graph_version`] and disables any
+    /// landmark index (see [`GraphDb::rebuild_landmarks`]). Returns the
+    /// number of arcs added.
+    pub fn insert_edge(&mut self, u: i64, v: i64, w: i64) -> Result<u64> {
+        use fempath_storage::Value;
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if w <= 0 {
+            return Err(SqlError::Eval(format!(
+                "edge weight must be positive, got {w}"
+            )));
+        }
+        let mut added = self
+            .db
+            .execute_params(
+                INSERT_EDGE_SQL,
+                &[Value::Int(u), Value::Int(v), Value::Int(w)],
+            )?
+            .rows_affected;
+        if u != v {
+            added += self
+                .db
+                .execute_params(
+                    INSERT_EDGE_SQL,
+                    &[Value::Int(v), Value::Int(u), Value::Int(w)],
+                )?
+                .rows_affected;
+        }
+        self.num_arcs += added as usize;
+        self.min_weight = self.min_weight.min(w as u32);
+        self.db.bump_data_version();
+        self.invalidate_landmarks();
+        Ok(added)
+    }
+
+    /// Deletes the undirected edge `{u, v}`: every parallel arc in both
+    /// directions (row tier via SQL DELETE, segmented tier via the delta
+    /// overlay's tombstones). Bumps [`GraphDb::graph_version`] and
+    /// disables any landmark index even when nothing matched `w_min` —
+    /// `min_weight` is left alone, which is conservative and keeps the
+    /// Theorem 2/3 bounds sound (the true minimum can only grow).
+    /// Returns the number of arcs removed (0 when the edge was absent).
+    pub fn delete_edge(&mut self, u: i64, v: i64) -> Result<u64> {
+        use fempath_storage::Value;
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let removed = if self.edges_segmented() {
+            let mut n = self.db.delta_delete_edge("TEdges", u, v)?;
+            if u != v {
+                n += self.db.delta_delete_edge("TEdges", v, u)?;
+            }
+            n
+        } else {
+            let mut n = self
+                .db
+                .execute_params(DELETE_EDGE_SQL, &[Value::Int(u), Value::Int(v)])?
+                .rows_affected;
+            if u != v {
+                n += self
+                    .db
+                    .execute_params(DELETE_EDGE_SQL, &[Value::Int(v), Value::Int(u)])?
+                    .rows_affected;
+            }
+            n
+        };
+        self.num_arcs -= removed as usize;
+        self.db.bump_data_version();
+        self.invalidate_landmarks();
+        Ok(removed)
     }
 
     /// Validates a node id.
@@ -334,6 +471,20 @@ impl GraphDb {
         ]
     }
 
+    /// The edge-mutation statements ([`GraphDb::insert_edge`] /
+    /// [`GraphDb::delete_edge`], row tier) — same consts the mutation
+    /// path executes, so femcheck pins exactly what runs.
+    fn mutation_statement_corpus(&self) -> Vec<crate::sqlgen::AnnotatedSql> {
+        use crate::sqlgen::AnnotatedSql;
+        let mut out = vec![AnnotatedSql::cold("mut/insert_edge", INSERT_EDGE_SQL)];
+        if !self.edges_segmented() {
+            // The segmented tier deletes through the delta overlay, not
+            // SQL (DELETE is rejected on segment-compressed storage).
+            out.push(AnnotatedSql::cold("mut/delete_edge", DELETE_EDGE_SQL));
+        }
+        out
+    }
+
     /// Statically analyzes every statement the finders (DJ/BDJ/BSDJ/BBFS/
     /// BSEG and the batched variants), the landmark index, the SegTable
     /// build, and the working-table resets can issue — under **both**
@@ -369,6 +520,7 @@ impl GraphDb {
         for dialect in [Dialect::DBMS_X, Dialect::POSTGRES] {
             let merge = dialect.supports_merge;
             let mut corpus: Vec<AnnotatedSql> = self.reset_statement_corpus();
+            corpus.extend(self.mutation_statement_corpus());
             for dir in [Dir::Fwd, Dir::Bwd] {
                 for style in [SqlStyle::New, SqlStyle::Traditional] {
                     corpus
@@ -490,7 +642,15 @@ impl GraphSnapshot {
             edges_index: self.edges_index,
             segtable: self.segtable,
             landmarks: self.landmarks,
+            stale_landmarks: None,
         }
+    }
+
+    /// The graph-content version frozen into this snapshot (see
+    /// [`GraphDb::graph_version`]). Sessions start from it; a session
+    /// that replays later mutations advances its private copy in step.
+    pub fn graph_version(&self) -> u64 {
+        self.snap.data_version()
     }
 
     /// Number of nodes in the frozen graph.
@@ -576,6 +736,60 @@ mod tests {
         gdb.reset_batch_tables().unwrap();
         assert_eq!(gdb.db.table_len("TBVisited").unwrap(), 0);
         assert_eq!(gdb.db.table_len("TBounds").unwrap(), 0);
+    }
+
+    #[test]
+    fn edge_mutations_bump_version_and_gate_landmarks() {
+        let g = generate::grid(4, 4, 1..=10, 1);
+        for segmented in [false, true] {
+            let mut gdb = GraphDb::new(
+                &g,
+                &GraphDbOptions {
+                    segmented_edges: segmented,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            gdb.build_landmarks(2).unwrap();
+            assert!(gdb.landmarks().is_some());
+            let arcs = gdb.num_arcs();
+            let v0 = gdb.graph_version();
+
+            // Insert: two arcs (symmetric), version bump, landmarks off.
+            assert_eq!(gdb.insert_edge(0, 15, 3).unwrap(), 2);
+            assert_eq!(gdb.num_arcs(), arcs + 2);
+            assert_eq!(gdb.graph_version(), v0 + 1);
+            assert!(gdb.landmarks().is_none(), "stale landmarks must be off");
+            let rs = gdb
+                .db
+                .query("SELECT cost FROM TEdges WHERE fid = 0 AND tid = 15")
+                .unwrap();
+            assert_eq!(rs.len(), 1);
+
+            // Delete removes both arcs and bumps again.
+            assert_eq!(gdb.delete_edge(15, 0).unwrap(), 2);
+            assert_eq!(gdb.num_arcs(), arcs);
+            assert_eq!(gdb.graph_version(), v0 + 2);
+            // Deleting an absent edge still bumps (cheap, conservative).
+            assert_eq!(gdb.delete_edge(0, 15).unwrap(), 0);
+
+            // Rebuild restores the fast path.
+            gdb.rebuild_landmarks().unwrap();
+            assert!(gdb.landmarks().is_some());
+
+            // Bad arguments are rejected.
+            assert!(gdb.insert_edge(0, 99, 1).is_err());
+            assert!(gdb.insert_edge(0, 1, 0).is_err());
+
+            // The version survives freeze.
+            let snap = gdb.freeze().unwrap();
+            assert_eq!(snap.graph_version(), v0 + 3);
+            let mut session = snap.session();
+            assert_eq!(session.graph_version(), v0 + 3);
+            // Sessions can replay mutations into their private overlay.
+            session.insert_edge(1, 2, 7).unwrap();
+            assert_eq!(session.graph_version(), v0 + 4);
+        }
     }
 
     #[test]

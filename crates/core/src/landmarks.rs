@@ -66,7 +66,7 @@ fn store_tree_sql(lm: i64) -> String {
 /// analyzer. All statements reference `TLandmarks`, so the corpus walker
 /// only includes them once the index is built. The serving probes
 /// ([`estimate_distance`], [`upper_bound`], [`common_landmark`], the
-/// [`exact_path`] witness and [`walk_tree`]) are hot: each must ride the
+/// [`exact_path`] witness and `walk_tree`) are hot: each must ride the
 /// clustered `nid` index. Build and selection statements are cold — they
 /// run once per index build.
 pub fn statement_corpus() -> Vec<AnnotatedSql> {

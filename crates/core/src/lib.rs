@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algo;
+pub mod cache;
 pub mod dispatch;
 pub mod fem;
 pub mod graphdb;
@@ -53,6 +54,7 @@ pub use algo::{
     BbfsFinder, BdjFinder, BsdjFinder, BsegFinder, DjFinder, FrontierPolicy, Path, PathOutcome,
     ShortestPathFinder,
 };
+pub use cache::{CacheStats, ResultCache};
 pub use dispatch::{partition_even, StealQueues, WaitHistogram};
 pub use fem::{run_batch_fem, run_fem, BatchFemSearch, FemSearch};
 pub use fempath_sql::ExecMode;
@@ -67,7 +69,10 @@ pub use pattern::{match_label_path, set_labels};
 pub use prim::{prim_mst, MstResult};
 pub use reach::{component_size, reachable};
 pub use segtable::{build_segtable, build_segtable_with, SegTableStats};
-pub use service::{PathService, PathServiceOptions, ServiceAlgorithm, ServiceStats, WorkerStats};
+pub use service::{
+    PathService, PathServiceOptions, ServiceAlgorithm, ServiceStats, WorkerStats,
+    DEFAULT_CACHE_BYTES,
+};
 pub use sssp::{single_source, SsspEntry, SsspResult};
 pub use stats::{FemOperator, Phase, QueryStats, SqlStyle};
 

@@ -20,6 +20,20 @@
 //! error, rebuilds its session and keeps serving — one poisoned query
 //! can neither hang its caller nor take down the pool.
 //!
+//! Two serving-tier layers sit on top of the pool (DESIGN.md §16):
+//!
+//! * **Versioned edge mutations** — [`PathService::insert_edge`] /
+//!   [`PathService::delete_edge`] validate the mutation against an admin
+//!   session, append it to a shared mutation log and advance the graph
+//!   version. Workers replay the log's tail into their private sessions
+//!   before each job, so every answer reflects all mutations published
+//!   before the query was issued. Landmark bounds go stale on the first
+//!   mutation and each session disables its fast path rather than risk
+//!   an inadmissible bound.
+//! * **A sharded result cache** — hot `(s, t)` pairs are answered from a
+//!   [`ResultCache`] keyed by graph version, consulted before any worker
+//!   is involved. Mutations invalidate by version bump, never by sweep.
+//!
 //! ```
 //! use fempath_core::PathService;
 //! use fempath_graph::generate;
@@ -38,15 +52,24 @@ use crate::algo::{
     BatchBdjFinder, BatchShortestPathFinder, BbfsFinder, BdjFinder, BsdjFinder, DjFinder, Path,
     PathOutcome, ShortestPathFinder,
 };
+use crate::cache::{CacheStats, ResultCache};
 use crate::dispatch::{partition_even, StealQueues, WaitHistogram, WorkerQueueStats};
 use crate::graphdb::{GraphDb, GraphDbOptions, GraphSnapshot};
 use crate::stats::QueryStats;
 use fempath_graph::Graph;
 use fempath_sql::{Result, SqlError};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+
+/// Default [`ResultCache`] byte budget for a service
+/// ([`PathServiceOptions::cache_bytes`]): enough for tens of thousands
+/// of typical path entries without mattering next to the buffer pool.
+pub const DEFAULT_CACHE_BYTES: usize = 4 << 20;
 
 /// Which relational finder answers single-pair queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,6 +111,10 @@ pub struct PathServiceOptions {
     /// covered by a landmark tree are answered without running FEM, and
     /// every finder seeds its Theorem-1 bound from the index.
     pub landmarks: usize,
+    /// Byte budget of the version-keyed result cache (DESIGN.md §16).
+    /// 0 disables caching entirely — every query runs a finder, and
+    /// `query_batch` skips hot-pair deduplication.
+    pub cache_bytes: usize,
 }
 
 impl Default for PathServiceOptions {
@@ -97,8 +124,43 @@ impl Default for PathServiceOptions {
             graphdb: GraphDbOptions::default(),
             algorithm: ServiceAlgorithm::default(),
             landmarks: 0,
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
+}
+
+/// One edge mutation in the shared log, replayed by every worker session
+/// in log order. Validation happened against the admin session before
+/// the entry was published, so replay cannot fail on a healthy session.
+#[derive(Debug, Clone, Copy)]
+enum EdgeMutation {
+    /// Undirected insert: both arcs under symmetric storage.
+    Insert { u: i64, v: i64, w: i64 },
+    /// Undirected delete of every parallel edge between the endpoints.
+    Delete { u: i64, v: i64 },
+}
+
+/// The shared mutation log (DESIGN.md §16): an append-only entry vector
+/// plus the current graph version mirrored into an atomic so the query
+/// front door reads it without touching the lock.
+struct MutationLog {
+    entries: RwLock<Vec<EdgeMutation>>,
+    /// Always `base_version + entries.len()`; stored after the entry is
+    /// pushed, under the write lock.
+    version: AtomicU64,
+}
+
+/// State shared between the service handle and every worker thread.
+struct ServiceShared {
+    snapshot: Arc<GraphSnapshot>,
+    /// Graph version of the frozen snapshot (mutation log baseline).
+    base_version: u64,
+    log: MutationLog,
+    /// `None` when [`PathServiceOptions::cache_bytes`] is 0.
+    cache: Option<ResultCache>,
+    /// Single-pair queries answered by the landmark exact-path fast
+    /// path instead of a FEM finder (DESIGN.md §12).
+    lm_fast_path_hits: AtomicU64,
 }
 
 /// One unit of work dispatched to the pool.
@@ -116,6 +178,7 @@ enum Job {
     },
     /// Test-only: panics inside the worker, exercising the
     /// panic-isolation path ([`PathService::debug_inject_panic`]).
+    #[cfg(any(test, feature = "failpoints"))]
     InjectPanic { reply: Sender<Result<PathOutcome>> },
 }
 
@@ -147,14 +210,24 @@ impl From<WorkerQueueStats> for WorkerStats {
     }
 }
 
-/// Dispatch instrumentation for a [`PathService`] (DESIGN.md §13):
-/// per-worker queue depths, steal counts and queue-wait histograms. All
+/// Instrumentation for a [`PathService`] (DESIGN.md §13, §16):
+/// per-worker queue depths, steal counts and queue-wait histograms, plus
+/// the serving-tier counters — result-cache hit/miss/eviction/stale
+/// totals, landmark fast-path hits and the current graph version. All
 /// counters are cheap relaxed atomics — reading them does not perturb
 /// the pool.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// One entry per worker, in worker order.
     pub workers: Vec<WorkerStats>,
+    /// Result-cache counters (all zero when the cache is disabled).
+    pub cache: CacheStats,
+    /// Single-pair queries answered by the landmark exact-path fast path
+    /// (DESIGN.md §12) instead of running a FEM finder.
+    pub lm_fast_path_hits: u64,
+    /// Current graph version: the snapshot's epoch plus one per edge
+    /// mutation applied through this service.
+    pub graph_version: u64,
 }
 
 impl ServiceStats {
@@ -187,6 +260,16 @@ impl ServiceStats {
         }
         merged.quantile_us(q)
     }
+
+    /// Cache hit rate over all lookups so far (0.0 when none happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A concurrent shortest-path service over one frozen graph.
@@ -196,9 +279,13 @@ impl ServiceStats {
 /// from any number of threads concurrently (`&self`, `Send + Sync`).
 /// Dropping the service shuts the pool down.
 pub struct PathService {
-    snapshot: Arc<GraphSnapshot>,
+    shared: Arc<ServiceShared>,
     queues: Arc<StealQueues<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Serialization point for mutations: validates each one before it
+    /// is published to the log, and by construction always sits at the
+    /// current graph version.
+    admin: Mutex<GraphDb>,
 }
 
 impl PathService {
@@ -220,39 +307,135 @@ impl PathService {
         if opts.landmarks > 0 {
             gdb.build_landmarks(opts.landmarks)?;
         }
-        Ok(PathService::from_snapshot(
+        Ok(PathService::from_snapshot_with_cache(
             Arc::new(gdb.freeze()?),
             opts.workers,
             opts.algorithm,
+            opts.cache_bytes,
         ))
     }
 
     /// Serves an existing snapshot — use this to pre-build the SegTable
     /// or landmark tables into the shared image first
     /// ([`GraphDb::freeze`]), or to run several services over one image.
+    /// The result cache runs at its default budget; use
+    /// [`PathService::from_snapshot_with_cache`] to size or disable it.
     pub fn from_snapshot(
         snapshot: Arc<GraphSnapshot>,
         workers: usize,
         algorithm: ServiceAlgorithm,
     ) -> PathService {
+        PathService::from_snapshot_with_cache(snapshot, workers, algorithm, DEFAULT_CACHE_BYTES)
+    }
+
+    /// [`PathService::from_snapshot`] with an explicit result-cache byte
+    /// budget; 0 disables caching (every query runs a finder).
+    pub fn from_snapshot_with_cache(
+        snapshot: Arc<GraphSnapshot>,
+        workers: usize,
+        algorithm: ServiceAlgorithm,
+        cache_bytes: usize,
+    ) -> PathService {
         let workers = workers.max(1);
+        let base_version = snapshot.graph_version();
+        let admin = Mutex::new(snapshot.session());
+        let shared = Arc::new(ServiceShared {
+            snapshot,
+            base_version,
+            log: MutationLog {
+                entries: RwLock::new(Vec::new()),
+                version: AtomicU64::new(base_version),
+            },
+            cache: (cache_bytes > 0).then(|| ResultCache::new(cache_bytes)),
+            lm_fast_path_hits: AtomicU64::new(0),
+        });
         let queues = Arc::new(StealQueues::new(workers));
         let handles = (0..workers)
             .map(|me| {
                 let queues = queues.clone();
-                let snapshot = snapshot.clone();
-                std::thread::spawn(move || worker_loop(&snapshot, &queues, me, algorithm))
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared, &queues, me, algorithm))
             })
             .collect();
         PathService {
-            snapshot,
+            shared,
             queues,
             workers: handles,
+            admin,
         }
     }
 
-    /// Shortest path from `s` to `t`, answered by the next free worker.
+    /// Current graph version: the snapshot's data epoch plus one per
+    /// mutation applied through this service. Result-cache entries are
+    /// keyed by it, so a bump orphans every older entry at once.
+    pub fn graph_version(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release store in
+        // `apply_mutation` — a reader that observes the bumped version
+        // also observes the pushed log entry.
+        self.shared.log.version.load(Ordering::Acquire)
+    }
+
+    /// Inserts the undirected edge `(u, v)` with weight `w` into the
+    /// served graph and returns the number of arcs added (2, or 1 for a
+    /// self-loop). Bumps the graph version: cached results become
+    /// unreachable, sessions stop using pre-mutation landmark bounds,
+    /// and every worker replays the mutation before its next job. Fails
+    /// (leaving the version untouched) if either endpoint does not exist
+    /// or `w` is not positive.
+    pub fn insert_edge(&self, u: i64, v: i64, w: i64) -> Result<u64> {
+        self.apply_mutation(EdgeMutation::Insert { u, v, w })
+    }
+
+    /// Deletes every parallel edge between `u` and `v` (both arcs under
+    /// symmetric storage) and returns the number of arcs removed. Bumps
+    /// the graph version even when nothing matched — deletion intent
+    /// must invalidate cached results regardless.
+    pub fn delete_edge(&self, u: i64, v: i64) -> Result<u64> {
+        self.apply_mutation(EdgeMutation::Delete { u, v })
+    }
+
+    /// Validates `m` on the admin session, publishes it to the log and
+    /// advances the shared graph version. The log's write lock is the
+    /// mutation serialization point: entries land in the order the admin
+    /// session applied them, so worker replay converges on the admin's
+    /// exact state.
+    fn apply_mutation(&self, m: EdgeMutation) -> Result<u64> {
+        let mut entries = self
+            .shared
+            .log
+            .entries
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut admin = self.admin.lock().unwrap_or_else(|e| e.into_inner());
+        let affected = match m {
+            EdgeMutation::Insert { u, v, w } => admin.insert_edge(u, v, w)?,
+            EdgeMutation::Delete { u, v } => admin.delete_edge(u, v)?,
+        };
+        entries.push(m);
+        // ORDERING: Release pairs with the Acquire loads in
+        // `graph_version` and `catch_up`; the store happens after the
+        // push, still under the write lock, so observing the new version
+        // implies the new entry is visible.
+        self.shared.log.version.store(
+            self.shared.base_version + entries.len() as u64,
+            Ordering::Release,
+        );
+        Ok(affected)
+    }
+
+    /// Shortest path from `s` to `t`: answered from the result cache
+    /// when a verdict for the current graph version is resident
+    /// (including cached "unreachable" verdicts), else by the next free
+    /// worker — which publishes its answer back to the cache.
     pub fn query(&self, s: i64, t: i64) -> Result<PathOutcome> {
+        if let Some(cache) = &self.shared.cache {
+            if let Some(path) = cache.lookup(s, t, self.graph_version()) {
+                return Ok(PathOutcome {
+                    path,
+                    stats: QueryStats::default(),
+                });
+            }
+        }
         let (reply, result) = channel();
         self.queues
             .push(Job::Single { s, t, reply })
@@ -262,17 +445,63 @@ impl PathService {
 
     /// Answers many (s, t) pairs; `paths[i]` answers `pairs[i]`.
     ///
-    /// The pairs are **partitioned across the worker pool**: split into
-    /// contiguous tiles whose sizes differ by at most one (every worker
-    /// gets a tile whenever `pairs.len() >= workers`), one tile per
-    /// worker queue — an idle worker steals a queued tile, so a slow
-    /// tile cannot strand the rest. Each tile runs the batched
-    /// bidirectional FEM finder (DESIGN.md §8) in one worker session and
-    /// the results are merged back by offset, in input order.
+    /// With the cache enabled, each pair first consults the result
+    /// cache; hits (positive or negative) are answered inline. The
+    /// misses are **deduplicated** — a pair that appears many times in
+    /// one batch is computed once and fanned back out to every slot —
+    /// and only the unique misses go to the pool.
+    ///
+    /// The dispatched pairs are **partitioned across the worker pool**:
+    /// split into contiguous tiles whose sizes differ by at most one
+    /// (every worker gets a tile whenever there are at least as many
+    /// pairs as workers), one tile per worker queue — an idle worker
+    /// steals a queued tile, so a slow tile cannot strand the rest. Each
+    /// tile runs the batched bidirectional FEM finder (DESIGN.md §8) in
+    /// one worker session and the results are merged back by offset, in
+    /// input order.
     pub fn query_batch(&self, pairs: &[(i64, i64)]) -> Result<Vec<Option<Path>>> {
         if pairs.is_empty() {
             return Ok(Vec::new());
         }
+        let Some(cache) = &self.shared.cache else {
+            return self.dispatch_batch(pairs);
+        };
+        let version = self.graph_version();
+        let mut out: Vec<Option<Path>> = vec![None; pairs.len()];
+        // Unique missed pairs, each with the output slots it answers.
+        let mut unique: Vec<(i64, i64)> = Vec::new();
+        let mut owners: Vec<Vec<usize>> = Vec::new();
+        let mut slot: HashMap<(i64, i64), usize> = HashMap::new();
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            if let Some(hit) = cache.lookup(s, t, version) {
+                out[i] = hit;
+                continue;
+            }
+            match slot.entry((s, t)) {
+                MapEntry::Occupied(o) => owners[*o.get()].push(i),
+                MapEntry::Vacant(v) => {
+                    v.insert(unique.len());
+                    owners.push(vec![i]);
+                    unique.push((s, t));
+                }
+            }
+        }
+        if unique.is_empty() {
+            return Ok(out);
+        }
+        let answers = self.dispatch_batch(&unique)?;
+        for (u, p) in answers.into_iter().enumerate() {
+            for &i in &owners[u] {
+                out[i] = p.clone();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Partitions `pairs` into per-worker tiles and merges the tile
+    /// results back by offset (the cache-independent dispatch core of
+    /// [`PathService::query_batch`]).
+    fn dispatch_batch(&self, pairs: &[(i64, i64)]) -> Result<Vec<Option<Path>>> {
         let tiles = partition_even(pairs.len(), self.workers.len());
         // Spread this batch's tiles starting at the shared round-robin
         // cursor so concurrent batches interleave across the pool
@@ -322,23 +551,38 @@ impl PathService {
 
     /// The shared snapshot backing the pool.
     pub fn snapshot(&self) -> &Arc<GraphSnapshot> {
-        &self.snapshot
+        &self.shared.snapshot
     }
 
-    /// Dispatch instrumentation: per-worker executed/stolen counts,
-    /// queue depths and queue-wait histograms (DESIGN.md §13).
+    /// Dispatch and serving-tier instrumentation: per-worker
+    /// executed/stolen counts, queue depths and queue-wait histograms
+    /// (DESIGN.md §13), plus result-cache counters, landmark fast-path
+    /// hits and the current graph version (DESIGN.md §16).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             workers: (0..self.workers.len())
                 .map(|i| self.queues.queue_stats(i).into())
                 .collect(),
+            cache: self
+                .shared
+                .cache
+                .as_ref()
+                .map(ResultCache::stats)
+                .unwrap_or_default(),
+            // ORDERING: Relaxed — a monotone stats counter read for
+            // reporting; no other memory depends on it.
+            lm_fast_path_hits: self.shared.lm_fast_path_hits.load(Ordering::Relaxed),
+            graph_version: self.graph_version(),
         }
     }
 
     /// Test-only: makes one worker panic mid-job and returns what its
     /// caller observes. The panic must surface as an error on *this*
     /// call — never a hang — and the pool (including the panicked
-    /// worker, which rebuilds its session) must keep serving.
+    /// worker, which rebuilds its session) must keep serving. Compiled
+    /// only for tests and under the `failpoints` feature, so production
+    /// builds cannot reach it.
+    #[cfg(any(test, feature = "failpoints"))]
     #[doc(hidden)]
     pub fn debug_inject_panic(&self) -> Result<PathOutcome> {
         let (reply, result) = channel();
@@ -369,54 +613,139 @@ fn worker_pool_down() -> SqlError {
     SqlError::Eval("path service worker pool is shut down".into())
 }
 
+/// One worker's mutable state: its private session plus how many log
+/// entries it has replayed into it. The pair moves together — a rebuilt
+/// session starts back at the snapshot, so `applied` resets with it.
+struct WorkerSession {
+    db: GraphDb,
+    applied: u64,
+}
+
 /// Runs one job body with panic isolation: a panic inside the finder (or
 /// injected by a test) is caught, the session — whose working tables may
-/// be mid-operation — is rebuilt from the snapshot, and the caller gets
-/// a `worker_pool_down` error instead of a dropped reply. Sibling
-/// workers are untouched: no dispatch lock is ever held around job
-/// execution, so there is nothing to poison.
+/// be mid-operation — is rebuilt from the snapshot (dropping its replayed
+/// mutations; `catch_up` re-applies them before the next job), and the
+/// caller gets a `worker_pool_down` error instead of a dropped reply.
+/// Sibling workers are untouched: no dispatch lock is ever held around
+/// job execution, so there is nothing to poison.
 fn run_isolated<R>(
-    session: &mut GraphDb,
-    snapshot: &GraphSnapshot,
+    ws: &mut WorkerSession,
+    shared: &ServiceShared,
     f: impl FnOnce(&mut GraphDb) -> Result<R>,
 ) -> Result<R> {
-    match std::panic::catch_unwind(AssertUnwindSafe(|| f(session))) {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ws.db))) {
         Ok(res) => res,
         Err(_) => {
-            *session = snapshot.session();
+            ws.db = shared.snapshot.session();
+            ws.applied = 0;
             Err(worker_pool_down())
+        }
+    }
+}
+
+/// Replays the mutation log's unapplied tail into the worker session, so
+/// the session's graph (and its data version) reflect every mutation
+/// published before this job. The common no-mutation case is a single
+/// atomic load; each replayed mutation bumps the session's own version,
+/// keeping it aligned with `base_version + applied`.
+fn catch_up(ws: &mut WorkerSession, shared: &ServiceShared) -> Result<()> {
+    // ORDERING: Acquire pairs with the Release store in
+    // `apply_mutation` — observing the bumped version guarantees the
+    // pushed entries are visible under the read lock below.
+    if shared.log.version.load(Ordering::Acquire) == shared.base_version + ws.applied {
+        return Ok(());
+    }
+    let entries = shared.log.entries.read().unwrap_or_else(|e| e.into_inner());
+    while (ws.applied as usize) < entries.len() {
+        match entries[ws.applied as usize] {
+            EdgeMutation::Insert { u, v, w } => {
+                ws.db.insert_edge(u, v, w)?;
+            }
+            EdgeMutation::Delete { u, v } => {
+                ws.db.delete_edge(u, v)?;
+            }
+        }
+        ws.applied += 1;
+    }
+    Ok(())
+}
+
+/// Answers `job` with `err` without executing it (replay failed — the
+/// session cannot reach the published graph state).
+fn reply_error(job: Job, err: SqlError) {
+    match job {
+        Job::Single { reply, .. } => {
+            let _ = reply.send(Err(err));
+        }
+        Job::Batch { offset, reply, .. } => {
+            let _ = reply.send((offset, Err(err)));
+        }
+        #[cfg(any(test, feature = "failpoints"))]
+        Job::InjectPanic { reply } => {
+            let _ = reply.send(Err(err));
         }
     }
 }
 
 /// One worker: a private session over the shared snapshot, draining its
 /// own queue (and stealing from siblings) until the service closes the
-/// pool and the queues run dry.
+/// pool and the queues run dry. Before each job the session replays any
+/// mutations published since its last one; after each successful job the
+/// answer is published to the result cache under the version it was
+/// computed at.
 fn worker_loop(
-    snapshot: &GraphSnapshot,
+    shared: &ServiceShared,
     queues: &StealQueues<Job>,
     me: usize,
     algorithm: ServiceAlgorithm,
 ) {
-    let mut session = snapshot.session();
+    let mut ws = WorkerSession {
+        db: shared.snapshot.session(),
+        applied: 0,
+    };
     let finder = algorithm.finder();
     let batch_finder = BatchBdjFinder::default();
     while let Some(job) = queues.pop(me) {
+        if catch_up(&mut ws, shared).is_err() {
+            // Replay into a live session failed (it should not: every
+            // entry was validated by the admin session). Rebuild from
+            // the snapshot and replay from scratch; if even that fails,
+            // answer this caller with the error and keep serving.
+            ws.db = shared.snapshot.session();
+            ws.applied = 0;
+            if let Err(e) = catch_up(&mut ws, shared) {
+                reply_error(job, e);
+                continue;
+            }
+        }
+        // The version every result computed in this job belongs to:
+        // mutations racing in after this point may make it stale, in
+        // which case the version-keyed cache ignores the insert.
+        let version = ws.db.graph_version();
         match job {
             Job::Single { s, t, reply } => {
-                let res = run_isolated(&mut session, snapshot, |session| {
+                let res = run_isolated(&mut ws, shared, |session| {
                     // Landmark fast path (DESIGN.md §12): a covered pair —
                     // bounds already proven tight — is answered straight
                     // from the index, no FEM table ever written. Uncovered
-                    // pairs fall through to the configured finder.
+                    // pairs (and every pair once a mutation staled the
+                    // index) fall through to the configured finder.
                     match crate::landmarks::exact_path(session, s, t)? {
-                        Some(path) => Ok(PathOutcome {
-                            path: Some(path),
-                            stats: QueryStats::default(),
-                        }),
+                        Some(path) => {
+                            // ORDERING: Relaxed — monotone stats counter,
+                            // nothing is ordered against it.
+                            shared.lm_fast_path_hits.fetch_add(1, Ordering::Relaxed);
+                            Ok(PathOutcome {
+                                path: Some(path),
+                                stats: QueryStats::default(),
+                            })
+                        }
                         None => finder.find_path(session, s, t),
                     }
                 });
+                if let (Some(cache), Ok(out)) = (&shared.cache, &res) {
+                    cache.insert(s, t, version, out.path.clone());
+                }
                 let _ = reply.send(res);
             }
             Job::Batch {
@@ -424,15 +753,21 @@ fn worker_loop(
                 offset,
                 reply,
             } => {
-                let res = run_isolated(&mut session, snapshot, |session| {
+                let res = run_isolated(&mut ws, shared, |session| {
                     batch_finder
                         .find_paths(session, &pairs)
                         .map(|out| out.paths)
                 });
+                if let (Some(cache), Ok(paths)) = (&shared.cache, &res) {
+                    for (&(s, t), p) in pairs.iter().zip(paths) {
+                        cache.insert(s, t, version, p.clone());
+                    }
+                }
                 let _ = reply.send((offset, res));
             }
+            #[cfg(any(test, feature = "failpoints"))]
             Job::InjectPanic { reply } => {
-                let res = run_isolated(&mut session, snapshot, |_| -> Result<PathOutcome> {
+                let res = run_isolated(&mut ws, shared, |_| -> Result<PathOutcome> {
                     panic!("injected worker panic (test hook)")
                 });
                 let _ = reply.send(res);
@@ -510,7 +845,8 @@ mod tests {
         svc.query_batch(&pairs).unwrap();
         let stats = svc.stats();
         assert_eq!(stats.workers.len(), 3);
-        // 12 singles + min(7, 3) = 3 batch tiles.
+        // 12 singles + min(7, 3) = 3 batch tiles (all pairs distinct, so
+        // the cache front door forwards every one).
         assert_eq!(stats.total_executed(), 15);
         assert!(
             stats.wait_quantile_us(1.0) > 0,
@@ -529,6 +865,108 @@ mod tests {
         assert!(
             svc.snapshot().shared_plan_count() > 0,
             "first query should publish its plans to the shared cache"
+        );
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let g = generate::grid(4, 4, 1..=10, 5);
+        let svc = PathService::new(&g, 2).unwrap();
+        let first = svc.query(0, 15).unwrap().path.expect("connected");
+        let second = svc.query(0, 15).unwrap().path.expect("connected");
+        assert_eq!(first.length, second.length);
+        assert_eq!(first.nodes, second.nodes);
+        let stats = svc.stats();
+        assert_eq!(stats.cache.hits, 1, "second query must be a cache hit");
+        assert_eq!(
+            stats.total_executed(),
+            1,
+            "only the first query ran a finder"
+        );
+        // Batches hit the same cache: the hot pair plus its duplicate
+        // run zero new jobs.
+        let paths = svc.query_batch(&[(0, 15), (0, 15)]).unwrap();
+        assert!(paths.iter().all(|p| p.is_some()));
+        assert_eq!(svc.stats().total_executed(), 1);
+    }
+
+    #[test]
+    fn mutations_bump_version_and_invalidate_cached_results() {
+        let g = generate::grid(4, 4, 1..=10, 7);
+        let svc = PathService::new(&g, 2).unwrap();
+        let v0 = svc.graph_version();
+        let before = svc.query(0, 15).unwrap().path.expect("connected").length;
+        assert!(before > 1, "grid detour must cost more than the shortcut");
+        // A unit-weight shortcut must win immediately — through the
+        // cache, not around it.
+        assert_eq!(svc.insert_edge(0, 15, 1).unwrap(), 2);
+        assert_eq!(svc.graph_version(), v0 + 1);
+        assert_eq!(svc.query(0, 15).unwrap().path.expect("connected").length, 1);
+        // Deleting it restores the old distance for singles and batches.
+        assert_eq!(svc.delete_edge(0, 15).unwrap(), 2);
+        assert_eq!(
+            svc.query(0, 15).unwrap().path.expect("connected").length,
+            before
+        );
+        let paths = svc.query_batch(&[(0, 15), (15, 0)]).unwrap();
+        assert_eq!(paths[0].as_ref().expect("connected").length, before);
+        let stats = svc.stats();
+        assert_eq!(stats.graph_version, v0 + 2);
+        assert!(
+            stats.cache.stale >= 1,
+            "mutations must strand cached entries"
+        );
+        // Invalid mutations never advance the version.
+        assert!(svc.insert_edge(0, 999, 1).is_err());
+        assert!(svc.insert_edge(0, 1, 0).is_err());
+        assert_eq!(svc.graph_version(), v0 + 2);
+    }
+
+    #[test]
+    fn cache_disabled_service_still_serves_and_counts_nothing() {
+        let g = generate::grid(4, 4, 1..=10, 11);
+        let svc = PathService::with_options(
+            &g,
+            &PathServiceOptions {
+                workers: 2,
+                cache_bytes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        svc.query(0, 15).unwrap();
+        svc.query(0, 15).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.cache, CacheStats::default());
+        assert_eq!(stats.total_executed(), 2, "no cache, every query runs");
+        // Mutations still work without a cache.
+        assert_eq!(svc.insert_edge(0, 15, 1).unwrap(), 2);
+        assert_eq!(svc.query(0, 15).unwrap().path.expect("connected").length, 1);
+    }
+
+    #[test]
+    fn landmark_fast_path_hits_are_counted_and_stop_after_mutation() {
+        let g = generate::grid(4, 4, 1..=10, 13);
+        let svc = PathService::with_options(
+            &g,
+            &PathServiceOptions {
+                workers: 2,
+                landmarks: 16,  // every node a landmark: all pairs covered
+                cache_bytes: 0, // isolate the landmark counter from caching
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        svc.query(0, 15).unwrap();
+        assert_eq!(svc.stats().lm_fast_path_hits, 1);
+        // A mutation stales the landmark index; sessions disable the
+        // fast path rather than serve a pre-mutation bound.
+        svc.insert_edge(0, 15, 1).unwrap();
+        assert_eq!(svc.query(0, 15).unwrap().path.expect("connected").length, 1);
+        assert_eq!(
+            svc.stats().lm_fast_path_hits,
+            1,
+            "post-mutation queries must not use pre-mutation landmarks"
         );
     }
 }

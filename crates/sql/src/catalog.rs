@@ -66,18 +66,34 @@ pub enum TableStorage {
         /// Monotonic uniquifier appended to non-unique clustering keys.
         next_uniquifier: u64,
     },
-    /// Read-only segment-compressed edge storage (DESIGN.md §14): runs of
+    /// Segment-compressed edge storage (DESIGN.md §14): runs of
     /// `(fid, tid, cost)` rows delta-encoded into varint blobs, each blob a
-    /// single B+tree value keyed by `(last_fid, seq)`. Filled once via
-    /// [`Table::bulk_load_segments`]; DML statements are rejected.
+    /// single B+tree value keyed by `(last_fid, seq)`. The bulk of the
+    /// table is filled once via [`Table::bulk_load_segments`]; later
+    /// mutations go through a small row-store **delta overlay**
+    /// (DESIGN.md §16): INSERTs land in the `delta` heap, DELETEs
+    /// tombstone base `(fid, tid)` pairs and physically remove delta
+    /// rows ([`Table::delta_delete_edge`]). Every read path merges
+    /// base-minus-tombstones with the delta. SQL UPDATE/DELETE are
+    /// still rejected (base rows have no per-row locators).
     Segmented {
         tree: BTree,
         /// Column positions usable as an ordered access path — always the
         /// leading `fid` column for the 3-column edge schema.
         key_cols: Vec<usize>,
         /// Total edges across all segments (`tree.len()` counts segments,
-        /// not rows).
+        /// not rows), *including* edges suppressed by `tombstones`.
         rows: u64,
+        /// Row-store overlay holding post-load inserts.
+        delta: HeapFile,
+        /// Rows currently in `delta` (live, after physical deletes).
+        delta_rows: u64,
+        /// Base `(fid, tid)` pairs whose segment edges are suppressed.
+        /// A pair tombstones *all* parallel base edges between the two
+        /// endpoints, matching edge-level delete semantics.
+        tombstones: HashSet<(i64, i64)>,
+        /// Base edges suppressed by `tombstones` (so `len()` stays O(1)).
+        dead_rows: u64,
     },
 }
 
@@ -137,13 +153,16 @@ pub enum TableBatchCursor {
 }
 
 /// Resume point of a batched scan over segmented storage: the key of the
-/// segment last touched plus how many of its edges were already emitted
-/// (a segment can straddle two batches when `max` lands inside it).
+/// segment last touched plus how many of its raw (pre-tombstone-filter)
+/// edges were already consumed (a segment can straddle two batches when
+/// `max` lands inside it). Once the base segments are exhausted the scan
+/// continues into the delta overlay via `delta`.
 #[derive(Default)]
 pub struct SegmentScanCursor {
     cur_key: Option<Vec<u8>>,
     skip: usize,
     done: bool,
+    delta: HeapScanCursor,
 }
 
 /// A table: schema + storage + indexes.
@@ -159,7 +178,9 @@ impl Table {
         matches!(self.storage, TableStorage::Clustered { .. })
     }
 
-    fn is_segmented(&self) -> bool {
+    /// True when the table uses segment-compressed edge storage (base
+    /// rows immutable, mutations via the delta overlay).
+    pub fn is_segmented(&self) -> bool {
         matches!(self.storage, TableStorage::Segmented { .. })
     }
 
@@ -179,7 +200,8 @@ impl Table {
 
     fn read_only_err(&self) -> SqlError {
         SqlError::Eval(format!(
-            "table {} is segment-compressed and read-only",
+            "table {} is segment-compressed: base rows are immutable \
+             (use INSERT / delta_delete_edge for edge mutations)",
             self.schema.name
         ))
     }
@@ -189,7 +211,12 @@ impl Table {
         match &self.storage {
             TableStorage::Heap(h) => h.len(),
             TableStorage::Clustered { tree, .. } => tree.len(),
-            TableStorage::Segmented { rows, .. } => *rows,
+            TableStorage::Segmented {
+                rows,
+                delta_rows,
+                dead_rows,
+                ..
+            } => *rows - *dead_rows + *delta_rows,
         }
     }
 
@@ -229,10 +256,27 @@ impl Table {
         Ok(row)
     }
 
-    /// Inserts a (already coerced) row, maintaining all indexes.
+    /// Inserts a (already coerced) row, maintaining all indexes. On a
+    /// segmented table the row lands in the delta overlay (segmented
+    /// tables cannot have secondary indexes, so no index maintenance).
     pub fn insert_row(&mut self, pool: &mut BufferPool, row: &[Value]) -> Result<RowLoc> {
         if self.is_segmented() {
-            return Err(self.read_only_err());
+            if row.iter().any(|v| !matches!(v, Value::Int(_))) {
+                return Err(SqlError::Eval(format!(
+                    "table {} is segment-compressed: delta rows must be non-NULL integers",
+                    self.schema.name
+                )));
+            }
+            let bytes = encode_row(row);
+            let TableStorage::Segmented {
+                delta, delta_rows, ..
+            } = &mut self.storage
+            else {
+                unreachable!("checked above");
+            };
+            let rid = delta.insert(pool, &bytes)?;
+            *delta_rows += 1;
+            return Ok(RowLoc::Heap(rid));
         }
         let bytes = encode_row(row);
         let loc = match &mut self.storage {
@@ -438,16 +482,23 @@ impl Table {
                     return Err(e.into());
                 }
             }
-            TableStorage::Segmented { tree, .. } => {
-                // Decode each segment in key order; edges come out sorted
-                // by (fid, tid, cost). Rows of one segment share its key
-                // as a (non-unique) locator — fine for reads, and DML on
-                // segmented tables is rejected before locators matter.
+            TableStorage::Segmented {
+                tree,
+                delta,
+                tombstones,
+                ..
+            } => {
+                // Decode each segment in key order; base edges come out
+                // sorted by (fid, tid, cost), tombstoned pairs suppressed.
+                // Rows of one segment share its key as a (non-unique)
+                // locator — fine for reads, and base-row DML on segmented
+                // tables is rejected before locators matter. Delta-overlay
+                // rows follow in heap order with real heap locators.
                 let mut decode_err = None;
+                let mut go = true;
                 tree.scan_range(pool, Bound::Unbounded, Bound::Unbounded, |k, v| {
-                    let mut go = true;
                     let res = decode_edge_segment_with(v, |ef, et, ec| {
-                        if go {
+                        if go && !tombstones.contains(&(ef, et)) {
                             go = f(
                                 RowLoc::Clustered(k.to_vec()),
                                 vec![Value::Int(ef), Value::Int(et), Value::Int(ec)],
@@ -462,6 +513,18 @@ impl Table {
                 })?;
                 if let Some(e) = decode_err {
                     return Err(e.into());
+                }
+                if go {
+                    delta.scan(pool, |rid, bytes| match decode_row(bytes) {
+                        Ok(row) => f(RowLoc::Heap(rid), row),
+                        Err(e) => {
+                            decode_err = Some(e);
+                            false
+                        }
+                    })?;
+                    if let Some(e) = decode_err {
+                        return Err(e.into());
+                    }
                 }
             }
         }
@@ -478,8 +541,12 @@ impl Table {
                     .ok_or_else(|| SqlError::Eval("dangling clustered locator".into()))?;
                 Ok(decode_row(&bytes)?)
             }
+            (TableStorage::Segmented { delta, .. }, RowLoc::Heap(rid)) => {
+                // Delta-overlay rows do have heap locators.
+                Ok(decode_row(&delta.get(pool, *rid)?)?)
+            }
             (TableStorage::Segmented { .. }, _) => Err(SqlError::Eval(
-                "segmented storage has no per-row locators".into(),
+                "segmented base storage has no per-row locators".into(),
             )),
             _ => Err(SqlError::Eval(
                 "row locator does not match table storage".into(),
@@ -523,11 +590,18 @@ impl Table {
                 Ok(true)
             }
             EqAccessPath::SegmentedFid(fid) => {
-                let TableStorage::Segmented { tree, .. } = &self.storage else {
+                let TableStorage::Segmented {
+                    tree,
+                    delta,
+                    tombstones,
+                    ..
+                } = &self.storage
+                else {
                     unreachable!("segmented path implies segmented storage");
                 };
                 let lo = encode_key(&[Value::Int(fid)])?;
                 let mut decode_err = None;
+                let mut go = true;
                 tree.scan_range(pool, Bound::Included(&lo), Bound::Unbounded, |k, v| {
                     let edges = match decode_edge_segment(v) {
                         Ok(e) => e,
@@ -544,11 +618,13 @@ impl Table {
                     }
                     for (ef, et, ec) in edges {
                         if ef == fid
+                            && !tombstones.contains(&(ef, et))
                             && !f(
                                 RowLoc::Clustered(k.to_vec()),
                                 vec![Value::Int(ef), Value::Int(et), Value::Int(ec)],
                             )
                         {
+                            go = false;
                             return false;
                         }
                     }
@@ -556,6 +632,25 @@ impl Table {
                 })?;
                 if let Some(e) = decode_err {
                     return Err(e.into());
+                }
+                if go {
+                    // Delta-overlay rows for this fid (unsorted tail).
+                    delta.scan(pool, |rid, bytes| match decode_row(bytes) {
+                        Ok(row) => {
+                            if row.first().and_then(|v| v.as_i64()) == Some(fid) {
+                                f(RowLoc::Heap(rid), row)
+                            } else {
+                                true
+                            }
+                        }
+                        Err(e) => {
+                            decode_err = Some(e);
+                            false
+                        }
+                    })?;
+                    if let Some(e) = decode_err {
+                        return Err(e.into());
+                    }
                 }
                 Ok(true)
             }
@@ -620,7 +715,13 @@ impl Table {
                 // The FEM expansion hot path: decode matching edges
                 // straight into the chunk's int columns, no Vec<Value>
                 // per row.
-                let TableStorage::Segmented { tree, .. } = &self.storage else {
+                let TableStorage::Segmented {
+                    tree,
+                    delta,
+                    tombstones,
+                    ..
+                } = &self.storage
+                else {
                     unreachable!("segmented path implies segmented storage");
                 };
                 if chunk.is_empty() && chunk.width() != 3 {
@@ -643,7 +744,7 @@ impl Table {
                                 past = true;
                             }
                         }
-                        if ef == fid {
+                        if ef == fid && !tombstones.contains(&(ef, et)) {
                             chunk.col_mut(0).push_int(ef);
                             chunk.col_mut(1).push_int(et);
                             chunk.col_mut(2).push_int(ec);
@@ -655,6 +756,22 @@ impl Table {
                         return false;
                     }
                     !past
+                })?;
+                if let Some(e) = decode_err {
+                    return Err(e.into());
+                }
+                // Delta-overlay rows for this fid (unsorted tail).
+                delta.scan(pool, |_, bytes| match decode_row(bytes) {
+                    Ok(row) => {
+                        if row.first().and_then(|v| v.as_i64()) == Some(fid) {
+                            chunk.push_row(&row);
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        decode_err = Some(e);
+                        false
+                    }
                 })?;
                 if let Some(e) = decode_err {
                     return Err(e.into());
@@ -826,14 +943,19 @@ impl Table {
                 }
                 None => Ok(c.next_batch(pool, chunk, None, max)?),
             },
-            (TableStorage::Segmented { tree, .. }, TableBatchCursor::Segmented(c)) => {
+            (
+                TableStorage::Segmented {
+                    tree,
+                    delta,
+                    tombstones,
+                    ..
+                },
+                TableBatchCursor::Segmented(c),
+            ) => {
                 if locs.is_some() {
                     return Err(SqlError::Eval(
-                        "segmented storage has no per-row locators".into(),
+                        "segmented base storage has no per-row locators".into(),
                     ));
-                }
-                if c.done {
-                    return Ok(false);
                 }
                 if chunk.is_empty() && chunk.width() != 3 {
                     chunk.set_width(3);
@@ -843,62 +965,75 @@ impl Table {
                         "segmented scan chunk must be 3 columns wide".into(),
                     ));
                 }
-                let lo_key = c.cur_key.clone();
-                let lo = match &lo_key {
-                    None => Bound::Unbounded,
-                    // Mid-segment resume re-reads the same segment and
-                    // skips the edges already emitted.
-                    Some(k) if c.skip > 0 => Bound::Included(k.as_slice()),
-                    Some(k) => Bound::Excluded(k.as_slice()),
-                };
-                let mut skip = c.skip;
                 let mut added = 0usize;
-                let mut new_pos: Option<(Vec<u8>, usize)> = None;
-                let mut stopped_early = false;
-                let mut decode_err = None;
-                tree.scan_range(pool, lo, Bound::Unbounded, |k, v| {
-                    if added >= max {
-                        stopped_early = true;
-                        return false;
-                    }
-                    let edges = match decode_edge_segment(v) {
-                        Ok(e) => e,
-                        Err(e) => {
-                            decode_err = Some(e);
+                if !c.done {
+                    let lo_key = c.cur_key.clone();
+                    let lo = match &lo_key {
+                        None => Bound::Unbounded,
+                        // Mid-segment resume re-reads the same segment and
+                        // skips the raw edges already consumed (`skip`
+                        // counts pre-filter edges so tombstones cannot
+                        // desynchronise the resume point).
+                        Some(k) if c.skip > 0 => Bound::Included(k.as_slice()),
+                        Some(k) => Bound::Excluded(k.as_slice()),
+                    };
+                    let mut skip = c.skip;
+                    let mut new_pos: Option<(Vec<u8>, usize)> = None;
+                    let mut stopped_early = false;
+                    let mut decode_err = None;
+                    tree.scan_range(pool, lo, Bound::Unbounded, |k, v| {
+                        if added >= max {
+                            stopped_early = true;
                             return false;
                         }
-                    };
-                    let offset = skip.min(edges.len());
-                    let take = (edges.len() - offset).min(max - added);
-                    for &(ef, et, ec) in &edges[offset..offset + take] {
-                        chunk.col_mut(0).push_int(ef);
-                        chunk.col_mut(1).push_int(et);
-                        chunk.col_mut(2).push_int(ec);
-                        chunk.commit_row();
+                        let edges = match decode_edge_segment(v) {
+                            Ok(e) => e,
+                            Err(e) => {
+                                decode_err = Some(e);
+                                return false;
+                            }
+                        };
+                        let offset = skip.min(edges.len());
+                        skip = 0;
+                        let mut consumed = offset;
+                        for &(ef, et, ec) in &edges[offset..] {
+                            if added >= max {
+                                break;
+                            }
+                            consumed += 1;
+                            if tombstones.contains(&(ef, et)) {
+                                continue;
+                            }
+                            chunk.col_mut(0).push_int(ef);
+                            chunk.col_mut(1).push_int(et);
+                            chunk.col_mut(2).push_int(ec);
+                            chunk.commit_row();
+                            added += 1;
+                        }
+                        if consumed < edges.len() {
+                            new_pos = Some((k.to_vec(), consumed));
+                            stopped_early = true;
+                            false
+                        } else {
+                            new_pos = Some((k.to_vec(), 0));
+                            true
+                        }
+                    })?;
+                    if let Some(e) = decode_err {
+                        return Err(e.into());
                     }
-                    added += take;
-                    skip = 0;
-                    let consumed = offset + take;
-                    if consumed < edges.len() {
-                        new_pos = Some((k.to_vec(), consumed));
-                        stopped_early = true;
-                        false
-                    } else {
-                        new_pos = Some((k.to_vec(), 0));
-                        true
+                    if let Some((k, s)) = new_pos {
+                        c.cur_key = Some(k);
+                        c.skip = s;
                     }
-                })?;
-                if let Some(e) = decode_err {
-                    return Err(e.into());
-                }
-                if let Some((k, s)) = new_pos {
-                    c.cur_key = Some(k);
-                    c.skip = s;
-                }
-                if !stopped_early {
+                    if stopped_early {
+                        return Ok(true);
+                    }
                     c.done = true;
                 }
-                Ok(!c.done)
+                // Base exhausted: stream the delta overlay.
+                let more = c.delta.next_batch(delta, pool, chunk, None, max - added)?;
+                Ok(more)
             }
             _ => Err(SqlError::Eval("cursor does not match table storage".into())),
         }
@@ -982,7 +1117,13 @@ impl Table {
             return Ok(0);
         }
         if self.is_segmented() {
-            return Err(self.read_only_err());
+            // Delta-overlay inserts are per-row heap appends anyway.
+            let n = chunk.len();
+            for r in 0..n {
+                let row = chunk.row(r);
+                self.insert_row(pool, &row)?;
+            }
+            return Ok(n as u64);
         }
         let n = chunk.len();
         if self.is_clustered() {
@@ -1241,9 +1382,21 @@ impl Table {
         match &mut self.storage {
             TableStorage::Heap(h) => h.truncate(pool)?,
             TableStorage::Clustered { tree, .. } => tree.clear(pool)?,
-            TableStorage::Segmented { tree, rows, .. } => {
+            TableStorage::Segmented {
+                tree,
+                rows,
+                delta,
+                delta_rows,
+                tombstones,
+                dead_rows,
+                ..
+            } => {
                 tree.clear(pool)?;
+                delta.truncate(pool)?;
+                tombstones.clear();
                 *rows = 0;
+                *delta_rows = 0;
+                *dead_rows = 0;
             }
         }
         for idx in &mut self.indexes {
@@ -1262,13 +1415,19 @@ impl Table {
         pool: &mut BufferPool,
         edges: impl IntoIterator<Item = (i64, i64, i64)>,
     ) -> Result<u64> {
-        let TableStorage::Segmented { tree, rows, .. } = &mut self.storage else {
+        let TableStorage::Segmented {
+            tree,
+            rows,
+            delta_rows,
+            ..
+        } = &mut self.storage
+        else {
             return Err(SqlError::Eval(format!(
                 "table {} is not segment-compressed",
                 self.schema.name
             )));
         };
-        if *rows != 0 || !tree.is_empty() {
+        if *rows != 0 || !tree.is_empty() || *delta_rows != 0 {
             return Err(SqlError::Eval(format!(
                 "segmented table {} is already loaded",
                 self.schema.name
@@ -1309,6 +1468,91 @@ impl Table {
         tree.bulk_build(pool, segs)?;
         *rows = total;
         Ok(total)
+    }
+
+    /// Deletes every `(fid, tid)` edge of a segmented table — base rows
+    /// by tombstone (all parallel edges between the endpoints are
+    /// suppressed at once; segment blobs are immutable), delta-overlay
+    /// rows physically. Returns the number of edges removed. Idempotent:
+    /// deleting an already-tombstoned or absent pair removes nothing.
+    pub fn delta_delete_edge(&mut self, pool: &mut BufferPool, fid: i64, tid: i64) -> Result<u64> {
+        let TableStorage::Segmented {
+            tree,
+            delta,
+            delta_rows,
+            tombstones,
+            dead_rows,
+            ..
+        } = &mut self.storage
+        else {
+            return Err(SqlError::Eval(format!(
+                "table {} is not segment-compressed",
+                self.schema.name
+            )));
+        };
+        let mut removed = 0u64;
+        if !tombstones.contains(&(fid, tid)) {
+            // Count the base edges the new tombstone suppresses so len()
+            // stays exact.
+            let lo = encode_key(&[Value::Int(fid)])?;
+            let mut base = 0u64;
+            let mut decode_err = None;
+            tree.scan_range(pool, Bound::Included(&lo), Bound::Unbounded, |_, v| {
+                let mut past = false;
+                let mut first = true;
+                let res = decode_edge_segment_with(v, |ef, et, _| {
+                    if first {
+                        first = false;
+                        if ef > fid {
+                            past = true;
+                        }
+                    }
+                    if ef == fid && et == tid {
+                        base += 1;
+                    }
+                });
+                if let Err(e) = res {
+                    decode_err = Some(e);
+                    return false;
+                }
+                !past
+            })?;
+            if let Some(e) = decode_err {
+                return Err(e.into());
+            }
+            if base > 0 {
+                tombstones.insert((fid, tid));
+                *dead_rows += base;
+                removed += base;
+            }
+        }
+        // Delta rows matching the pair go away physically, so a later
+        // re-insert of the same edge is visible again.
+        let mut rids = Vec::new();
+        let mut decode_err = None;
+        delta.scan(pool, |rid, bytes| match decode_row(bytes) {
+            Ok(row) => {
+                if row.first().and_then(|v| v.as_i64()) == Some(fid)
+                    && row.get(1).and_then(|v| v.as_i64()) == Some(tid)
+                {
+                    rids.push(rid);
+                }
+                true
+            }
+            Err(e) => {
+                decode_err = Some(e);
+                false
+            }
+        })?;
+        if let Some(e) = decode_err {
+            return Err(e.into());
+        }
+        if !rids.is_empty() {
+            delta.delete_batch(pool, &rids)?;
+            *delta_rows -= rids.len() as u64;
+            removed += rids.len() as u64;
+        }
+        Ok(removed)
     }
 
     /// Bulk-loads an empty table (and its empty indexes) from pre-coerced
@@ -1568,10 +1812,11 @@ impl Catalog {
         Ok(())
     }
 
-    /// Creates a read-only segment-compressed edge table (DESIGN.md §14).
-    /// The schema must be exactly three INT columns — `(fid, tid, cost)`
+    /// Creates a segment-compressed edge table (DESIGN.md §14). The
+    /// schema must be exactly three INT columns — `(fid, tid, cost)`
     /// shaped — with the first column doubling as the ordered access path.
-    /// Fill it with [`Table::bulk_load_segments`].
+    /// Fill it with [`Table::bulk_load_segments`]; post-load mutations go
+    /// through the delta overlay (INSERT / [`Table::delta_delete_edge`]).
     pub fn create_segmented_table(
         &mut self,
         pool: &mut BufferPool,
@@ -1596,6 +1841,10 @@ impl Catalog {
                 tree: BTree::create(pool)?,
                 key_cols: vec![0],
                 rows: 0,
+                delta: HeapFile::create(),
+                delta_rows: 0,
+                tombstones: HashSet::new(),
+                dead_rows: 0,
             },
             indexes: Vec::new(),
         };
@@ -2200,14 +2449,18 @@ mod tests {
         segmented_fixture(&mut pool, &mut cat);
         {
             let t = cat.table_mut("TSeg").unwrap();
-            assert!(t.insert_row(&mut pool, &row(1, 2, 3)).is_err());
+            // Locator-based row DML stays rejected (base rows have no
+            // per-row locators); inserts are covered by the delta overlay
+            // (see `segmented_delta_overlay`).
             let loc = RowLoc::Heap(RecordId::from_u64(0));
             assert!(t.delete_row(&mut pool, &loc, &row(1, 2, 3)).is_err());
             assert!(t
                 .update_row(&mut pool, &loc, &row(1, 2, 3), &row(4, 5, 6))
                 .is_err());
-            let chunk = chunk_of(&[(1, 2, 3)]);
-            assert!(t.insert_chunk(&mut pool, &chunk).is_err());
+            // NULL-bearing delta rows are rejected.
+            assert!(t
+                .insert_row(&mut pool, &[Value::Int(1), Value::Null, Value::Int(3)])
+                .is_err());
             // Double bulk load is rejected.
             assert!(t.bulk_load_segments(&mut pool, [(0, 0, 1)]).is_err());
             // Unsorted input is rejected.
@@ -2236,6 +2489,116 @@ mod tests {
         cat.table_mut("TSeg").unwrap().truncate(&mut pool).unwrap();
         assert!(cat.table("TSeg").unwrap().is_empty());
         cat.drop_table(&mut pool, "TSeg", false).unwrap();
+    }
+
+    #[test]
+    fn segmented_delta_overlay() {
+        let (mut pool, mut cat) = setup();
+        let edges = segmented_fixture(&mut pool, &mut cat);
+        let base_len = edges.len() as u64;
+
+        // Collects the table content through every read path and checks
+        // they agree.
+        fn content(pool: &mut BufferPool, t: &Table) -> Vec<(i64, i64, i64)> {
+            let mut scanned = Vec::new();
+            t.scan(pool, |_, r| {
+                scanned.push((
+                    r[0].as_i64().unwrap(),
+                    r[1].as_i64().unwrap(),
+                    r[2].as_i64().unwrap(),
+                ));
+                true
+            })
+            .unwrap();
+            // Batched scan must agree with the row scan.
+            let mut cursor = t.batch_cursor(pool).unwrap();
+            let mut batched = Vec::new();
+            loop {
+                let mut chunk = Chunk::with_width(3);
+                let more = t
+                    .next_batch(pool, &mut cursor, &mut chunk, None, 13)
+                    .unwrap();
+                for r in 0..chunk.len() {
+                    batched.push((
+                        chunk.get(0, r).as_i64().unwrap(),
+                        chunk.get(1, r).as_i64().unwrap(),
+                        chunk.get(2, r).as_i64().unwrap(),
+                    ));
+                }
+                if !more {
+                    break;
+                }
+            }
+            assert_eq!(batched, scanned, "batched scan drifted from row scan");
+            scanned
+        }
+
+        // Inserts (row and chunk path) land in the delta and are visible
+        // to every read path.
+        {
+            let t = cat.table_mut("TSeg").unwrap();
+            t.insert_chunk(&mut pool, &chunk_of(&[(7, 9000, 5)]))
+                .unwrap();
+            assert_eq!(t.len(), base_len + 1);
+            let mut probe = Vec::new();
+            t.lookup_eq(&mut pool, &[0], &[Value::Int(7)], |_, r| {
+                probe.push((r[1].as_i64().unwrap(), r[2].as_i64().unwrap()));
+                true
+            })
+            .unwrap();
+            assert!(probe.contains(&(9000, 5)), "delta row missing from probe");
+            let mut chunk = Chunk::with_width(3);
+            t.lookup_eq_chunk(&mut pool, &[0], &[Value::Int(7)], &mut chunk)
+                .unwrap();
+            assert_eq!(probe.len(), chunk.len());
+        }
+        assert_eq!(
+            content(&mut pool, cat.table("TSeg").unwrap()).len(),
+            edges.len() + 1
+        );
+
+        // Deleting a base pair tombstones it everywhere; deleting the
+        // delta row removes it physically; both are idempotent.
+        {
+            let t = cat.table_mut("TSeg").unwrap();
+            assert_eq!(t.delta_delete_edge(&mut pool, 3, 4).unwrap(), 1);
+            assert_eq!(t.delta_delete_edge(&mut pool, 3, 4).unwrap(), 0);
+            assert_eq!(t.delta_delete_edge(&mut pool, 7, 9000).unwrap(), 1);
+            assert_eq!(t.len(), base_len - 1);
+            let mut hits = 0;
+            t.lookup_eq(&mut pool, &[0], &[Value::Int(3)], |_, r| {
+                assert_ne!(r[1].as_i64().unwrap(), 4, "tombstoned edge surfaced");
+                hits += 1;
+                true
+            })
+            .unwrap();
+            assert_eq!(hits, 19);
+        }
+        let now = content(&mut pool, cat.table("TSeg").unwrap());
+        assert_eq!(now.len(), edges.len() - 1);
+        // 8 = the generator's weight for edge (3, 4): 1 + (3 + 4) % 9.
+        assert!(!now.contains(&(3, 4, 8)));
+
+        // Re-insert after delete is visible again (delta is not filtered
+        // by the base tombstone).
+        {
+            let t = cat.table_mut("TSeg").unwrap();
+            t.insert_row(&mut pool, &row(3, 4, 99)).unwrap();
+            assert_eq!(t.len(), base_len);
+            let mut seen = Vec::new();
+            t.lookup_eq(&mut pool, &[0], &[Value::Int(3)], |_, r| {
+                seen.push((r[1].as_i64().unwrap(), r[2].as_i64().unwrap()));
+                true
+            })
+            .unwrap();
+            assert!(seen.contains(&(4, 99)));
+            // Truncate clears base, delta, and tombstones, after which a
+            // fresh bulk load is accepted again.
+            t.truncate(&mut pool).unwrap();
+            assert!(t.is_empty());
+            t.bulk_load_segments(&mut pool, [(0, 1, 2)]).unwrap();
+            assert_eq!(t.len(), 1);
+        }
     }
 
     fn chunk_of(edges: &[(i64, i64, i64)]) -> Chunk {

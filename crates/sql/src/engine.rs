@@ -418,6 +418,7 @@ pub struct DbSnapshot {
     dialect: Dialect,
     buffer_pages: usize,
     shared_plans: Arc<SharedPlanCache>,
+    data_version: u64,
 }
 
 impl DbSnapshot {
@@ -433,6 +434,7 @@ impl DbSnapshot {
         db.catalog = self.catalog.clone();
         db.dialect = self.dialect;
         db.shared_plans = Some(self.shared_plans.clone());
+        db.data_version = self.data_version;
         db
     }
 
@@ -444,6 +446,12 @@ impl DbSnapshot {
     /// Catalog version sessions start from.
     pub fn catalog_version(&self) -> u64 {
         self.catalog.version()
+    }
+
+    /// Data version frozen into the snapshot (see
+    /// [`Database::data_version`]); sessions start from it.
+    pub fn data_version(&self) -> u64 {
+        self.data_version
     }
 
     /// Plans currently in the shared cache (diagnostics).
@@ -468,6 +476,13 @@ pub struct Database {
     /// session of the same [`DbSnapshot`].
     shared_plans: Option<Arc<SharedPlanCache>>,
     statements_executed: u64,
+    /// Monotone **data** epoch, advanced only by callers that declare a
+    /// content mutation ([`Database::bump_data_version`]) — deliberately
+    /// *not* by DML in general, and never by DDL. It is the versioning
+    /// half of the catalog-version trick (DESIGN.md §9) for row content:
+    /// cached plans survive a bump (the schema did not change) while
+    /// version-keyed result caches are invalidated by it (DESIGN.md §16).
+    data_version: u64,
 }
 
 // A session (and its prepared handles) must be movable to a worker
@@ -504,6 +519,7 @@ impl Database {
             plan_cache: PlanCache::new(),
             shared_plans: None,
             statements_executed: 0,
+            data_version: 0,
         }
     }
 
@@ -523,6 +539,7 @@ impl Database {
             catalog: self.catalog,
             dialect: self.dialect,
             shared_plans: Arc::new(SharedPlanCache::new()),
+            data_version: self.data_version,
         })
     }
 
@@ -839,9 +856,11 @@ impl Database {
         }
     }
 
-    /// Creates a read-only segment-compressed edge table (see
+    /// Creates a segment-compressed edge table (see
     /// [`crate::catalog::Catalog::create_segmented_table`]); fill it with
-    /// [`Database::bulk_load_segments`].
+    /// [`Database::bulk_load_segments`]. Later single-edge mutations go
+    /// through the delta overlay (INSERT statements and
+    /// [`Database::delta_delete_edge`]).
     pub fn create_segmented_table(
         &mut self,
         name: &str,
@@ -861,6 +880,15 @@ impl Database {
         self.catalog
             .table_mut(table)?
             .bulk_load_segments(&mut self.pool, edges)
+    }
+
+    /// Deletes every `(fid, tid)` edge of a segmented table through its
+    /// delta overlay (see [`crate::catalog::Table::delta_delete_edge`]);
+    /// SQL DELETE on segmented storage stays rejected.
+    pub fn delta_delete_edge(&mut self, table: &str, fid: i64, tid: i64) -> Result<u64> {
+        self.catalog
+            .table_mut(table)?
+            .delta_delete_edge(&mut self.pool, fid, tid)
     }
 
     /// Bulk-loads an empty table (heap or clustered) bottom-up, bypassing
@@ -904,6 +932,20 @@ impl Database {
     /// validate cached plans.
     pub fn catalog_version(&self) -> u64 {
         self.catalog.version()
+    }
+
+    /// Current data epoch — advanced only by [`Database::bump_data_version`].
+    pub fn data_version(&self) -> u64 {
+        self.data_version
+    }
+
+    /// Declares a content mutation: advances the data epoch and returns
+    /// the new value. Prepared plans stay valid (the schema is
+    /// unchanged); anything keyed by data version — e.g. the serving
+    /// tier's result cache — treats older entries as stale.
+    pub fn bump_data_version(&mut self) -> u64 {
+        self.data_version += 1;
+        self.data_version
     }
 
     /// Number of plans currently cached.

@@ -11,7 +11,7 @@
 //! sweep; the in-repo default keeps `cargo test` quick.
 
 use fempath::core::landmarks;
-use fempath::core::GraphDb;
+use fempath::core::{BsdjFinder, GraphDb, ShortestPathFinder};
 use fempath::graph::Graph;
 use fempath::inmem::dijkstra;
 use proptest::prelude::*;
@@ -31,11 +31,17 @@ fn cases(default: u32) -> u32 {
 fn check_all_pairs(g: &Graph, n: usize, k: usize) {
     let mut gdb = GraphDb::in_memory(g).unwrap();
     gdb.build_landmarks(k).unwrap();
+    check_all_pairs_on(&mut gdb, g, n);
+}
+
+/// The sweep itself, over a database whose edge content matches the
+/// oracle graph `g` — callers may have mutated and rebuilt the index.
+fn check_all_pairs_on(gdb: &mut GraphDb, g: &Graph, n: usize) {
     let fem_rows = gdb.db.table_len("TVisited").unwrap();
     for s in 0..n as i64 {
         for t in 0..n as i64 {
             let truth = dijkstra::shortest_path(g, s as u32, t as u32).map(|p| p.distance as i64);
-            let bounds = landmarks::estimate_distance(&mut gdb, s, t).unwrap();
+            let bounds = landmarks::estimate_distance(gdb, s, t).unwrap();
             match (bounds, truth) {
                 (Some(b), Some(d)) => {
                     assert!(
@@ -44,7 +50,7 @@ fn check_all_pairs(g: &Graph, n: usize, k: usize) {
                         b.lower,
                         b.upper
                     );
-                    let exact = landmarks::exact_path(&mut gdb, s, t).unwrap();
+                    let exact = landmarks::exact_path(gdb, s, t).unwrap();
                     if b.lower == b.upper {
                         // Tight bounds define a covered pair: the fast
                         // path must answer it exactly.
@@ -82,7 +88,7 @@ fn check_all_pairs(g: &Graph, n: usize, k: usize) {
                     // No common landmark: legal for any pair (the index
                     // may simply not cover it), but then the fast path
                     // must decline too.
-                    let exact = landmarks::exact_path(&mut gdb, s, t).unwrap();
+                    let exact = landmarks::exact_path(gdb, s, t).unwrap();
                     assert!(exact.is_none(), "{s}->{t}: fast path without bounds");
                 }
             }
@@ -94,6 +100,106 @@ fn check_all_pairs(g: &Graph, n: usize, k: usize) {
         fem_rows,
         "fast path must not write FEM tables"
     );
+}
+
+/// Undirected edge list of `g` (one entry per edge, not per arc) — the
+/// base for rebuilding an oracle graph after mutations.
+fn edge_model(g: &Graph) -> Vec<(u32, u32, u32)> {
+    let mut edges = Vec::new();
+    for u in 0..g.num_nodes() as u32 {
+        for a in g.out_arcs(u) {
+            if u <= a.to {
+                edges.push((u, a.to, a.weight));
+            }
+        }
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    /// Post-mutation queries never use pre-mutation landmark bounds
+    /// (DESIGN.md §16): an edge insert flips the index to stale, every
+    /// gated probe (`upper_bound`, `exact_path`) declines every pair,
+    /// FEM queries stay exact against the *mutated* graph while the
+    /// index is down, and `rebuild_landmarks` restores full
+    /// admissibility over the new edge set.
+    #[test]
+    fn mutations_gate_stale_bounds_until_rebuild(
+        w in 2usize..4,
+        h in 2usize..4,
+        seed in 0u64..500,
+        k in 1usize..5,
+        pick in 0usize..1000,
+        wt in 1i64..15,
+    ) {
+        let g = fempath::graph::generate::grid(w, h, 1..=10, seed);
+        let n = w * h;
+        let mut gdb = GraphDb::in_memory(&g).unwrap();
+        gdb.build_landmarks(k).unwrap();
+        prop_assert!(gdb.landmarks().is_some());
+        let before = gdb.graph_version();
+        // A shortcut between two distinct nodes (offset never wraps to 0
+        // mod n, so u != v by construction).
+        let u = (pick % n) as i64;
+        let v = (u + 1 + ((pick / n) % (n - 1)) as i64) % n as i64;
+        gdb.insert_edge(u, v, wt).unwrap();
+        prop_assert!(gdb.graph_version() > before, "insert must bump the version");
+        prop_assert!(
+            gdb.landmarks().is_none(),
+            "a mutation must take the stale index out of service"
+        );
+        for s in 0..n as i64 {
+            for t in 0..n as i64 {
+                prop_assert!(
+                    landmarks::upper_bound(&mut gdb, s, t).unwrap().is_none(),
+                    "{s}->{t}: stale upper bound served after mutation"
+                );
+                prop_assert!(
+                    landmarks::exact_path(&mut gdb, s, t).unwrap().is_none(),
+                    "{s}->{t}: stale fast path served after mutation"
+                );
+            }
+        }
+        // FEM queries keep answering exactly while the index is down.
+        let mut model = edge_model(&g);
+        model.push((u as u32, v as u32, wt as u32));
+        let mg = Graph::from_undirected_edges(n, model);
+        let finder = BsdjFinder::default();
+        for t in 0..n as i64 {
+            let truth = dijkstra::shortest_path(&mg, 0, t as u32).map(|p| p.distance as i64);
+            let out = finder.find_path(&mut gdb, 0, t).unwrap();
+            prop_assert_eq!(
+                out.path.as_ref().map(|p| p.length), truth,
+                "0->{}: FEM answer diverged on the mutated graph", t
+            );
+        }
+        // Rebuild indexes the mutated edge set: fully admissible again.
+        gdb.rebuild_landmarks().unwrap();
+        prop_assert!(gdb.landmarks().is_some());
+        check_all_pairs_on(&mut gdb, &mg, n);
+    }
+}
+
+/// The delete side of the same property, deterministically: removing an
+/// edge stales the index, and the rebuilt index is admissible over the
+/// shrunken graph (where the removed edge must not be walkable).
+#[test]
+fn delete_stales_bounds_and_rebuild_reflects_the_removal() {
+    let g = fempath::graph::generate::grid(3, 3, 1..=10, 31);
+    let mut gdb = GraphDb::in_memory(&g).unwrap();
+    gdb.build_landmarks(3).unwrap();
+    let removed = gdb.delete_edge(0, 1).unwrap();
+    assert!(removed > 0, "grid neighbours 0 and 1 share an edge");
+    assert!(gdb.landmarks().is_none(), "delete must stale the index");
+    assert!(landmarks::upper_bound(&mut gdb, 0, 1).unwrap().is_none());
+    assert!(landmarks::exact_path(&mut gdb, 0, 1).unwrap().is_none());
+    gdb.rebuild_landmarks().unwrap();
+    let mut model = edge_model(&g);
+    model.retain(|&(a, b, _)| (a, b) != (0, 1) && (a, b) != (1, 0));
+    let mg = Graph::from_undirected_edges(9, model);
+    check_all_pairs_on(&mut gdb, &mg, 9);
 }
 
 proptest! {

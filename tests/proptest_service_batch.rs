@@ -12,7 +12,7 @@
 //! adjacent pairs — exactly what comparing per-index against the looped
 //! oracle catches.
 
-use fempath::core::PathService;
+use fempath::core::{PathService, PathServiceOptions};
 use fempath::graph::Graph;
 use proptest::prelude::*;
 
@@ -60,7 +60,16 @@ proptest! {
 
     #[test]
     fn batch_matches_looped_single_queries((g, pairs, workers) in arb_case()) {
-        let svc = PathService::new(&g, workers).unwrap();
+        // Cache off: this property pins the *dispatch* layer — every
+        // pair must really be tiled, executed and merged, so the result
+        // cache (whose dedup would legitimately skip repeat pairs) is
+        // disabled. The cache-on batch behaviour is covered by
+        // tests/service_cache.rs.
+        let svc = PathService::with_options(&g, &PathServiceOptions {
+            workers,
+            cache_bytes: 0,
+            ..Default::default()
+        }).unwrap();
         let batch = svc.query_batch(&pairs).unwrap();
         prop_assert_eq!(batch.len(), pairs.len(), "one answer per input pair");
 

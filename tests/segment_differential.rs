@@ -129,13 +129,30 @@ fn segment_scans_match_row_scans() {
         let b = segs.db.query(sql).unwrap();
         assert_eq!(a.rows, b.rows, "query diverged on segmented storage: {sql}");
     }
-    // DML against the compressed table is refused, not silently dropped.
-    let err = segs
+    // INSERT routes to the delta overlay (DESIGN.md §16) and is visible
+    // to the same scan paths immediately; both tiers stay in agreement.
+    rows.db
+        .execute("INSERT INTO TEdges VALUES (1, 2, 3)")
+        .unwrap();
+    let n = segs
         .db
         .execute("INSERT INTO TEdges VALUES (1, 2, 3)")
+        .unwrap();
+    assert_eq!(n.rows_affected, 1);
+    let count_sql = "SELECT COUNT(*), SUM(cost) FROM TEdges";
+    assert_eq!(
+        rows.db.query(count_sql).unwrap().rows,
+        segs.db.query(count_sql).unwrap().rows,
+        "post-insert aggregates diverged on segmented storage"
+    );
+    // UPDATE/DELETE against compressed base rows are still refused, not
+    // silently dropped.
+    let err = segs
+        .db
+        .execute("UPDATE TEdges SET cost = 1 WHERE fid = 1")
         .unwrap_err();
     assert!(
-        err.to_string().contains("read-only"),
+        err.to_string().contains("segment"),
         "unexpected error: {err}"
     );
 }

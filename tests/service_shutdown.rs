@@ -10,7 +10,7 @@
 //! it does not signal completion within a generous deadline, instead of
 //! wedging the whole test binary.
 
-use fempath::core::PathService;
+use fempath::core::{PathService, PathServiceOptions};
 use fempath::graph::generate;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -129,7 +129,18 @@ fn worker_panic_surfaces_error_and_pool_survives() {
 fn repeated_panics_do_not_poison_the_pool() {
     with_watchdog(120, "repeated_panics_do_not_poison_the_pool", || {
         let g = generate::grid(4, 4, 1..=10, 53);
-        let svc = PathService::new(&g, 2).unwrap();
+        // Cache off: the clients hammer one hot pair on purpose, and
+        // every repeat must hit the (possibly rebuilding) worker pool —
+        // a cached answer would bypass the machinery under test.
+        let svc = PathService::with_options(
+            &g,
+            &PathServiceOptions {
+                workers: 2,
+                cache_bytes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let baseline = svc.query(0, 15).unwrap().path.expect("connected").length;
 
         std::thread::scope(|scope| {
